@@ -1,0 +1,353 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 7), runs the ablation studies DESIGN.md
+   calls out, and finishes with Bechamel microbenchmarks of the hot paths.
+
+   Sections:
+     FIG2     architecture self-check (the seven PASSv2 components)
+     TABLE1   record types per PA application
+     TABLE2   elapsed-time overheads, ext3 vs PASSv2 and NFS vs PA-NFS
+     TABLE3   space overheads
+     FIG1/PQL the layered two-server scenario + the paper's sample query
+     ABLATION cycle avoidance vs PASSv1 detection; dedup; WAP; NFS txns
+     MICRO    Bechamel microbenchmarks (one per table) *)
+
+module Record = Pass_core.Record
+module Pvalue = Pass_core.Pvalue
+module Ctx = Pass_core.Ctx
+module Dpapi = Pass_core.Dpapi
+module Analyzer = Pass_core.Analyzer
+module Cycle_detect = Pass_core.Cycle_detect
+
+let section name = Printf.printf "\n==================== %s ====================\n" name
+
+(* --- FIG 2: architecture self-check ---------------------------------------- *)
+
+let fig2 () =
+  section "FIG2: PASSv2 architecture";
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+  let stack = Option.get (Kernel.pass_stack (System.kernel sys)) in
+  let volume = List.hd (System.volumes sys) in
+  let checks =
+    [
+      ("libpass (user-level DPAPI)", System.app_endpoint sys ~pid:Kernel.init_pid <> None);
+      ("interceptor (syscall hooks)", Kernel.pass_stack (System.kernel sys) <> None);
+      ("observer", (Pass_core.Observer.stats stack.Kernel.observer).events = 0);
+      ("analyzer", (Analyzer.stats stack.Kernel.analyzer).records_in = 0);
+      ("distributor", Pass_core.Distributor.cached_object_count stack.Kernel.distributor = 0);
+      ("lasagna (PA file system)", volume.System.v_lasagna <> None);
+      ("waldo (log -> database daemon)", volume.System.v_waldo <> None);
+    ]
+  in
+  List.iter (fun (name, ok) -> Printf.printf "  [%s] %s\n" (if ok then "ok" else "??") name) checks;
+  Printf.printf "  DPAPI chain: libpass -> observer -> analyzer -> distributor -> lasagna -> waldo\n"
+
+(* --- TABLE 2 / TABLE 3 ------------------------------------------------------ *)
+
+let paper_table2 =
+  (* (name, local overhead %, nfs overhead %) as published *)
+  [
+    ("Linux Compile", 15.6, 1.0);
+    ("Postmark", 11.5, 16.8);
+    ("Mercurial Activity", 23.1, 8.7);
+    ("Blast", 0.7, 1.9);
+    ("PA-Kepler", 1.4, 2.5);
+  ]
+
+let table2_and_3 () =
+  section "TABLE2: elapsed-time overheads";
+  (* PASS_BENCH_SCALE scales workload op counts (1.0 = default; the paper's
+     full sizes are ~10x) *)
+  let scale =
+    match Sys.getenv_opt "PASS_BENCH_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  if scale <> 1.0 then Printf.printf "(workload scale: %.2fx)\n" scale;
+  let wls = Runner.standard ~scale () in
+  let local = List.map Runner.measure_local wls in
+  let nfs = List.map Runner.measure_nfs wls in
+  Report.table2 Format.std_formatter ~local ~nfs;
+  Printf.printf "\nPaper-reported overheads for comparison (shape, not absolute numbers):\n";
+  List.iter
+    (fun (name, l, n) -> Printf.printf "  %-20s local %5.1f%%   nfs %5.1f%%\n" name l n)
+    paper_table2;
+  section "TABLE3: space overheads";
+  let rows = List.map Runner.measure_space wls in
+  Report.table3 Format.std_formatter ~rows;
+  Printf.printf
+    "\nPaper-reported: Linux Compile 6.9%%/18.4%%, Postmark 0.1%%/0.1%%, Mercurial 1.8%%/3.4%%,\n\
+    \                Blast 1.1%%/3.8%%, PA-Kepler 4.7%%/14.2%% (provenance / +indexes)\n"
+
+(* --- FIG 1 + the paper's PQL query ------------------------------------------ *)
+
+let fig1 () =
+  section "FIG1: layered query across two NFS servers and a workstation";
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "local" ] () in
+  let clock = System.clock sys in
+  let ctx = Kernel.ctx (System.kernel sys) in
+  let server_a = Server.create ~mode:Server.Pass_enabled ~clock ~machine:21 ~volume:"nfsA" () in
+  let server_b = Server.create ~mode:Server.Pass_enabled ~clock ~machine:22 ~volume:"nfsB" () in
+  let net = Proto.net clock in
+  let ca = Client.create ~net ~handler:(Server.handle server_a) ~ctx ~mount_name:"nfsA" () in
+  let cb = Client.create ~net ~handler:(Server.handle server_b) ~ctx ~mount_name:"nfsB" () in
+  System.mount_external sys ~name:"nfsA" ~ops:(Client.ops ca) ~endpoint:(Client.endpoint ca)
+    ~file_handle:(Client.file_handle ca) ();
+  System.mount_external sys ~name:"nfsB" ~ops:(Client.ops cb) ~endpoint:(Client.endpoint cb)
+    ~file_handle:(Client.file_handle cb) ();
+  (* the workflow engine runs the Provenance Challenge workflow, reading
+     inputs from server A and writing the atlas images to server B *)
+  let engine = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+  let io = Kepler_run.io_of_system sys ~pid:engine in
+  Challenge.prepare_inputs ~input_dir:"/nfsA/inputs" io;
+  let wf = Challenge.workflow ~input_dir:"/nfsA/inputs" ~output_dir:"/nfsB/results" in
+  ignore (Kepler_run.run sys ~pid:engine wf : Director.result);
+  ignore (System.drain sys : int);
+  ignore (Server.drain server_a : int);
+  ignore (Server.drain server_b : int);
+  let merged = Provdb.create () in
+  Provdb.merge_into ~dst:merged ~src:(Option.get (System.waldo_db sys "local"));
+  Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_a));
+  Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_b));
+  let query =
+    {|select Ancestor
+      from Provenance.file as Atlas
+           Atlas.input* as Ancestor
+      where Atlas.name = "atlas-x.gif"|}
+  in
+  Printf.printf "query (paper §5.7):\n%s\n\n" query;
+  let names = Pql.names merged query in
+  Printf.printf "ancestors of atlas-x.gif across all three volumes (%d distinct names):\n"
+    (List.length names);
+  List.iter (fun n -> Printf.printf "  %s\n" n) names;
+  let b_only = Pql.names (Option.get (Server.db server_b)) query in
+  Printf.printf
+    "\nwithout layering, server B alone sees %d names (no workflow operators, no inputs)\n"
+    (List.length b_only)
+
+(* --- ABLATIONS --------------------------------------------------------------- *)
+
+let null_endpoint ctx =
+  {
+    Dpapi.pass_read =
+      (fun h ~off:_ ~len:_ ->
+        Ok { Dpapi.data = ""; r_pnode = h.pnode; r_version = Ctx.current_version ctx h.pnode });
+    pass_write = (fun h ~off:_ ~data:_ _ -> Ok (Ctx.current_version ctx h.pnode));
+    pass_freeze = (fun h -> Ok (Ctx.freeze ctx h.pnode));
+    pass_mkobj = (fun ~volume:_ -> Ok (Dpapi.handle (Ctx.fresh ctx)));
+    pass_reviveobj = (fun p _ -> Ok (Dpapi.handle p));
+    pass_sync = (fun _ -> Ok ());
+  }
+
+let ablation_cycles () =
+  section "ABLATION: cycle avoidance (PASSv2) vs global detection (PASSv1)";
+  let n = 20_000 in
+  let seed = 123 in
+  let events =
+    let st = Random.State.make [| seed |] in
+    List.init n (fun _ ->
+        (Random.State.bool st, Random.State.int st 40, Random.State.int st 40))
+  in
+  (* PASSv2: the analyzer's local rule *)
+  let ctx = Ctx.create ~machine:1 in
+  let an = Analyzer.create ~ctx ~lower:(null_endpoint ctx) () in
+  let ep = Analyzer.endpoint an in
+  let procs = Array.init 40 (fun _ -> Dpapi.handle (Ctx.fresh ctx)) in
+  let files = Array.init 40 (fun _ -> Dpapi.handle ~volume:"v" (Ctx.fresh ctx)) in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (is_read, pi, fi) ->
+      let p = procs.(pi) and f = files.(fi) in
+      if is_read then
+        ignore (Dpapi.disclose ep p [ Record.input_of f.pnode (Ctx.current_version ctx f.pnode) ])
+      else
+        ignore (Dpapi.disclose ep f [ Record.input_of p.pnode (Ctx.current_version ctx p.pnode) ]))
+    events;
+  let v2_time = Sys.time () -. t0 in
+  let v2 = Analyzer.stats an in
+  (* PASSv1: global graph + DFS + merge *)
+  let cd = Cycle_detect.create () in
+  let pnode i = Pass_core.Pnode.of_int (i + 1) in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (is_read, pi, fi) ->
+      if is_read then Cycle_detect.add_edge cd (pnode pi, 0) (pnode (fi + 100), 0)
+      else Cycle_detect.add_edge cd (pnode (fi + 100), 0) (pnode pi, 0))
+    events;
+  let v1_time = Sys.time () -. t0 in
+  Printf.printf "  %d read/write events over 40 processes x 40 files\n" n;
+  Printf.printf
+    "  PASSv2 cycle avoidance: %d freezes (extra versions), %d adoptions avoided a freeze, %.2f us/event\n"
+    v2.Analyzer.freezes v2.Analyzer.adoptions
+    (v2_time *. 1e6 /. float_of_int n);
+  Printf.printf "  PASSv1 global detection: %d merges, %d DFS probe steps, %.2f us/event\n"
+    (Cycle_detect.merges cd) (Cycle_detect.probe_steps cd)
+    (v1_time *. 1e6 /. float_of_int n);
+  Printf.printf "  (v1 merges lose object identity; v2 pays with extra versions instead)\n"
+
+let ablation_dedup () =
+  section "ABLATION: analyzer duplicate elimination on/off";
+  let run dedup =
+    let ctx = Ctx.create ~machine:1 in
+    let writes = ref 0 in
+    let records = ref 0 in
+    let base = null_endpoint ctx in
+    let counting =
+      {
+        base with
+        Dpapi.pass_write =
+          (fun h ~off:_ ~data:_ bundle ->
+            incr writes;
+            List.iter
+              (fun (e : Dpapi.bundle_entry) -> records := !records + List.length e.records)
+              bundle;
+            Ok (Ctx.current_version ctx h.pnode));
+      }
+    in
+    let an = Analyzer.create ~dedup ~ctx ~lower:counting () in
+    let ep = Analyzer.endpoint an in
+    let f = Dpapi.handle ~volume:"v" (Ctx.fresh ctx) in
+    let p = Dpapi.handle (Ctx.fresh ctx) in
+    (* a process writing a 4 MB file in 4 KB chunks: 1024 identical records *)
+    for _ = 1 to 1024 do
+      ignore (Dpapi.disclose ep f [ Record.input_of p.pnode 0 ])
+    done;
+    (!writes, !records)
+  in
+  let w_on, r_on = run true in
+  let w_off, r_off = run false in
+  Printf.printf "  1024 chunked writes of one file by one process:\n";
+  Printf.printf "  dedup on:  %4d storage writes, %4d records\n" w_on r_on;
+  Printf.printf "  dedup off: %4d storage writes, %4d records  (%.0fx amplification)\n" w_off
+    r_off
+    (float_of_int r_off /. float_of_int (max 1 r_on))
+
+let ablation_wap () =
+  section "ABLATION: WAP log vs PASSv1-style direct database writes";
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+  Kepler_wl.run sys ~parent:Kernel.init_pid;
+  ignore (System.drain sys : int);
+  let sp = System.space sys in
+  Printf.printf "  PA-Kepler workload, provenance bytes on the critical path:\n";
+  Printf.printf "  PASSv2 (WAP log, database deferred to Waldo): %7d bytes\n"
+    sp.System.sp_prov_log_bytes;
+  Printf.printf "  PASSv1 (database + indexes written in-line):  %7d bytes (%.1fx)\n"
+    (sp.System.sp_db_bytes + sp.System.sp_index_bytes)
+    (float_of_int (sp.System.sp_db_bytes + sp.System.sp_index_bytes)
+    /. float_of_int (max 1 sp.System.sp_prov_log_bytes))
+
+let ablation_nfs_txn () =
+  section "ABLATION: PA-NFS transaction encapsulation";
+  let clock = Simdisk.Clock.create () in
+  let server = Server.create ~mode:Server.Pass_enabled ~clock ~machine:9 ~volume:"nfs0" () in
+  let net = Proto.net clock in
+  let ctx = Ctx.create ~machine:8 in
+  let client = Client.create ~net ~handler:(Server.handle server) ~ctx ~mount_name:"nfs0" () in
+  let ino =
+    match Vfs.write_file (Client.ops client) "/big" "seed" with
+    | Ok ino -> ino
+    | Error _ -> failwith "setup"
+  in
+  let h = match Client.file_handle client ino with Ok h -> h | Error _ -> failwith "handle" in
+  let records =
+    List.init 4000 (fun i -> Record.make "PARAMS" (Pvalue.Str (Printf.sprintf "p%06d" i)))
+  in
+  let before = net.Proto.messages in
+  (match Client.pass_write client h ~off:0 ~data:(Some "payload") [ Dpapi.entry h records ] with
+  | Ok _ -> ()
+  | Error e -> failwith (Dpapi.error_to_string e));
+  let msgs = net.Proto.messages - before in
+  let prov_bytes = Dpapi.bundle_size [ Dpapi.entry h records ] in
+  Printf.printf "  one pass_write with %d bytes of provenance (> 64 KB block size):\n" prov_bytes;
+  Printf.printf "  messages used: %d (OP_BEGINTXN + %d OP_PASSPROV chunks + OP_PASSWRITE)\n"
+    msgs (msgs - 2);
+  Printf.printf "  orphan cleanup: a client crash mid-transaction leaves provenance that\n";
+  Printf.printf "  Waldo discards — see test 'client crash orphans are discarded'\n"
+
+(* --- Bechamel microbenchmarks ------------------------------------------------- *)
+
+let microbench () =
+  section "MICRO: Bechamel microbenchmarks";
+  let open Bechamel in
+  (* TABLE2's hot path: the analyzer processing one record *)
+  let bench_analyzer =
+    let ctx = Ctx.create ~machine:1 in
+    let an = Analyzer.create ~ctx ~lower:(null_endpoint ctx) () in
+    let ep = Analyzer.endpoint an in
+    let f = Dpapi.handle ~volume:"v" (Ctx.fresh ctx) in
+    let p = Dpapi.handle (Ctx.fresh ctx) in
+    let i = ref 0 in
+    Test.make ~name:"table2:analyzer-record"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Dpapi.disclose ep f [ Record.input_of p.pnode (!i land 7) ])))
+  in
+  (* TABLE3's hot path: Waldo ingesting a record into the database *)
+  let bench_provdb =
+    let db = Provdb.create () in
+    let alloc = Pass_core.Pnode.allocator ~machine:3 in
+    let target = Pass_core.Pnode.fresh alloc in
+    let i = ref 0 in
+    Test.make ~name:"table3:provdb-insert"
+      (Staged.stage (fun () ->
+           incr i;
+           Provdb.add_record db target ~version:0
+             (Record.make "PARAMS" (Pvalue.Str (string_of_int (!i land 1023))))))
+  in
+  (* FIG1's hot path: the paper's PQL query over a challenge run *)
+  let bench_pql =
+    let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+    let pid = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+    let io = Kepler_run.io_of_system sys ~pid in
+    Challenge.prepare_inputs ~input_dir:"/vol0/in" io;
+    ignore
+      (Kepler_run.run sys ~pid (Challenge.workflow ~input_dir:"/vol0/in" ~output_dir:"/vol0/out"));
+    ignore (System.drain sys : int);
+    let db = Option.get (System.waldo_db sys "vol0") in
+    let query =
+      {|select Ancestor from Provenance.file as Atlas Atlas.input* as Ancestor
+        where Atlas.name = "atlas-x.gif"|}
+    in
+    Test.make ~name:"fig1:pql-ancestry-query"
+      (Staged.stage (fun () -> ignore (Pql.names db query)))
+  in
+  (* TABLE1's serialization path: the WAP log frame encoder *)
+  let bench_wap =
+    let alloc = Pass_core.Pnode.allocator ~machine:4 in
+    let h = Dpapi.handle ~volume:"v" (Pass_core.Pnode.fresh alloc) in
+    let bundle = [ Dpapi.entry h [ Record.name "f"; Record.input_of h.pnode 0 ] ] in
+    Test.make ~name:"table1:wap-frame-encode"
+      (Staged.stage (fun () ->
+           ignore (Wap_log.encode_frame (Wap_log.Bundle { txn = None; bundle; data = None }))))
+  in
+  let run_one test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-32s %10.1f ns/op\n" name est
+        | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+      results
+  in
+  List.iter run_one [ bench_analyzer; bench_provdb; bench_pql; bench_wap ]
+
+let () =
+  Printf.printf "PASSv2 reproduction benchmark harness\n";
+  Printf.printf "(simulated time: see DESIGN.md for the substrate cost model)\n";
+  fig2 ();
+  table2_and_3 ();
+  fig1 ();
+  section "TABLE1: record-type registry";
+  Report.table1 Format.std_formatter;
+  ablation_cycles ();
+  ablation_dedup ();
+  ablation_wap ();
+  ablation_nfs_txn ();
+  microbench ();
+  Printf.printf "\ndone.\n"

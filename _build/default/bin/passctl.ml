@@ -1,0 +1,227 @@
+(* passctl: a command-line front end to the PASSv2 reproduction.
+
+     dune exec bin/passctl.exe -- <command> [args]
+
+   Commands:
+     demo                      run the Figure 1 scenario and print the layered query
+     query  <pql>              run a PQL query against a canned challenge-workflow run
+     workload <name> [--mode]  run one Table 2 workload and print timing/space stats
+     recordtypes               print the Table 1 record-type registry
+     recover                   demonstrate WAP crash recovery *)
+
+module Record = Pass_core.Record
+module Dpapi = Pass_core.Dpapi
+module Ctx = Pass_core.Ctx
+module Clock = Simdisk.Clock
+module Disk = Simdisk.Disk
+
+let ok = function Ok v -> v | Error e -> failwith (Vfs.errno_to_string e)
+
+(* A canned local challenge run whose database queries operate on. *)
+let canned_db () =
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+  let pid = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+  let io = Kepler_run.io_of_system sys ~pid in
+  Challenge.prepare_inputs ~input_dir:"/vol0/inputs" io;
+  ignore
+    (Kepler_run.run sys ~pid
+       (Challenge.workflow ~input_dir:"/vol0/inputs" ~output_dir:"/vol0/results")
+      : Director.result);
+  ignore (System.drain sys : int);
+  Option.get (System.waldo_db sys "vol0")
+
+(* --- commands ----------------------------------------------------------------- *)
+
+let cmd_demo () =
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "local" ] () in
+  let clock = System.clock sys in
+  let ctx = Kernel.ctx (System.kernel sys) in
+  let server_a = Server.create ~mode:Server.Pass_enabled ~clock ~machine:21 ~volume:"nfsA" () in
+  let server_b = Server.create ~mode:Server.Pass_enabled ~clock ~machine:22 ~volume:"nfsB" () in
+  let net = Proto.net clock in
+  let ca = Client.create ~net ~handler:(Server.handle server_a) ~ctx ~mount_name:"nfsA" () in
+  let cb = Client.create ~net ~handler:(Server.handle server_b) ~ctx ~mount_name:"nfsB" () in
+  System.mount_external sys ~name:"nfsA" ~ops:(Client.ops ca) ~endpoint:(Client.endpoint ca)
+    ~file_handle:(Client.file_handle ca) ();
+  System.mount_external sys ~name:"nfsB" ~ops:(Client.ops cb) ~endpoint:(Client.endpoint cb)
+    ~file_handle:(Client.file_handle cb) ();
+  let engine = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+  let io = Kepler_run.io_of_system sys ~pid:engine in
+  Challenge.prepare_inputs ~input_dir:"/nfsA/inputs" io;
+  ignore
+    (Kepler_run.run sys ~pid:engine
+       (Challenge.workflow ~input_dir:"/nfsA/inputs" ~output_dir:"/nfsB/results"));
+  ignore (System.drain sys : int);
+  ignore (Server.drain server_a : int);
+  ignore (Server.drain server_b : int);
+  let merged = Provdb.create () in
+  Provdb.merge_into ~dst:merged ~src:(Option.get (System.waldo_db sys "local"));
+  Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_a));
+  Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_b));
+  let query =
+    {|select Ancestor from Provenance.file as Atlas Atlas.input* as Ancestor
+      where Atlas.name = "atlas-x.gif"|}
+  in
+  print_endline "Figure 1 scenario: Kepler on a workstation, inputs on server A, outputs on B";
+  Printf.printf "query: %s\n\n" query;
+  let result = Pql.query merged query in
+  Format.printf "%a@." (Pql.pp merged) result
+
+let cmd_query q =
+  let db = canned_db () in
+  match Pql.query db q with
+  | result -> Format.printf "%a@." (Pql.pp db) result
+  | exception Pql.Error msg ->
+      Printf.eprintf "pql error: %s\n" msg;
+      exit 1
+
+let cmd_recordtypes () = Report.table1 Format.std_formatter
+
+let cmd_workload name mode =
+  let wls = Runner.standard () in
+  match List.find_opt (fun w -> String.lowercase_ascii w.Runner.wl_name = name) wls with
+  | None ->
+      Printf.eprintf "unknown workload %S; try: %s\n" name
+        (String.concat ", " (List.map (fun w -> String.lowercase_ascii w.Runner.wl_name) wls));
+      exit 1
+  | Some w -> (
+      match mode with
+      | `Both ->
+          let row = Runner.measure_local w in
+          Printf.printf "%s: ext3 %.2fs, PASSv2 %.2fs, overhead %.1f%%\n" row.Runner.r_name
+            row.base_seconds row.pass_seconds row.overhead_pct;
+          let sp = Runner.measure_space w in
+          Printf.printf "space: data %.1f MB, provenance %.2f MB (%.1f%%), +indexes %.2f MB (%.1f%%)\n"
+            sp.Runner.ext3_mb sp.prov_mb sp.prov_pct sp.total_mb sp.total_pct
+      | `Nfs ->
+          let row = Runner.measure_nfs w in
+          Printf.printf "%s: NFS %.2fs, PA-NFS %.2fs, overhead %.1f%%\n" row.Runner.r_name
+            row.base_seconds row.pass_seconds row.overhead_pct)
+
+(* A canned two-run scenario for the diff command: the challenge workflow
+   run twice with one input modified in between (§3.1). *)
+let cmd_diff () =
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+  let pid = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+  let io = Kepler_run.io_of_system sys ~pid in
+  Challenge.prepare_inputs ~input_dir:"/vol0/inputs" io;
+  let wf = Challenge.workflow ~input_dir:"/vol0/inputs" ~output_dir:"/vol0/results" in
+  ignore (Kepler_run.run sys ~pid wf : Director.result);
+  ignore (System.drain sys : int);
+  let db = Option.get (System.waldo_db sys "vol0") in
+  let atlas = List.hd (Provdb.find_by_name db "atlas-x.gif") in
+  let v_first = (Option.get (Provdb.find_node db atlas)).Provdb.max_version in
+  io.Actor.write_file "/vol0/inputs/anatomy2.img" "anatomy-image-2-MODIFIED";
+  ignore (Kepler_run.run sys ~pid wf : Director.result);
+  ignore (System.drain sys : int);
+  let v_second = (Option.get (Provdb.find_node db atlas)).Provdb.max_version in
+  Printf.printf
+    "ran the challenge workflow twice (anatomy2.img modified in between);\n\
+     ancestry diff of atlas-x.gif v%d vs v%d, files only:\n\n" v_first v_second;
+  let d = Provdiff.diff_versions db atlas ~version_a:v_first ~version_b:v_second in
+  Format.printf "%a@." Provdiff.pp (Provdiff.files_only db d)
+
+let cmd_export target =
+  let db = canned_db () in
+  let roots = match target with "" -> None | name -> Some (Provdb.find_by_name db name) in
+  (match roots with
+  | Some [] ->
+      Printf.eprintf "no object named %S in the canned run\n" target;
+      exit 1
+  | _ -> ());
+  print_string (Provdot.to_dot ?roots db)
+
+let cmd_opm () =
+  let db = canned_db () in
+  print_string (Opm.to_string db)
+
+let cmd_recover () =
+  let clock = Clock.create () in
+  let disk = Disk.create ~clock () in
+  let ext3 = Ext3.format disk in
+  let ctx = Ctx.create ~machine:1 in
+  let lasagna =
+    Lasagna.create ~lower:(Ext3.ops ext3) ~ctx ~volume:"vol0" ~charge:(Clock.advance clock) ()
+  in
+  let ops = Lasagna.ops lasagna in
+  let ep = Lasagna.endpoint lasagna in
+  let ino = ok (Vfs.create_path ops "/victim" Vfs.Regular) in
+  let h = ok (Lasagna.file_handle lasagna ino) in
+  Disk.schedule_crash disk ~after_writes:3;
+  (match
+     ep.pass_write h ~off:0 ~data:(Some (String.make 8192 'x'))
+       [ Dpapi.entry h [ Record.name "victim" ] ]
+   with
+  | Error Dpapi.Ecrashed -> print_endline "crashed mid-write"
+  | _ -> print_endline "unexpected");
+  Disk.revive disk;
+  let remounted = Ext3.mount disk in
+  let report = ok (Recovery.scan (Ext3.ops remounted)) in
+  Format.printf "%a@." Recovery.pp_report report;
+  List.iter
+    (fun (i : Recovery.inconsistency) ->
+      Printf.printf "inconsistent: pnode=%d off=%d len=%d (%s)\n"
+        (Pass_core.Pnode.to_int i.i_pnode) i.i_off i.i_len i.reason)
+    report.inconsistent
+
+(* --- cmdliner wiring ----------------------------------------------------------- *)
+
+open Cmdliner
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Run the Figure 1 layered-query scenario")
+    Term.(const cmd_demo $ const ())
+
+let query_cmd =
+  let q =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PQL" ~doc:"The PQL query to run")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a PQL query against a canned Provenance-Challenge workflow run")
+    Term.(const cmd_query $ q)
+
+let recordtypes_cmd =
+  Cmd.v (Cmd.info "recordtypes" ~doc:"Print the Table 1 record-type registry")
+    Term.(const cmd_recordtypes $ const ())
+
+let workload_cmd =
+  let wl_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Workload name (linux compile, postmark, mercurial activity, blast, pa-kepler)")
+  in
+  let nfs = Arg.(value & flag & info [ "nfs" ] ~doc:"Measure the NFS configuration instead") in
+  Cmd.v (Cmd.info "workload" ~doc:"Run one Table 2 workload and print measurements")
+    Term.(const (fun n f -> cmd_workload n (if f then `Nfs else `Both)) $ wl_name $ nfs)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Run the challenge workflow twice (one input modified) and diff the ancestries")
+    Term.(const cmd_diff $ const ())
+
+let export_cmd =
+  let target =
+    Arg.(value & pos 0 string "" & info [] ~docv:"NAME"
+           ~doc:"Restrict to the ancestry cone of this object (empty = whole graph)")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the canned run's provenance graph as Graphviz dot")
+    Term.(const cmd_export $ target)
+
+let opm_cmd =
+  Cmd.v
+    (Cmd.info "opm"
+       ~doc:"Export the canned run's provenance as Open-Provenance-Model XML")
+    Term.(const cmd_opm $ const ())
+
+let recover_cmd =
+  Cmd.v (Cmd.info "recover" ~doc:"Demonstrate WAP crash recovery")
+    Term.(const cmd_recover $ const ())
+
+let () =
+  let info =
+    Cmd.info "passctl" ~version:"1.0"
+      ~doc:"PASSv2 reproduction: layered provenance collection and query"
+  in
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd ]))

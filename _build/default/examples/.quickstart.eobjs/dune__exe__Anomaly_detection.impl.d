@@ -1,0 +1,1 @@
+examples/anomaly_detection.ml: Actor Challenge Client Director Format Kepler_run Kernel List Option Pql Printf Proto Provdb Provdiff Server String System

@@ -1,0 +1,1 @@
+examples/nfs_crash.ml: Char Client Ext3 Lasagna List Option Pass_core Printf Proto Provdb Recovery Server Simdisk String Vfs

@@ -1,0 +1,1 @@
+examples/nfs_crash.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Kernel List Option Pass_core Pql Printf Provdb String System Vfs

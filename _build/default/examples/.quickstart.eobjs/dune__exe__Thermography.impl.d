@@ -1,0 +1,1 @@
+examples/thermography.ml: Filename Kernel List Option Pql Printf Provwrap Pyth String System

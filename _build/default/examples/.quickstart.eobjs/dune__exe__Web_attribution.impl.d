@@ -1,0 +1,1 @@
+examples/web_attribution.ml: Actor Browser Kepler_run Kernel List Option Pass_core Pql Printf Provdb System Vfs Web

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Ctx Dpapi Hashtbl List Pnode Pvalue Record

@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Ctx Dpapi

@@ -1,0 +1,1 @@
+lib/core/cycle_detect.ml: Hashtbl List Pnode

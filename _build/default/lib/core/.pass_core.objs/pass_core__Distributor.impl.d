@@ -1,0 +1,1 @@
+lib/core/distributor.ml: Ctx Dpapi Hashtbl List Option Pnode Record Result

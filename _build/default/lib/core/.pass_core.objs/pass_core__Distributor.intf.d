@@ -1,0 +1,1 @@
+lib/core/distributor.mli: Ctx Dpapi Pnode

@@ -1,0 +1,1 @@
+lib/core/dpapi.ml: Buffer Format Int64 List Option Pnode Pvalue Record Result String

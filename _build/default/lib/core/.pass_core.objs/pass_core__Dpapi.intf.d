@@ -1,0 +1,1 @@
+lib/core/dpapi.mli: Buffer Format Pnode Record

@@ -1,0 +1,1 @@
+lib/core/libpass.ml: Dpapi Record

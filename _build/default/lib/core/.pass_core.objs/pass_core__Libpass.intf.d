@@ -1,0 +1,1 @@
+lib/core/libpass.mli: Dpapi Pnode Record

@@ -1,0 +1,1 @@
+lib/core/observer.ml: Ctx Dpapi Hashtbl List Pvalue Record Result

@@ -1,0 +1,1 @@
+lib/core/pvalue.ml: Bool Buffer Char Format Int Int64 List Pnode String Wire

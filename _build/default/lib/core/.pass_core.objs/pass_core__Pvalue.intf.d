@@ -1,0 +1,1 @@
+lib/core/pvalue.mli: Buffer Format Pnode

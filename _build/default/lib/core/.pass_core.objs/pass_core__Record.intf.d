@@ -1,0 +1,1 @@
+lib/core/record.mli: Buffer Format Pnode Pvalue

@@ -1,0 +1,184 @@
+(* The observer (paper §5.3) translates system-call events into provenance
+   records and passes them down the DPAPI stack (analyzer -> distributor ->
+   storage).  It is on the data path: a read system call becomes a
+   pass_read whose returned (pnode, version) identity lets the observer
+   construct a record that accurately describes what was read; a write
+   system call becomes a pass_write carrying both the data and the record
+   stating that the process is an input of the file.
+
+   The observer is also the entry point for provenance-aware applications
+   that disclose provenance explicitly: when an application pass_writes
+   data, the observer adds the implicit record capturing the dependency
+   between the application's process and the file (paper §5.3, last
+   paragraph).  [endpoint_for] builds that per-process DPAPI face. *)
+
+type proc = { handle : Dpapi.handle; mutable alive : bool }
+
+type stats = {
+  mutable events : int;
+  mutable records_emitted : int;
+}
+
+type t = {
+  ctx : Ctx.t;
+  lower : Dpapi.endpoint; (* the analyzer *)
+  procs : (int, proc) Hashtbl.t; (* pid -> process object *)
+  pipes : (int, Dpapi.handle) Hashtbl.t; (* pipe id -> pipe object *)
+  stats : stats;
+}
+
+let create ~ctx ~lower () =
+  { ctx; lower; procs = Hashtbl.create 64; pipes = Hashtbl.create 16;
+    stats = { events = 0; records_emitted = 0 } }
+
+let stats t = t.stats
+let ( let* ) = Result.bind
+
+let emit t target records =
+  t.stats.records_emitted <- t.stats.records_emitted + List.length records;
+  Dpapi.disclose t.lower target records
+
+let proc_state t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None ->
+      (* a process we have not seen born (e.g. pre-existing init): create
+         its object on first contact *)
+      let handle =
+        match t.lower.pass_mkobj ~volume:None with
+        | Ok h -> h
+        | Error e -> failwith ("observer: mkobj: " ^ Dpapi.error_to_string e)
+      in
+      let p = { handle; alive = true } in
+      Hashtbl.add t.procs pid p;
+      ignore
+        (emit t handle
+           [ Record.typ "PROCESS"; Record.make Record.Attr.pid (Pvalue.Int pid) ]);
+      p
+
+let proc_handle t pid = (proc_state t pid).handle
+
+let proc_xref t pid =
+  let h = proc_handle t pid in
+  Pvalue.xref h.pnode (Ctx.current_version t.ctx h.pnode)
+
+(* --- system call events ------------------------------------------------ *)
+
+let fork t ~parent ~child =
+  t.stats.events <- t.stats.events + 1;
+  let ph = proc_handle t parent in
+  let child_handle =
+    match t.lower.pass_mkobj ~volume:None with
+    | Ok h -> h
+    | Error e -> failwith ("observer: fork mkobj: " ^ Dpapi.error_to_string e)
+  in
+  Hashtbl.replace t.procs child { handle = child_handle; alive = true };
+  emit t child_handle
+    [
+      Record.typ "PROCESS";
+      Record.make Record.Attr.pid (Pvalue.Int child);
+      Record.input_of ph.pnode (Ctx.current_version t.ctx ph.pnode);
+    ]
+
+let execve t ~pid ~path ~argv ~env ~binary =
+  t.stats.events <- t.stats.events + 1;
+  let p = proc_handle t pid in
+  (* learn the exact identity of the binary being executed *)
+  let* id = t.lower.pass_read binary ~off:0 ~len:0 in
+  emit t p
+    [
+      Record.name path;
+      Record.make Record.Attr.argv (Pvalue.Strs argv);
+      Record.make Record.Attr.env (Pvalue.Strs env);
+      Record.input_of id.r_pnode id.r_version;
+    ]
+
+let exit t ~pid =
+  t.stats.events <- t.stats.events + 1;
+  (match Hashtbl.find_opt t.procs pid with
+  | Some p -> p.alive <- false
+  | None -> ());
+  Ok ()
+
+(* read: pass_read the file, then record that the process depends on the
+   exact version read. *)
+let read t ~pid ~file ~off ~len =
+  t.stats.events <- t.stats.events + 1;
+  let p = proc_handle t pid in
+  let* r = t.lower.pass_read file ~off ~len in
+  let* () = emit t p [ Record.input_of r.r_pnode r.r_version ] in
+  Ok r
+
+(* write: send the data together with the record stating that the process
+   is an input of the file. *)
+let write t ~pid ~file ~off ~data =
+  t.stats.events <- t.stats.events + 1;
+  let record = Record.input (proc_xref t pid) in
+  t.stats.records_emitted <- t.stats.records_emitted + 1;
+  t.lower.pass_write file ~off ~data:(Some data) [ Dpapi.entry file [ record ] ]
+
+let mmap t ~pid ~file ~writable =
+  t.stats.events <- t.stats.events + 1;
+  let p = proc_handle t pid in
+  let* r = t.lower.pass_read file ~off:0 ~len:0 in
+  let* () = emit t p [ Record.input_of r.r_pnode r.r_version ] in
+  if writable then emit t file [ Record.input (proc_xref t pid) ] else Ok ()
+
+let pipe_create t ~pid ~pipe_id =
+  t.stats.events <- t.stats.events + 1;
+  let* h = t.lower.pass_mkobj ~volume:None in
+  Hashtbl.replace t.pipes pipe_id h;
+  let* () = emit t h [ Record.typ "PIPE" ] in
+  ignore (proc_state t pid);
+  Ok ()
+
+let pipe_handle t pipe_id =
+  match Hashtbl.find_opt t.pipes pipe_id with
+  | Some h -> Ok h
+  | None -> Error Dpapi.Ebadf
+
+let pipe_write t ~pid ~pipe_id =
+  t.stats.events <- t.stats.events + 1;
+  let* h = pipe_handle t pipe_id in
+  emit t h [ Record.input (proc_xref t pid) ]
+
+let pipe_read t ~pid ~pipe_id =
+  t.stats.events <- t.stats.events + 1;
+  let* h = pipe_handle t pipe_id in
+  let p = proc_handle t pid in
+  emit t p [ Record.input (Pvalue.xref h.pnode (Ctx.current_version t.ctx h.pnode)) ]
+
+let drop_inode t ~file:_ =
+  t.stats.events <- t.stats.events + 1;
+  Ok ()
+
+(* --- the DPAPI face handed to provenance-aware applications ------------ *)
+
+let endpoint_for t ~pid : Dpapi.endpoint =
+  let lower = t.lower in
+  {
+    pass_read =
+      (fun h ~off ~len ->
+        (* a disclosing application still depends on what it reads *)
+        let* r = lower.pass_read h ~off ~len in
+        let p = proc_handle t pid in
+        let* () = emit t p [ Record.input_of r.r_pnode r.r_version ] in
+        Ok r);
+    pass_write =
+      (fun h ~off ~data bundle ->
+        (* apart from the disclosed provenance, capture the dependency
+           between the application and the written object *)
+        let bundle =
+          match data with
+          | Some _ -> Dpapi.entry h [ Record.input (proc_xref t pid) ] :: bundle
+          | None -> bundle
+        in
+        t.stats.records_emitted <-
+          t.stats.records_emitted
+          + List.fold_left (fun n (e : Dpapi.bundle_entry) -> n + List.length e.records) 0 bundle;
+        lower.pass_write h ~off ~data bundle);
+    pass_freeze = lower.pass_freeze;
+    pass_mkobj = lower.pass_mkobj;
+    pass_reviveobj = lower.pass_reviveobj;
+    pass_sync = lower.pass_sync;
+  }

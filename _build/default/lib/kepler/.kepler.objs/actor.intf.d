@@ -1,0 +1,1 @@
+lib/kepler/actor.mli:

@@ -1,0 +1,1 @@
+lib/kepler/challenge.ml: Actor Char List Printf String Workflow

@@ -1,0 +1,1 @@
+lib/kepler/challenge.mli: Actor Workflow

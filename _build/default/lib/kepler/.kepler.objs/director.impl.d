@@ -1,0 +1,1 @@
+lib/kepler/director.ml: Actor Hashtbl List Printf Recorder Workflow

@@ -1,0 +1,1 @@
+lib/kepler/director.mli: Actor Recorder Workflow

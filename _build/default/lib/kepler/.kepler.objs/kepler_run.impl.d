@@ -1,0 +1,1 @@
+lib/kepler/kepler_run.ml: Actor Buffer Director Kernel Pass_core Recorder String System Vfs

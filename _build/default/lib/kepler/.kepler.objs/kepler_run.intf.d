@@ -1,0 +1,1 @@
+lib/kepler/kepler_run.mli: Actor Director Recorder System Vfs Workflow

@@ -1,0 +1,1 @@
+lib/kepler/recorder.ml: Hashtbl List Pass_core Printf String

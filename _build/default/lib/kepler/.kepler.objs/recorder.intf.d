@@ -1,0 +1,1 @@
+lib/kepler/recorder.mli: Pass_core

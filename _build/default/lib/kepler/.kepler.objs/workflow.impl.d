@@ -1,0 +1,1 @@
+lib/kepler/workflow.ml: Actor Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/kepler/workflow.mli: Actor

@@ -1,0 +1,64 @@
+(* Workflow actors (Kepler calls them operators).
+
+   An actor has named input and output ports, a parameter list (the NAME /
+   TYPE / PARAMS provenance of Table 1), and a firing function.  Firing
+   consumes one token per input port and produces tokens on output ports;
+   actors touching the file system (data sources and sinks) do so through
+   the [io] capability, which the director wires to kernel system calls of
+   the workflow-engine process — this is precisely what keeps file reads
+   and writes visible to PASS below while the token traffic between
+   operators is visible only to Kepler above. *)
+
+type token = { data : string; origin : string (* producing actor, for debugging *) }
+
+type io = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  cpu : int -> unit; (* charge simulated CPU nanoseconds *)
+}
+
+type t = {
+  name : string;
+  params : (string * string) list;
+  inputs : string list;
+  outputs : string list;
+  fire : io -> (string * token) list -> (string * token) list;
+      (* port-name-keyed inputs -> port-name-keyed outputs *)
+}
+
+let make ~name ?(params = []) ~inputs ~outputs fire = { name; params; inputs; outputs; fire }
+
+let token ~origin data = { data; origin }
+
+(* A source actor: reads a file and emits its contents. *)
+let file_source ~name ~path =
+  make ~name ~params:[ ("fileName", path) ] ~inputs:[] ~outputs:[ "out" ]
+    (fun io _ -> [ ("out", token ~origin:name (io.read_file path)) ])
+
+(* A sink actor: writes its input token to a file. *)
+let file_sink ~name ~path =
+  make ~name
+    ~params:[ ("fileName", path); ("confirmOverwrite", "true") ]
+    ~inputs:[ "in" ] ~outputs:[]
+    (fun io inputs ->
+      (match List.assoc_opt "in" inputs with
+      | Some tok -> io.write_file path tok.data
+      | None -> ());
+      [])
+
+(* A pure transformation with one input and one output. *)
+let transform ~name ?(params = []) ?(cpu_ns = 0) f =
+  make ~name ~params ~inputs:[ "in" ] ~outputs:[ "out" ]
+    (fun io inputs ->
+      io.cpu cpu_ns;
+      match List.assoc_opt "in" inputs with
+      | Some tok -> [ ("out", token ~origin:name (f tok.data)) ]
+      | None -> [])
+
+(* An n-ary combiner. *)
+let combine ~name ?(params = []) ?(cpu_ns = 0) ~inputs f =
+  make ~name ~params ~inputs ~outputs:[ "out" ]
+    (fun io ins ->
+      io.cpu cpu_ns;
+      let ordered = List.map (fun port -> (List.assoc port ins).data) inputs in
+      [ ("out", token ~origin:name (f ordered)) ])

@@ -1,0 +1,52 @@
+(** Workflow actors (Kepler's operators).
+
+    An actor has named ports, parameters (the NAME/TYPE/PARAMS provenance
+    of Table 1), and a firing function.  File-touching actors go through
+    the {!io} capability, which the director wires to kernel system calls
+    — keeping file I/O visible to PASS below while inter-operator token
+    traffic is visible only to the workflow layer above. *)
+
+type token = { data : string; origin : string }
+
+type io = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  cpu : int -> unit;  (** charge simulated CPU nanoseconds *)
+}
+
+type t = {
+  name : string;
+  params : (string * string) list;
+  inputs : string list;
+  outputs : string list;
+  fire : io -> (string * token) list -> (string * token) list;
+}
+
+val make :
+  name:string ->
+  ?params:(string * string) list ->
+  inputs:string list ->
+  outputs:string list ->
+  (io -> (string * token) list -> (string * token) list) ->
+  t
+
+val token : origin:string -> string -> token
+
+val file_source : name:string -> path:string -> t
+(** Reads [path] and emits its contents on port ["out"]. *)
+
+val file_sink : name:string -> path:string -> t
+(** Writes port ["in"]'s token to [path]. *)
+
+val transform :
+  name:string -> ?params:(string * string) list -> ?cpu_ns:int -> (string -> string) -> t
+(** One input, one output, pure. *)
+
+val combine :
+  name:string ->
+  ?params:(string * string) list ->
+  ?cpu_ns:int ->
+  inputs:string list ->
+  (string list -> string) ->
+  t
+(** N inputs combined in port order. *)

@@ -1,0 +1,17 @@
+(** The First Provenance Challenge fMRI workflow [paper ref 24] — the
+    workload PA-Kepler runs in the Section 3.1 / Figure 1 scenario:
+    4x align_warp → 4x reslice → softmean → 3x slicer → 3x convert,
+    producing atlas-x/y/z.gif. *)
+
+val subjects : int list
+val planes : string list
+
+val anatomy_file : input_dir:string -> int -> string
+val reference_file : input_dir:string -> string
+val atlas_file : output_dir:string -> string -> string
+
+val workflow : input_dir:string -> output_dir:string -> Workflow.t
+
+val prepare_inputs : input_dir:string -> ?tweak:string -> Actor.io -> unit
+(** Write the synthetic input data set; [tweak] varies the anatomy images
+    (used to show input sensitivity). *)

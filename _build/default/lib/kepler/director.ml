@@ -1,0 +1,65 @@
+(* The director executes a workflow: a dataflow schedule where each actor
+   fires once all its input ports hold a token.  File access of
+   source/sink actors goes through the [Actor.io] capability so the
+   system-call layer (and thus PASS) observes it, and every event is
+   reported to the configured provenance recorder. *)
+
+type result = {
+  fired : string list; (* actors in firing order *)
+  tokens_moved : int;
+}
+
+exception Stuck of string
+
+let run ?(recorder = Recorder.null) (wf : Workflow.t) (io : Actor.io) =
+  recorder.Recorder.record (Recorder.Run_started wf.wf_name);
+  List.iter
+    (fun (a : Actor.t) ->
+      recorder.Recorder.record (Recorder.Operator_created { actor = a.name; params = a.params }))
+    wf.actors;
+  (* wrap io so file events are reported with the current actor *)
+  let current = ref "" in
+  let observed_io =
+    {
+      Actor.read_file =
+        (fun path ->
+          let data = io.Actor.read_file path in
+          recorder.Recorder.record (Recorder.File_read { actor = !current; path });
+          data);
+      write_file =
+        (fun path data ->
+          io.Actor.write_file path data;
+          recorder.Recorder.record (Recorder.File_written { actor = !current; path }));
+      cpu = io.Actor.cpu;
+    }
+  in
+  let mailboxes : (string * string, Actor.token) Hashtbl.t = Hashtbl.create 32 in
+  let moved = ref 0 in
+  let fired = ref [] in
+  let fire (a : Actor.t) =
+    let inputs =
+      List.map
+        (fun port ->
+          match Hashtbl.find_opt mailboxes (a.name, port) with
+          | Some tok -> (port, tok)
+          | None -> raise (Stuck (Printf.sprintf "%s.%s never received a token" a.name port)))
+        a.inputs
+    in
+    current := a.name;
+    let outputs = a.fire observed_io inputs in
+    fired := a.name :: !fired;
+    List.iter
+      (fun (port, tok) ->
+        List.iter
+          (fun (to_actor, to_port) ->
+            incr moved;
+            recorder.Recorder.record
+              (Recorder.Transfer { from_actor = a.name; to_actor; port = to_port });
+            Hashtbl.replace mailboxes (to_actor, to_port) tok)
+          (Workflow.consumers wf ~from_actor:a.name ~from_port:port))
+      outputs
+  in
+  List.iter fire (Workflow.schedule wf);
+  recorder.Recorder.record (Recorder.Run_finished wf.wf_name);
+  recorder.Recorder.finish ();
+  { fired = List.rev !fired; tokens_moved = !moved }

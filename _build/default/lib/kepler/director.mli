@@ -1,0 +1,10 @@
+(** The director: executes a workflow as a dataflow schedule, reporting
+    every event (operator creation, token transfer, file access) to the
+    configured provenance recorder. *)
+
+type result = { fired : string list; tokens_moved : int }
+
+exception Stuck of string
+(** An actor fired before all its input ports held tokens. *)
+
+val run : ?recorder:Recorder.t -> Workflow.t -> Actor.io -> result

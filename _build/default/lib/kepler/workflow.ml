@@ -1,0 +1,82 @@
+(* A workflow: a set of actors and the channels connecting their ports. *)
+
+type link = {
+  from_actor : string;
+  from_port : string;
+  to_actor : string;
+  to_port : string;
+}
+
+type t = { wf_name : string; actors : Actor.t list; links : link list }
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let actor t name =
+  match List.find_opt (fun (a : Actor.t) -> String.equal a.name name) t.actors with
+  | Some a -> a
+  | None -> invalid "no actor named %s" name
+
+(* Validate port references and the single-writer rule for input ports. *)
+let validate t =
+  List.iter
+    (fun l ->
+      let src = actor t l.from_actor and dst = actor t l.to_actor in
+      if not (List.mem l.from_port src.outputs) then
+        invalid "%s has no output port %s" src.name l.from_port;
+      if not (List.mem l.to_port dst.inputs) then
+        invalid "%s has no input port %s" dst.name l.to_port)
+    t.links;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let key = (l.to_actor, l.to_port) in
+      if Hashtbl.mem seen key then
+        invalid "input port %s.%s has two writers" l.to_actor l.to_port;
+      Hashtbl.replace seen key ())
+    t.links;
+  (* every input port must be connected *)
+  List.iter
+    (fun (a : Actor.t) ->
+      List.iter
+        (fun port ->
+          if not (Hashtbl.mem seen (a.name, port)) then
+            invalid "input port %s.%s is unconnected" a.name port)
+        a.inputs)
+    t.actors
+
+let create ~name ~actors ~links =
+  let t = { wf_name = name; actors; links } in
+  validate t;
+  t
+
+(* Topological order of actors (the dataflow schedule). *)
+let schedule t =
+  let deps = Hashtbl.create 16 in
+  List.iter (fun (a : Actor.t) -> Hashtbl.replace deps a.name []) t.actors;
+  List.iter
+    (fun l -> Hashtbl.replace deps l.to_actor (l.from_actor :: Hashtbl.find deps l.to_actor))
+    t.links;
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit name =
+    match Hashtbl.find_opt visited name with
+    | Some `Done -> ()
+    | Some `Active -> invalid "workflow has a cycle through %s" name
+    | None ->
+        Hashtbl.replace visited name `Active;
+        List.iter visit (Hashtbl.find deps name);
+        Hashtbl.replace visited name `Done;
+        order := name :: !order
+  in
+  List.iter (fun (a : Actor.t) -> visit a.name) t.actors;
+  List.rev !order |> List.map (actor t)
+
+let consumers t ~from_actor ~from_port =
+  List.filter_map
+    (fun l ->
+      if String.equal l.from_actor from_actor && String.equal l.from_port from_port then
+        Some (l.to_actor, l.to_port)
+      else None)
+    t.links

@@ -1,0 +1,1 @@
+lib/lasagna/lasagna.ml: Hashtbl List Pass_core Printf Result String Vfs Wap_log

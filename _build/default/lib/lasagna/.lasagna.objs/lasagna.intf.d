@@ -1,0 +1,1 @@
+lib/lasagna/lasagna.mli: Pass_core Vfs

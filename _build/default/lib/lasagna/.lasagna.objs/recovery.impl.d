@@ -1,0 +1,1 @@
+lib/lasagna/recovery.ml: Format Hashtbl List Pass_core Result String Vfs Wap_log

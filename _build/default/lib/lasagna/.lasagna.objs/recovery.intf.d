@@ -1,0 +1,1 @@
+lib/lasagna/recovery.mli: Format Pass_core Vfs

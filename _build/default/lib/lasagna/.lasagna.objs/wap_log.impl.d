@@ -1,0 +1,1 @@
+lib/lasagna/wap_log.ml: Buffer Char Digest List Pass_core String Vfs Wire

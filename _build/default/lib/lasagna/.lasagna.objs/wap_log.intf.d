@@ -1,0 +1,1 @@
+lib/lasagna/wap_log.mli: Pass_core Vfs

@@ -1,0 +1,65 @@
+(** Lasagna: the provenance-aware file system (paper, Section 5.6).
+
+    A stackable layer presenting {!Vfs.ops} like any file system while also
+    implementing the DPAPI.  Provenance is written to a write-ahead log in
+    a hidden [.pass] directory on the lower file system: the provenance
+    frame (including an MD5 of the data) always reaches the log before the
+    data it describes, so unprovenanced data can never exist on disk. *)
+
+type t
+
+type stats = {
+  mutable frames_logged : int;
+  mutable prov_bytes_logged : int;
+  mutable data_bytes : int;
+  mutable rotations : int;
+}
+
+val create :
+  ?log_max:int ->
+  ?idle_ns:int ->
+  ?now:(unit -> int) ->
+  lower:Vfs.ops ->
+  ctx:Pass_core.Ctx.t ->
+  volume:string ->
+  charge:(int -> unit) ->
+  unit ->
+  t
+(** [create ~lower ~ctx ~volume ~charge ()] stacks a Lasagna instance over
+    [lower].  [charge] receives the double-buffering CPU nanoseconds the
+    stacking costs; [log_max] (default 1 MiB) bounds the active log before
+    rotation, and a log dormant for [idle_ns] (default 5 simulated
+    seconds, measured on [now]) is closed on the next append — the
+    paper's two rotation triggers. *)
+
+val ops : t -> Vfs.ops
+(** The VFS face (hides the [.pass] directory). *)
+
+val endpoint : t -> Pass_core.Dpapi.endpoint
+(** The DPAPI face: [pass_read], [pass_write], [pass_freeze] as inode
+    operations; [pass_mkobj], [pass_reviveobj] as superblock operations. *)
+
+val write_txn_bundle :
+  ?txn:int ->
+  t ->
+  Pass_core.Dpapi.handle ->
+  off:int ->
+  data:string option ->
+  Pass_core.Dpapi.bundle ->
+  (int, Pass_core.Dpapi.error) result
+(** [pass_write] with an explicit PA-NFS transaction tag (Section 6.1.2). *)
+
+val stats : t -> stats
+val volume : t -> string
+
+val file_handle : t -> Vfs.ino -> (Pass_core.Dpapi.handle, Vfs.errno) result
+(** The DPAPI handle of a file on this volume (registers the file lazily if
+    it predates stacking). *)
+
+val ino_of_pnode : t -> Pass_core.Pnode.t -> Vfs.ino option
+
+val on_log_closed : t -> (string -> Vfs.ino -> unit) -> unit
+(** Register a listener for closed logs (Waldo's simulated inotify). *)
+
+val flush_log : t -> unit
+(** Force-close the active log so listeners can drain it. *)

@@ -1,0 +1,29 @@
+(** Lasagna crash recovery.
+
+    Scans the WAP logs left on a (re-mounted) lower file system, verifies
+    the data digests of the last in-flight write per object, and reports
+    exactly the data whose provenance is inconsistent — the data that was
+    being written to disk at the time of the crash (paper, Section 5.6). *)
+
+type inconsistency = {
+  i_pnode : Pass_core.Pnode.t;
+  i_ino : Vfs.ino option;
+  i_off : int;
+  i_len : int;
+  reason : string;
+}
+
+type report = {
+  logs_scanned : int;
+  frames_ok : int;
+  torn_bytes : int;
+  data_checked : int;
+  inconsistent : inconsistency list;
+  files : (Pass_core.Pnode.t * Vfs.ino * string) list;
+  virtuals : Pass_core.Pnode.t list;
+}
+
+val scan : Vfs.ops -> (report, Vfs.errno) result
+(** [scan lower] performs recovery over the [.pass] logs on [lower]. *)
+
+val pp_report : Format.formatter -> report -> unit

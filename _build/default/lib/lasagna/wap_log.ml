@@ -1,0 +1,124 @@
+(* The write-ahead-provenance (WAP) log format (paper §5.6).
+
+   Lasagna writes all provenance to a log; a user-level daemon (Waldo)
+   later moves it into a database.  WAP is analogous to database
+   write-ahead logging: all provenance records reach the disk before the
+   data they describe, so unprovenanced data can never exist on disk.
+   Each data-carrying frame embeds an MD5 of the data, letting recovery
+   identify precisely the data that was in flight at the time of a crash.
+
+   Frame = magic, payload length, checksum, payload.  Payload kinds:
+   - Map: binds a file pnode to its inode in the lower file system
+   - Mkobj: announces a virtual (non-file) object on this volume
+   - Bundle: a DPAPI bundle, optionally with data identity (pnode, off,
+     len, md5) when the pass_write carried data, and optionally a
+     transaction id when it came in via PA-NFS transactions. *)
+
+type data_id = { d_pnode : Pass_core.Pnode.t; d_off : int; d_len : int; d_md5 : string }
+
+type frame =
+  | Map of { pnode : Pass_core.Pnode.t; ino : Vfs.ino; name : string }
+  | Mkobj of { pnode : Pass_core.Pnode.t }
+  | Bundle of { txn : int option; bundle : Pass_core.Dpapi.bundle; data : data_id option }
+
+let magic = 0x57415001 (* "WAP." *)
+
+let checksum payload =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3fffffff) payload;
+  !h
+
+let put_pnode buf p = Wire.put_i64 buf (Pass_core.Pnode.to_int p)
+let get_pnode s pos = Pass_core.Pnode.of_int (Wire.get_i64 s pos)
+
+let encode_frame fr =
+  let buf = Buffer.create 128 in
+  (match fr with
+  | Map { pnode; ino; name } ->
+      Wire.put_u8 buf 1;
+      put_pnode buf pnode;
+      Wire.put_i64 buf ino;
+      Wire.put_string buf name
+  | Mkobj { pnode } ->
+      Wire.put_u8 buf 2;
+      put_pnode buf pnode
+  | Bundle { txn; bundle; data } ->
+      Wire.put_u8 buf 3;
+      (match txn with
+      | None -> Wire.put_u8 buf 0
+      | Some id ->
+          Wire.put_u8 buf 1;
+          Wire.put_i64 buf id);
+      Pass_core.Dpapi.encode_bundle buf bundle;
+      (match data with
+      | None -> Wire.put_u8 buf 0
+      | Some { d_pnode; d_off; d_len; d_md5 } ->
+          Wire.put_u8 buf 1;
+          put_pnode buf d_pnode;
+          Wire.put_i64 buf d_off;
+          Wire.put_i64 buf d_len;
+          Wire.put_string buf d_md5));
+  let payload = Buffer.contents buf in
+  let out = Buffer.create (String.length payload + 12) in
+  Wire.put_u32 out magic;
+  Wire.put_u32 out (String.length payload);
+  Wire.put_u32 out (checksum payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let decode_payload payload =
+  let pos = ref 0 in
+  match Wire.get_u8 payload pos with
+  | 1 ->
+      let pnode = get_pnode payload pos in
+      let ino = Wire.get_i64 payload pos in
+      let name = Wire.get_string payload pos in
+      Map { pnode; ino; name }
+  | 2 -> Mkobj { pnode = get_pnode payload pos }
+  | 3 ->
+      let txn = if Wire.get_u8 payload pos = 1 then Some (Wire.get_i64 payload pos) else None in
+      let bundle = Pass_core.Dpapi.decode_bundle payload pos in
+      let data =
+        if Wire.get_u8 payload pos = 1 then begin
+          let d_pnode = get_pnode payload pos in
+          let d_off = Wire.get_i64 payload pos in
+          let d_len = Wire.get_i64 payload pos in
+          let d_md5 = Wire.get_string payload pos in
+          Some { d_pnode; d_off; d_len; d_md5 }
+        end
+        else None
+      in
+      Bundle { txn; bundle; data }
+  | n -> Wire.corrupt "WAP log: bad frame tag %d" n
+
+(* Parse a whole log image, stopping cleanly at the first torn or
+   unwritten frame (which is what a crash leaves behind).  Returns the
+   frames read and the number of bytes consumed. *)
+let parse_log image =
+  let frames = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  let len = String.length image in
+  while !ok && !pos + 12 <= len do
+    let hp = ref !pos in
+    let m = Wire.get_u32 image hp in
+    if m <> magic then ok := false
+    else begin
+      let plen = Wire.get_u32 image hp in
+      let sum = Wire.get_u32 image hp in
+      if !pos + 12 + plen > len then ok := false
+      else begin
+        let payload = String.sub image (!pos + 12) plen in
+        if checksum payload <> sum then ok := false
+        else begin
+          (match decode_payload payload with
+          | f -> frames := f :: !frames
+          | exception Wire.Corrupt _ -> ok := false);
+          if !ok then pos := !pos + 12 + plen
+        end
+      end
+    end
+  done;
+  (List.rev !frames, !pos)
+
+let md5 data = Digest.string data

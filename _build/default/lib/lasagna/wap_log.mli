@@ -1,0 +1,27 @@
+(** The write-ahead-provenance (WAP) log format.
+
+    All provenance records reach the disk before the data they describe
+    (paper, Section 5.6).  Frames are checksummed so recovery stops
+    cleanly at the first torn frame after a crash, and data-carrying
+    frames embed an MD5 of the data so recovery can identify exactly the
+    data that was in flight. *)
+
+type data_id = { d_pnode : Pass_core.Pnode.t; d_off : int; d_len : int; d_md5 : string }
+
+type frame =
+  | Map of { pnode : Pass_core.Pnode.t; ino : Vfs.ino; name : string }
+      (** binds a file's pnode to its lower-layer inode *)
+  | Mkobj of { pnode : Pass_core.Pnode.t }
+      (** announces a virtual object assigned to this volume *)
+  | Bundle of { txn : int option; bundle : Pass_core.Dpapi.bundle; data : data_id option }
+      (** a DPAPI bundle; [data] identifies the write it describes;
+          [txn] is set when it arrived inside a PA-NFS transaction *)
+
+val encode_frame : frame -> string
+
+val parse_log : string -> frame list * int
+(** [parse_log image] returns the well-formed frame prefix of [image] and
+    the number of bytes it occupies. *)
+
+val md5 : string -> string
+(** Digest used in {!data_id}. *)

@@ -1,0 +1,1 @@
+lib/palinks/browser.ml: Buffer Kernel List Option Pass_core Printf String System Vfs Web

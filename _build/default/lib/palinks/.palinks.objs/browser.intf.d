@@ -1,0 +1,1 @@
+lib/palinks/browser.mli: Pass_core System Web

@@ -1,0 +1,1 @@
+lib/palinks/web.mli:

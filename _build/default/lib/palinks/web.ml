@@ -1,0 +1,93 @@
+(* A synthetic web for the PA-links browser to crawl.
+
+   The paper's browser use cases (§3.2) need: pages with links, pages that
+   redirect, downloadable resources, third-party hosting (a download
+   linked from a page on a different site), and an attacker mutating a
+   resource in place (the malware scenario).  The generator builds a
+   deterministic site graph with all of these. *)
+
+type resource =
+  | Page of { title : string; links : string list }
+  | Download of { mutable content : string; mutable tampered : bool }
+  | Redirect of string
+
+type t = {
+  resources : (string, resource) Hashtbl.t;
+  mutable fetches : int;
+}
+
+exception Not_found_404 of string
+exception Redirect_loop of string
+
+let create () = { resources = Hashtbl.create 256; fetches = 0 }
+
+let add_page t ~url ~title ~links = Hashtbl.replace t.resources url (Page { title; links })
+
+let add_download t ~url ~content =
+  Hashtbl.replace t.resources url (Download { content; tampered = false })
+
+let add_redirect t ~url ~target = Hashtbl.replace t.resources url (Redirect target)
+
+(* Eve hacks the site: replace a download's content in place. *)
+let compromise t ~url ~payload =
+  match Hashtbl.find_opt t.resources url with
+  | Some (Download d) ->
+      d.content <- payload;
+      d.tampered <- true
+  | Some (Page _ | Redirect _) | None -> invalid_arg "Web.compromise: not a download"
+
+let is_tampered t ~url =
+  match Hashtbl.find_opt t.resources url with Some (Download d) -> d.tampered | _ -> false
+
+(* Fetch a resource, following redirects; returns the final URL too (the
+   browser records the *final* URL it landed on plus the chain). *)
+let fetch t url =
+  t.fetches <- t.fetches + 1;
+  let rec follow url hops chain =
+    if hops > 8 then raise (Redirect_loop url)
+    else
+      match Hashtbl.find_opt t.resources url with
+      | None -> raise (Not_found_404 url)
+      | Some (Redirect target) -> follow target (hops + 1) (url :: chain)
+      | Some r -> (url, List.rev chain, r)
+  in
+  follow url 0 []
+
+let links_of t url =
+  match Hashtbl.find_opt t.resources url with Some (Page p) -> p.links | _ -> []
+
+let fetch_count t = t.fetches
+
+(* --- a deterministic synthetic web --------------------------------------- *)
+
+let site_url site page = Printf.sprintf "http://site%d.example/page%d.html" site page
+let download_url site name = Printf.sprintf "http://site%d.example/files/%s" site name
+
+let synthetic ?(sites = 4) ?(pages_per_site = 6) () =
+  let t = create () in
+  for site = 0 to sites - 1 do
+    for page = 0 to pages_per_site - 1 do
+      let links =
+        (* a couple of intra-site links plus one cross-site link *)
+        [
+          site_url site ((page + 1) mod pages_per_site);
+          site_url site ((page + 2) mod pages_per_site);
+          site_url ((site + 1) mod sites) page;
+          download_url site (Printf.sprintf "doc%d.pdf" page);
+        ]
+      in
+      add_page t ~url:(site_url site page)
+        ~title:(Printf.sprintf "Site %d, page %d" site page)
+        ~links
+    done;
+    for doc = 0 to pages_per_site - 1 do
+      add_download t
+        ~url:(download_url site (Printf.sprintf "doc%d.pdf" doc))
+        ~content:(Printf.sprintf "pdf-content-site%d-doc%d" site doc)
+    done;
+    (* a short-link that redirects into the site *)
+    add_redirect t
+      ~url:(Printf.sprintf "http://short.example/s%d" site)
+      ~target:(site_url site 0)
+  done;
+  t

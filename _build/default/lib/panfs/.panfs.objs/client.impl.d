@@ -1,0 +1,1 @@
+lib/panfs/client.ml: Buffer Ext3 Hashtbl List Option Pass_core Proto Result String Vfs

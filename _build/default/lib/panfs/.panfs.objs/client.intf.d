@@ -1,0 +1,1 @@
+lib/panfs/client.mli: Pass_core Proto Vfs

@@ -1,0 +1,1 @@
+lib/panfs/proto.ml: Buffer Pass_core Simdisk Vfs Wire

@@ -1,0 +1,1 @@
+lib/panfs/proto.mli: Pass_core Simdisk Vfs

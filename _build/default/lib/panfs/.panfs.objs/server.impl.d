@@ -1,0 +1,1 @@
+lib/panfs/server.ml: Ext3 Lasagna List Option Pass_core Proto Simdisk String Vfs Waldo

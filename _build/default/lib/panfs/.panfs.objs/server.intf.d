@@ -1,0 +1,1 @@
+lib/panfs/server.mli: Ext3 Lasagna Pass_core Proto Provdb Simdisk Vfs Waldo

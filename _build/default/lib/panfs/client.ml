@@ -1,0 +1,444 @@
+(* The PA-NFS client.
+
+   Presents Vfs.ops (so it can be mounted like any file system, and so
+   Lasagna-style layering above it keeps working) and the DPAPI (so the
+   client machine's distributor can route provenance to the server volume).
+
+   Versioning (paper §6.1.2): when the client's analyzer issues a
+   pass_freeze, the client increments the version *locally* and attaches a
+   freeze record to the file, so a subsequent pass_read returns the
+   correct version without a server round trip.  The queued freeze records
+   travel to the server inside the next OP_PASSWRITE for that file, which
+   keeps freeze ordered with respect to the writes it protects.  Because
+   of NFS close-to-open consistency, two clients can produce the same
+   version number independently — version branching — which the paper
+   accepts; [test_panfs] exercises it.
+
+   Large writes (provenance + data > 64 KB) are encapsulated in
+   transactions; the individual steps are exposed so tests can simulate a
+   client crash between OP_BEGINTXN and the terminating OP_PASSWRITE. *)
+
+module Dpapi = Pass_core.Dpapi
+module Ctx = Pass_core.Ctx
+module Record = Pass_core.Record
+module Pnode = Pass_core.Pnode
+
+type stats = {
+  mutable rpcs : int;
+  mutable txns : int;
+  mutable inline_writes : int; (* pass_writes that fit in one OP_PASSWRITE *)
+}
+
+(* Write-behind buffers: the client coalesces contiguous streaming writes
+   up to the 64 KB block size before issuing one WRITE / OP_PASSWRITE, the
+   way a real NFS client's wsize batching works.  Close-to-open
+   consistency allows it: buffers are flushed before any read, getattr or
+   namespace operation. *)
+type plain_buf = { pb_ino : Vfs.ino; mutable pb_off : int; pb_data : Buffer.t }
+
+type prov_buf = {
+  vb_handle : Dpapi.handle;
+  mutable vb_off : int;
+  vb_data : Buffer.t;
+  mutable vb_bundle : Dpapi.bundle; (* reversed *)
+}
+
+type t = {
+  net : Proto.net;
+  handler : Proto.req -> Proto.resp;
+  ctx : Ctx.t; (* the client machine's context *)
+  mount_name : string; (* volume name on the client *)
+  pnode_cache : (Vfs.ino, Pnode.t) Hashtbl.t;
+  pending_freezes : (Pnode.t, Record.t list) Hashtbl.t;
+  stats : stats;
+  mutable crashed : bool;
+  mutable plain_pending : plain_buf option;
+  mutable prov_pending : prov_buf option;
+}
+
+let create ~net ~handler ~ctx ~mount_name () =
+  {
+    net; handler; ctx; mount_name;
+    pnode_cache = Hashtbl.create 256;
+    pending_freezes = Hashtbl.create 16;
+    stats = { rpcs = 0; txns = 0; inline_writes = 0 };
+    crashed = false;
+    plain_pending = None;
+    prov_pending = None;
+  }
+
+let stats t = t.stats
+
+(* Simulate the client host dying: every subsequent call fails.  Used by
+   the orphaned-transaction tests. *)
+let crash t = t.crashed <- true
+
+let call t req =
+  if t.crashed then Proto.R_err Vfs.ECRASH
+  else begin
+    t.stats.rpcs <- t.stats.rpcs + 1;
+    Proto.rpc t.net t.handler req
+  end
+
+let lift_err = function
+  | Vfs.ENOENT -> Dpapi.Enoent
+  | Vfs.EEXIST -> Dpapi.Eexist
+  | Vfs.EINVAL -> Dpapi.Einval
+  | Vfs.ESTALE | Vfs.EBADF -> Dpapi.Estale
+  | Vfs.ENOSPC -> Dpapi.Enospc
+  | Vfs.ECRASH -> Dpapi.Ecrashed
+  | Vfs.EIO | Vfs.ENOTDIR | Vfs.EISDIR | Vfs.ENOTEMPTY -> Dpapi.Eio
+
+(* --- write-behind ------------------------------------------------------------ *)
+
+let flush_plain t =
+  match t.plain_pending with
+  | None -> Ok ()
+  | Some pb ->
+      t.plain_pending <- None;
+      if Buffer.length pb.pb_data = 0 then Ok ()
+      else begin
+        match
+          call t (Proto.Write { ino = pb.pb_ino; off = pb.pb_off; data = Buffer.contents pb.pb_data })
+        with
+        | Proto.R_ok -> Ok ()
+        | Proto.R_err e -> Error e
+        | _ -> Error Vfs.EIO
+      end
+
+let buffered_plain_write t ino ~off data =
+  let fits =
+    match t.plain_pending with
+    | Some pb -> pb.pb_ino = ino && pb.pb_off + Buffer.length pb.pb_data = off
+    | None -> false
+  in
+  let ( let* ) = Result.bind in
+  let* () = if fits then Ok () else flush_plain t in
+  let pb =
+    match t.plain_pending with
+    | Some pb -> pb
+    | None ->
+        let pb = { pb_ino = ino; pb_off = off; pb_data = Buffer.create 8192 } in
+        t.plain_pending <- Some pb;
+        pb
+  in
+  Buffer.add_string pb.pb_data data;
+  (* flush at the 64 KB block size, or immediately for a non-streaming
+     (short) write *)
+  if Buffer.length pb.pb_data >= Proto.block_limit || String.length data < 4096 then
+    flush_plain t
+  else Ok ()
+
+(* --- VFS face -------------------------------------------------------------- *)
+
+let ops t : Vfs.ops =
+  let bad = Error Vfs.EIO in
+  let flush_then f =
+    match flush_plain t with Error e -> Error e | Ok () -> f ()
+  in
+  {
+    root = (fun () -> Ext3.root_ino);
+    lookup =
+      (fun ~dir name ->
+        match call t (Proto.Lookup { dir; name }) with
+        | Proto.R_ino ino -> Ok ino
+        | Proto.R_err e -> Error e
+        | _ -> bad);
+    create =
+      (fun ~dir name kind ->
+        match call t (Proto.Create { dir; name; kind }) with
+        | Proto.R_ino ino -> Ok ino
+        | Proto.R_err e -> Error e
+        | _ -> bad);
+    unlink =
+      (fun ~dir name ->
+        match call t (Proto.Remove { dir; name }) with
+        | Proto.R_ok -> Ok ()
+        | Proto.R_err e -> Error e
+        | _ -> bad);
+    rename =
+      (fun ~src_dir ~src_name ~dst_dir ~dst_name ->
+        match call t (Proto.Rename { src_dir; src_name; dst_dir; dst_name }) with
+        | Proto.R_ok -> Ok ()
+        | Proto.R_err e -> Error e
+        | _ -> bad);
+    read =
+      (fun ino ~off ~len ->
+        flush_then (fun () ->
+            match call t (Proto.Read { ino; off; len }) with
+            | Proto.R_data d -> Ok d
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    write = (fun ino ~off data -> buffered_plain_write t ino ~off data);
+    truncate =
+      (fun ino size ->
+        flush_then (fun () ->
+            match call t (Proto.Truncate { ino; size }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    getattr =
+      (fun ino ->
+        flush_then (fun () ->
+            match call t (Proto.Getattr { ino }) with
+            | Proto.R_attr st -> Ok st
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    readdir =
+      (fun ino ->
+        flush_then (fun () ->
+            match call t (Proto.Readdir { ino }) with
+            | Proto.R_names names -> Ok names
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    fsync =
+      (fun ino ->
+        flush_then (fun () ->
+            match call t (Proto.Commit { ino }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    sync = (fun () -> flush_plain t);
+  }
+
+(* --- handles ---------------------------------------------------------------- *)
+
+let file_handle t ino =
+  match Hashtbl.find_opt t.pnode_cache ino with
+  | Some p -> Ok (Dpapi.handle ~volume:t.mount_name p)
+  | None -> (
+      match call t (Proto.Op_pnode { ino }) with
+      | Proto.R_handle { pnode } ->
+          Hashtbl.replace t.pnode_cache ino pnode;
+          Ok (Dpapi.handle ~volume:t.mount_name pnode)
+      | Proto.R_err e -> Error e
+      | _ -> Error Vfs.EIO)
+
+(* --- transactions (exposed for crash tests) --------------------------------- *)
+
+let begin_txn t =
+  match call t Proto.Op_begintxn with
+  | Proto.R_txn id ->
+      t.stats.txns <- t.stats.txns + 1;
+      Ok id
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+let send_prov_chunk t ~txn chunk =
+  match call t (Proto.Op_passprov { txn; chunk }) with
+  | Proto.R_ok -> Ok ()
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+let end_txn_write t ~txn (h : Dpapi.handle) ~off ~data =
+  let endtxn =
+    [ Dpapi.entry h [ Record.make Record.Attr.endtxn (Pass_core.Pvalue.Int txn) ] ]
+  in
+  match
+    call t (Proto.Op_passwrite { pnode = h.pnode; off; data; bundle = endtxn; txn = Some txn })
+  with
+  | Proto.R_version v -> Ok v
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+(* Split a bundle into chunks whose encoded size stays under the 64 KB
+   client block size.  An entry whose own record list is oversized is
+   split into several entries for the same target. *)
+let chunk_bundle bundle =
+  let budget = Proto.block_limit - 1024 in
+  (* first explode oversized entries *)
+  let exploded =
+    List.concat_map
+      (fun (e : Dpapi.bundle_entry) ->
+        if Dpapi.bundle_size [ e ] <= budget then [ e ]
+        else begin
+          let groups = ref [] and current = ref [] and size = ref 0 in
+          List.iter
+            (fun r ->
+              let rsz =
+                let buf = Buffer.create 64 in
+                Record.encode buf r;
+                Buffer.length buf
+              in
+              if !size + rsz > budget && !current <> [] then begin
+                groups := List.rev !current :: !groups;
+                current := [];
+                size := 0
+              end;
+              current := r :: !current;
+              size := !size + rsz)
+            e.records;
+          if !current <> [] then groups := List.rev !current :: !groups;
+          List.rev_map (fun records -> Dpapi.entry e.target records) !groups
+        end)
+      bundle
+  in
+  let rec go current current_size acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | (e : Dpapi.bundle_entry) :: rest ->
+        let sz = Dpapi.bundle_size [ e ] in
+        if current <> [] && current_size + sz > budget then
+          go [ e ] sz (List.rev current :: acc) rest
+        else go (e :: current) (current_size + sz) acc rest
+  in
+  go [] 0 [] exploded
+
+(* --- DPAPI face -------------------------------------------------------------- *)
+
+let take_pending t pnode =
+  match Hashtbl.find_opt t.pending_freezes pnode with
+  | Some records ->
+      Hashtbl.remove t.pending_freezes pnode;
+      List.rev records
+  | None -> []
+
+let attach_pending t (h : Dpapi.handle) bundle =
+  let pending = take_pending t h.pnode in
+  if pending = [] then bundle else Dpapi.entry h pending :: bundle
+
+let send_passwrite t (h : Dpapi.handle) ~off ~data bundle =
+  let bundle = attach_pending t h bundle in
+  let total = Dpapi.bundle_size bundle + match data with Some d -> String.length d | None -> 0 in
+  if total <= Proto.block_limit then begin
+    t.stats.inline_writes <- t.stats.inline_writes + 1;
+    match call t (Proto.Op_passwrite { pnode = h.pnode; off; data; bundle; txn = None }) with
+    | Proto.R_version v -> Ok v
+    | Proto.R_err e -> Error (lift_err e)
+    | _ -> Error Dpapi.Eio
+  end
+  else
+    let ( let* ) = Result.bind in
+    let* txn = begin_txn t in
+    let* () =
+      List.fold_left
+        (fun acc chunk ->
+          let* () = acc in
+          send_prov_chunk t ~txn chunk)
+        (Ok ()) (chunk_bundle bundle)
+    in
+    end_txn_write t ~txn h ~off ~data
+
+(* Flush the DPAPI write-behind buffer: one OP_PASSWRITE (or transaction)
+   carrying the coalesced data and every record gathered along the way. *)
+let flush_prov t =
+  match t.prov_pending with
+  | None -> Ok 0
+  | Some vb ->
+      t.prov_pending <- None;
+      send_passwrite t vb.vb_handle ~off:vb.vb_off
+        ~data:(Some (Buffer.contents vb.vb_data))
+        (List.rev vb.vb_bundle)
+
+let pass_read t (h : Dpapi.handle) ~off ~len =
+  (match flush_prov t with Ok _ -> () | Error _ -> ());
+  (match flush_plain t with Ok () -> () | Error _ -> ());
+  match call t (Proto.Op_passread { pnode = h.pnode; off; len }) with
+  | Proto.R_passread { data; pnode; version } ->
+      Ctx.adopt t.ctx pnode ~version;
+      (* the local view may be ahead (local freezes): serve the local
+         version, no server trip needed (§6.1.2) *)
+      Ok { Dpapi.data; r_pnode = pnode; r_version = Ctx.current_version t.ctx pnode }
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+let pass_write t (h : Dpapi.handle) ~off ~data bundle =
+  let ( let* ) = Result.bind in
+  match data with
+  | None ->
+      (* provenance-only: merge into a matching pending buffer, else send
+         through directly *)
+      (match t.prov_pending with
+      | Some vb when Pnode.equal vb.vb_handle.Dpapi.pnode h.pnode ->
+          vb.vb_bundle <- List.rev_append bundle vb.vb_bundle;
+          Ok (Ctx.current_version t.ctx h.pnode)
+      | _ -> send_passwrite t h ~off ~data bundle)
+  | Some d ->
+      (* would appending [d] (plus its records) overflow the 64 KB client
+         block?  flush first so the coalesced write stays a single
+         OP_PASSWRITE (headroom for the encoded bundle) *)
+      let incoming = String.length d + Dpapi.bundle_size bundle in
+      let fits =
+        match t.prov_pending with
+        | Some vb ->
+            Pnode.equal vb.vb_handle.Dpapi.pnode h.pnode
+            && vb.vb_off + Buffer.length vb.vb_data = off
+            && Buffer.length vb.vb_data + Dpapi.bundle_size (List.rev vb.vb_bundle) + incoming
+               <= Proto.block_limit - 1024
+        | None -> false
+      in
+      let* () =
+        if fits then Ok () else match flush_prov t with Ok _ -> Ok () | Error e -> Error e
+      in
+      let vb =
+        match t.prov_pending with
+        | Some vb -> vb
+        | None ->
+            let vb = { vb_handle = h; vb_off = off; vb_data = Buffer.create 8192; vb_bundle = [] } in
+            t.prov_pending <- Some vb;
+            vb
+      in
+      Buffer.add_string vb.vb_data d;
+      vb.vb_bundle <- List.rev_append bundle vb.vb_bundle;
+      if String.length d < 4096 then
+        let* _v = flush_prov t in
+        Ok (Ctx.current_version t.ctx h.pnode)
+      else Ok (Ctx.current_version t.ctx h.pnode)
+
+let pass_freeze t (h : Dpapi.handle) =
+  let old_version = Ctx.current_version t.ctx h.pnode in
+  let version = Ctx.freeze t.ctx h.pnode in
+  let records =
+    [ Record.make Record.Attr.freeze (Pass_core.Pvalue.Int version);
+      Record.input_of h.pnode old_version ]
+  in
+  let prev = Option.value (Hashtbl.find_opt t.pending_freezes h.pnode) ~default:[] in
+  Hashtbl.replace t.pending_freezes h.pnode (List.rev_append records prev);
+  Ok version
+
+let pass_mkobj t =
+  match call t Proto.Op_passmkobj with
+  | Proto.R_handle { pnode } ->
+      Ctx.adopt t.ctx pnode ~version:0;
+      Ok (Dpapi.handle ~volume:t.mount_name pnode)
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+let pass_reviveobj t pnode version =
+  match call t (Proto.Op_passreviveobj { pnode; version }) with
+  | Proto.R_handle { pnode } -> Ok (Dpapi.handle ~volume:t.mount_name pnode)
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+let pass_sync t (h : Dpapi.handle) =
+  (* flush buffered writes and pending freeze records, then sync *)
+  let ( let*! ) r f = match r with Ok _ -> f () | Error e -> Error e in
+  let*! () = flush_prov t in
+  let pending = take_pending t h.pnode in
+  let ( let* ) = Result.bind in
+  let* () =
+    if pending = [] then Ok ()
+    else
+      match
+        call t
+          (Proto.Op_passwrite
+             { pnode = h.pnode; off = 0; data = None; bundle = [ Dpapi.entry h pending ];
+               txn = None })
+      with
+      | Proto.R_version _ -> Ok ()
+      | Proto.R_err e -> Error (lift_err e)
+      | _ -> Error Dpapi.Eio
+  in
+  match call t (Proto.Op_passsync { pnode = h.pnode }) with
+  | Proto.R_ok -> Ok ()
+  | Proto.R_err e -> Error (lift_err e)
+  | _ -> Error Dpapi.Eio
+
+let endpoint t : Dpapi.endpoint =
+  {
+    pass_read = (fun h ~off ~len -> pass_read t h ~off ~len);
+    pass_write = (fun h ~off ~data b -> pass_write t h ~off ~data b);
+    pass_freeze = (fun h -> pass_freeze t h);
+    pass_mkobj = (fun ~volume:_ -> pass_mkobj t);
+    pass_reviveobj = (fun p v -> pass_reviveobj t p v);
+    pass_sync = (fun h -> pass_sync t h);
+  }

@@ -1,0 +1,69 @@
+(** The PA-NFS client (paper, Sections 6.1.1–6.1.2).
+
+    Presents {!Vfs.ops} (mountable like any file system) and the DPAPI
+    (routable by the client machine's distributor).  Freezes are
+    client-local: the version is incremented locally and the freeze
+    record travels to the server inside the next OP_PASSWRITE for that
+    file, so [pass_read] answers with the correct version without a
+    round trip.  Writes larger than the 64 KB block size are
+    encapsulated in transactions; contiguous streaming writes are
+    coalesced up to the block size (NFS wsize write-behind), flushed
+    before any read/getattr/namespace operation (close-to-open
+    consistency). *)
+
+module Dpapi = Pass_core.Dpapi
+module Ctx = Pass_core.Ctx
+module Pnode = Pass_core.Pnode
+
+type t
+
+type stats = {
+  mutable rpcs : int;
+  mutable txns : int;
+  mutable inline_writes : int;
+}
+
+val create :
+  net:Proto.net ->
+  handler:(Proto.req -> Proto.resp) ->
+  ctx:Ctx.t ->
+  mount_name:string ->
+  unit ->
+  t
+(** [mount_name] is the volume name this client is mounted under on its
+    machine; handles it returns carry it. *)
+
+val stats : t -> stats
+
+val crash : t -> unit
+(** Simulate the client host dying: every subsequent call fails with
+    ECRASH, leaving any in-flight transaction orphaned at the server. *)
+
+val ops : t -> Vfs.ops
+val endpoint : t -> Dpapi.endpoint
+val file_handle : t -> Vfs.ino -> (Dpapi.handle, Vfs.errno) result
+
+(** {1 Transaction steps}
+
+    Exposed so tests can crash a client between OP_BEGINTXN and the
+    terminating OP_PASSWRITE; {!endpoint}'s [pass_write] drives them
+    automatically for oversized writes. *)
+
+val begin_txn : t -> (int, Dpapi.error) result
+val send_prov_chunk : t -> txn:int -> Dpapi.bundle -> (unit, Dpapi.error) result
+
+val end_txn_write :
+  t -> txn:int -> Dpapi.handle -> off:int -> data:string option ->
+  (int, Dpapi.error) result
+
+val chunk_bundle : Dpapi.bundle -> Dpapi.bundle list
+(** Split a bundle into chunks under the block size (oversized entries
+    are split across several entries for the same target). *)
+
+val pass_freeze : t -> Dpapi.handle -> (int, Dpapi.error) result
+(** Client-local freeze (no RPC); also reachable via {!endpoint}. *)
+
+val pass_read : t -> Dpapi.handle -> off:int -> len:int -> (Dpapi.read_result, Dpapi.error) result
+val pass_write :
+  t -> Dpapi.handle -> off:int -> data:string option -> Dpapi.bundle ->
+  (int, Dpapi.error) result

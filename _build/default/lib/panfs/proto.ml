@@ -1,0 +1,145 @@
+(* The PA-NFS protocol (paper §6.1): an NFSv4-flavoured operation set
+   extended with the six DPAPI operations.
+
+   Data-carrying provenance writes use OP_PASSWRITE.  When the combined
+   data and provenance exceed the client block size (64 KB), the client
+   encapsulates the write in a transaction: OP_BEGINTXN obtains a
+   transaction id, a series of OP_PASSPROV operations carries the
+   provenance in 64 KB chunks, and the final OP_PASSWRITE carries the data
+   together with a single ENDTXN record.  The transaction id is what lets
+   the server's Waldo identify orphaned provenance after a client crash.
+
+   Messages are fully encodable (the byte size drives the simulated
+   network cost); the simulated transport delivers the structured value
+   in-process rather than re-decoding it. *)
+
+module Dpapi = Pass_core.Dpapi
+module Pnode = Pass_core.Pnode
+
+type req =
+  | Lookup of { dir : Vfs.ino; name : string }
+  | Create of { dir : Vfs.ino; name : string; kind : Vfs.kind }
+  | Remove of { dir : Vfs.ino; name : string }
+  | Rename of { src_dir : Vfs.ino; src_name : string; dst_dir : Vfs.ino; dst_name : string }
+  | Getattr of { ino : Vfs.ino }
+  | Readdir of { ino : Vfs.ino }
+  | Read of { ino : Vfs.ino; off : int; len : int }
+  | Write of { ino : Vfs.ino; off : int; data : string }
+  | Truncate of { ino : Vfs.ino; size : int }
+  | Commit of { ino : Vfs.ino }
+  | Op_passread of { pnode : Pnode.t; off : int; len : int }
+  | Op_passwrite of {
+      pnode : Pnode.t;
+      off : int;
+      data : string option;
+      bundle : Dpapi.bundle;
+      txn : int option; (* set when this write terminates a transaction *)
+    }
+  | Op_begintxn
+  | Op_passprov of { txn : int; chunk : Dpapi.bundle }
+  | Op_passmkobj
+  | Op_passreviveobj of { pnode : Pnode.t; version : int }
+  | Op_passsync of { pnode : Pnode.t }
+  | Op_pnode of { ino : Vfs.ino } (* pnode lookup for the client handle cache *)
+
+type resp =
+  | R_err of Vfs.errno
+  | R_ino of Vfs.ino
+  | R_ok
+  | R_attr of Vfs.stat
+  | R_names of string list
+  | R_data of string
+  | R_passread of { data : string; pnode : Pnode.t; version : int }
+  | R_version of int
+  | R_txn of int
+  | R_handle of { pnode : Pnode.t }
+
+(* 64 KB: the NFSv4 client block size that triggers transactions. *)
+let block_limit = 65536
+
+let kind_tag = function Vfs.Regular -> 0 | Vfs.Directory -> 1
+
+let encode_req buf req =
+  let open Wire in
+  match req with
+  | Lookup { dir; name } ->
+      put_u8 buf 1; put_i64 buf dir; put_string buf name
+  | Create { dir; name; kind } ->
+      put_u8 buf 2; put_i64 buf dir; put_string buf name; put_u8 buf (kind_tag kind)
+  | Remove { dir; name } -> put_u8 buf 3; put_i64 buf dir; put_string buf name
+  | Rename { src_dir; src_name; dst_dir; dst_name } ->
+      put_u8 buf 4; put_i64 buf src_dir; put_string buf src_name;
+      put_i64 buf dst_dir; put_string buf dst_name
+  | Getattr { ino } -> put_u8 buf 5; put_i64 buf ino
+  | Readdir { ino } -> put_u8 buf 6; put_i64 buf ino
+  | Read { ino; off; len } -> put_u8 buf 7; put_i64 buf ino; put_i64 buf off; put_i64 buf len
+  | Write { ino; off; data } -> put_u8 buf 8; put_i64 buf ino; put_i64 buf off; put_string buf data
+  | Truncate { ino; size } -> put_u8 buf 9; put_i64 buf ino; put_i64 buf size
+  | Commit { ino } -> put_u8 buf 10; put_i64 buf ino
+  | Op_passread { pnode; off; len } ->
+      put_u8 buf 20; put_i64 buf (Pnode.to_int pnode); put_i64 buf off; put_i64 buf len
+  | Op_passwrite { pnode; off; data; bundle; txn } ->
+      put_u8 buf 21;
+      put_i64 buf (Pnode.to_int pnode);
+      put_i64 buf off;
+      (match data with
+      | None -> put_u8 buf 0
+      | Some d -> put_u8 buf 1; put_string buf d);
+      Dpapi.encode_bundle buf bundle;
+      (match txn with None -> put_u8 buf 0 | Some id -> put_u8 buf 1; put_i64 buf id)
+  | Op_begintxn -> put_u8 buf 22
+  | Op_passprov { txn; chunk } ->
+      put_u8 buf 23; put_i64 buf txn; Dpapi.encode_bundle buf chunk
+  | Op_passmkobj -> put_u8 buf 24
+  | Op_passreviveobj { pnode; version } ->
+      put_u8 buf 25; put_i64 buf (Pnode.to_int pnode); put_i64 buf version
+  | Op_passsync { pnode } -> put_u8 buf 26; put_i64 buf (Pnode.to_int pnode)
+  | Op_pnode { ino } -> put_u8 buf 27; put_i64 buf ino
+
+let encode_resp buf resp =
+  let open Wire in
+  match resp with
+  | R_err e -> put_u8 buf 1; put_string buf (Vfs.errno_to_string e)
+  | R_ino ino -> put_u8 buf 2; put_i64 buf ino
+  | R_ok -> put_u8 buf 3
+  | R_attr st ->
+      put_u8 buf 4; put_i64 buf st.Vfs.st_ino; put_u8 buf (kind_tag st.st_kind);
+      put_i64 buf st.st_size
+  | R_names names -> put_u8 buf 5; put_list buf put_string names
+  | R_data d -> put_u8 buf 6; put_string buf d
+  | R_passread { data; pnode; version } ->
+      put_u8 buf 7; put_string buf data; put_i64 buf (Pnode.to_int pnode); put_i64 buf version
+  | R_version v -> put_u8 buf 8; put_i64 buf v
+  | R_txn id -> put_u8 buf 9; put_i64 buf id
+  | R_handle { pnode } -> put_u8 buf 10; put_i64 buf (Pnode.to_int pnode)
+
+let req_size req =
+  let buf = Buffer.create 64 in
+  encode_req buf req;
+  Buffer.length buf
+
+let resp_size resp =
+  let buf = Buffer.create 64 in
+  encode_resp buf resp;
+  Buffer.length buf
+
+(* The simulated network: a synchronous RPC charges one round trip of
+   latency plus transfer at the link rate to the shared clock. *)
+type net = {
+  clock : Simdisk.Clock.t;
+  latency_ns : int; (* one-way *)
+  ns_per_byte : int;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let net ?(latency_us = 150) ?(ns_per_byte = 8) clock =
+  { clock; latency_ns = Simdisk.Clock.ns_of_us latency_us; ns_per_byte; messages = 0; bytes = 0 }
+
+let rpc net handler req =
+  let resp = handler req in
+  let bytes = req_size req + resp_size resp in
+  net.messages <- net.messages + 1;
+  net.bytes <- net.bytes + bytes;
+  Simdisk.Clock.advance net.clock ((2 * net.latency_ns) + (bytes * net.ns_per_byte));
+  resp

@@ -1,0 +1,72 @@
+(** The PA-NFS protocol (paper, Section 6.1).
+
+    An NFSv4-flavoured operation set extended with the six DPAPI
+    operations: [OP_PASSREAD], [OP_PASSWRITE], [OP_BEGINTXN],
+    [OP_PASSPROV], [OP_PASSMKOBJ], [OP_PASSREVIVEOBJ], [OP_PASSSYNC].
+    When provenance plus data exceed the 64 KB client block size, the
+    client encapsulates the write in a transaction so the server's Waldo
+    can identify orphaned provenance after a client crash. *)
+
+module Dpapi = Pass_core.Dpapi
+module Pnode = Pass_core.Pnode
+
+type req =
+  | Lookup of { dir : Vfs.ino; name : string }
+  | Create of { dir : Vfs.ino; name : string; kind : Vfs.kind }
+  | Remove of { dir : Vfs.ino; name : string }
+  | Rename of { src_dir : Vfs.ino; src_name : string; dst_dir : Vfs.ino; dst_name : string }
+  | Getattr of { ino : Vfs.ino }
+  | Readdir of { ino : Vfs.ino }
+  | Read of { ino : Vfs.ino; off : int; len : int }
+  | Write of { ino : Vfs.ino; off : int; data : string }
+  | Truncate of { ino : Vfs.ino; size : int }
+  | Commit of { ino : Vfs.ino }
+  | Op_passread of { pnode : Pnode.t; off : int; len : int }
+  | Op_passwrite of {
+      pnode : Pnode.t;
+      off : int;
+      data : string option;
+      bundle : Dpapi.bundle;
+      txn : int option;
+    }
+  | Op_begintxn
+  | Op_passprov of { txn : int; chunk : Dpapi.bundle }
+  | Op_passmkobj
+  | Op_passreviveobj of { pnode : Pnode.t; version : int }
+  | Op_passsync of { pnode : Pnode.t }
+  | Op_pnode of { ino : Vfs.ino }
+
+type resp =
+  | R_err of Vfs.errno
+  | R_ino of Vfs.ino
+  | R_ok
+  | R_attr of Vfs.stat
+  | R_names of string list
+  | R_data of string
+  | R_passread of { data : string; pnode : Pnode.t; version : int }
+  | R_version of int
+  | R_txn of int
+  | R_handle of { pnode : Pnode.t }
+
+val block_limit : int
+(** 64 KB: the client block size that triggers transactions. *)
+
+val req_size : req -> int
+(** Encoded size in bytes (drives the simulated network cost). *)
+
+val resp_size : resp -> int
+
+type net = {
+  clock : Simdisk.Clock.t;
+  latency_ns : int;
+  ns_per_byte : int;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+val net : ?latency_us:int -> ?ns_per_byte:int -> Simdisk.Clock.t -> net
+(** A simulated LAN link; defaults approximate 2009-era gigabit. *)
+
+val rpc : net -> (req -> resp) -> req -> resp
+(** Synchronous RPC: invokes the handler and charges one round trip of
+    latency plus transfer to the shared clock. *)

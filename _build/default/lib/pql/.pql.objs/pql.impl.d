@@ -1,0 +1,1 @@
+lib/pql/pql.ml: Format List Option Pass_core Pql_ast Pql_eval Pql_lexer Pql_parser Printf Provdb String

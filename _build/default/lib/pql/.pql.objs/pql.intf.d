@@ -1,0 +1,1 @@
+lib/pql/pql.mli: Format Pass_core Pql_ast Pql_eval Provdb

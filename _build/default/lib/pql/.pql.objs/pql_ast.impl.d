@@ -1,0 +1,1 @@
+lib/pql/pql_ast.ml: Format

@@ -1,0 +1,1 @@
+lib/pql/pql_eval.ml: Bool Hashtbl List Option Pass_core Pql_ast Printf Provdb String

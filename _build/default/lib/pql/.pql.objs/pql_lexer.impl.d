@@ -1,0 +1,1 @@
+lib/pql/pql_lexer.ml: Buffer List Printf String

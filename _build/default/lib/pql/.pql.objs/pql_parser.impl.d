@@ -1,0 +1,1 @@
+lib/pql/pql_parser.ml: Array List Pql_ast Pql_lexer Printf String

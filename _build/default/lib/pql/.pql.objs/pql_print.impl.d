@@ -1,0 +1,1 @@
+lib/pql/pql_print.ml: Buffer List Pql_ast Printf

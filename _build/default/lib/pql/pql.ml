@@ -1,0 +1,81 @@
+(* PQL front end: parse, evaluate, render.
+
+   The typical query returns a set of values; nodes render as
+   name(pnode.version) so results are readable in examples and the CLI. *)
+
+module Pnode = Pass_core.Pnode
+module Pvalue = Pass_core.Pvalue
+
+type result = { columns : string list; rows : Pql_eval.item list list }
+
+exception Error of string
+
+let parse input =
+  try Pql_parser.parse input with
+  | Pql_parser.Error msg -> raise (Error ("parse error: " ^ msg))
+  | Pql_lexer.Error (msg, pos) ->
+      raise (Error (Printf.sprintf "lex error at %d: %s" pos msg))
+
+let rec column_name = function
+  | Pql_ast.O_expr (Pql_ast.Var v) -> v
+  | Pql_ast.O_expr (Pql_ast.Attr (v, a)) -> v ^ "." ^ a
+  | Pql_ast.O_expr (Pql_ast.Lit _) -> "literal"
+  | Pql_ast.O_agg (agg, e) ->
+      let f =
+        match agg with
+        | Pql_ast.Count -> "count"
+        | Pql_ast.Sum -> "sum"
+        | Pql_ast.Min -> "min"
+        | Pql_ast.Max -> "max"
+        | Pql_ast.Avg -> "avg"
+      in
+      Printf.sprintf "%s(%s)" f (column_name (Pql_ast.O_expr e))
+
+let query db input =
+  let q = parse input in
+  let rows = try Pql_eval.run db q with Pql_eval.Error msg -> raise (Error msg) in
+  { columns = List.map column_name q.select; rows }
+
+let render_item db = function
+  | Pql_eval.Value (Pvalue.Str s) -> s
+  | Pql_eval.Value (Pvalue.Int i) -> string_of_int i
+  | Pql_eval.Value (Pvalue.Bool b) -> string_of_bool b
+  | Pql_eval.Value (Pvalue.Bytes b) -> Printf.sprintf "<%d bytes>" (String.length b)
+  | Pql_eval.Value (Pvalue.Strs l) -> "[" ^ String.concat " " l ^ "]"
+  | Pql_eval.Value (Pvalue.Xref x) ->
+      Printf.sprintf "%s.%d"
+        (Option.value (Provdb.name_of db x.pnode) ~default:(Format.asprintf "%a" Pnode.pp x.pnode))
+        x.version
+  | Pql_eval.Node (p, v) ->
+      Printf.sprintf "%s.%d"
+        (Option.value (Provdb.name_of db p) ~default:(Format.asprintf "%a" Pnode.pp p))
+        v
+
+let render db result =
+  List.map (fun row -> List.map (render_item db) row) result.rows
+
+let pp db ppf result =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " result.columns);
+  List.iter
+    (fun row -> Format.fprintf ppf "%s@," (String.concat " | " (List.map (render_item db) row)))
+    result.rows;
+  Format.fprintf ppf "(%d rows)@]" (List.length result.rows)
+
+(* Convenience used by examples and tests: the set of node names a
+   single-column query returns. *)
+let names db input =
+  let r = query db input in
+  List.filter_map
+    (fun row ->
+      match row with
+      | [ Pql_eval.Node (p, _) ] -> Provdb.name_of db p
+      | [ Pql_eval.Value (Pvalue.Str s) ] -> Some s
+      | _ -> None)
+    r.rows
+  |> List.sort_uniq String.compare
+
+(* The set of distinct node pnodes a single-column query returns. *)
+let nodes db input =
+  let r = query db input in
+  List.filter_map (fun row -> match row with [ Pql_eval.Node (p, _) ] -> Some p | _ -> None) r.rows
+  |> List.sort_uniq Pnode.compare

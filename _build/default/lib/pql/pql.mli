@@ -1,0 +1,31 @@
+(** PQL front end (paper, Section 5.7).
+
+    The general structure of a PQL query is
+    [select outputs from sources where condition]: sources are path
+    expressions bound with [as]; path matching uses regular expressions
+    over graph edges ([*], [+], [?], [( | )], [^] for inversion, [_] for
+    any edge); conditions are boolean predicates with subqueries
+    ([exists], [in]) and aggregation ([count]/[sum]/[min]/[max]/[avg]);
+    [order by] and [limit] prune results. *)
+
+type result = { columns : string list; rows : Pql_eval.item list list }
+
+exception Error of string
+
+val parse : string -> Pql_ast.query
+(** @raise Error on lexing or parsing failure. *)
+
+val query : Provdb.t -> string -> result
+(** Parse and evaluate.  @raise Error. *)
+
+val render_item : Provdb.t -> Pql_eval.item -> string
+(** Nodes render as [name.version]. *)
+
+val render : Provdb.t -> result -> string list list
+val pp : Provdb.t -> Format.formatter -> result -> unit
+
+val names : Provdb.t -> string -> string list
+(** The sorted, distinct node names a single-column query returns —
+    the convenience used throughout examples and tests. *)
+
+val nodes : Provdb.t -> string -> Pass_core.Pnode.t list

@@ -1,0 +1,207 @@
+(* Hand-written tokenizer for PQL.  Keywords are case-insensitive, like the
+   SQL family; identifiers keep their spelling (attribute matching
+   upcases separately). *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | AS
+  | AND
+  | OR
+  | NOT
+  | EXISTS
+  | IN
+  | DISTINCT
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | LIMIT
+  | COUNT
+  | SUM
+  | MIN
+  | MAX
+  | AVG
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | DOT
+  | COMMA
+  | STAR
+  | PLUS
+  | QMARK
+  | PIPE
+  | CARET
+  | UNDERSCORE
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | TILDE
+  | EOF
+
+exception Error of string * int (* message, position *)
+
+let keyword_of s =
+  match String.lowercase_ascii s with
+  | "select" -> Some SELECT
+  | "from" -> Some FROM
+  | "where" -> Some WHERE
+  | "as" -> Some AS
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "exists" -> Some EXISTS
+  | "in" -> Some IN
+  | "distinct" -> Some DISTINCT
+  | "limit" -> Some LIMIT
+  | "order" -> Some ORDER
+  | "by" -> Some BY
+  | "asc" -> Some ASC
+  | "desc" -> Some DESC
+  | "count" -> Some COUNT
+  | "sum" -> Some SUM
+  | "min" -> Some MIN
+  | "max" -> Some MAX
+  | "avg" -> Some AVG
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      (* -- line comment *)
+      while !i < n && input.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do incr i done;
+      let word = String.sub input start (!i - start) in
+      (* `_` alone is the any-edge wildcard *)
+      if String.equal word "_" then emit UNDERSCORE
+      else
+        match keyword_of word with Some k -> emit k | None -> emit (IDENT word)
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do incr i done;
+      emit (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while !i < n && not !closed do
+        let d = input.[!i] in
+        if d = quote then begin
+          closed := true;
+          incr i
+        end
+        else if d = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf input.[!i + 1];
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf d;
+          incr i
+        end
+      done;
+      if not !closed then raise (Error ("unterminated string", n));
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "!=" | "<>" ->
+          emit NEQ;
+          i := !i + 2
+      | "<=" ->
+          emit LE;
+          i := !i + 2
+      | ">=" ->
+          emit GE;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '.' -> emit DOT
+          | ',' -> emit COMMA
+          | '*' -> emit STAR
+          | '+' -> emit PLUS
+          | '?' -> emit QMARK
+          | '|' -> emit PIPE
+          | '^' -> emit CARET
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | '=' -> emit EQ
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | '~' -> emit TILDE
+          | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !i - 1)))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | SELECT -> "select"
+  | FROM -> "from"
+  | WHERE -> "where"
+  | AS -> "as"
+  | AND -> "and"
+  | OR -> "or"
+  | NOT -> "not"
+  | EXISTS -> "exists"
+  | IN -> "in"
+  | DISTINCT -> "distinct"
+  | LIMIT -> "limit"
+  | ORDER -> "order"
+  | BY -> "by"
+  | ASC -> "asc"
+  | DESC -> "desc"
+  | COUNT -> "count"
+  | SUM -> "sum"
+  | MIN -> "min"
+  | MAX -> "max"
+  | AVG -> "avg"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | INT i -> string_of_int i
+  | DOT -> "."
+  | COMMA -> ","
+  | STAR -> "*"
+  | PLUS -> "+"
+  | QMARK -> "?"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | UNDERSCORE -> "_"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | TILDE -> "~"
+  | EOF -> "<eof>"

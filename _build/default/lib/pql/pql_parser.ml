@@ -1,0 +1,322 @@
+(* Recursive-descent parser for PQL.
+
+   Notable grammar points, following the paper's sample query:
+   - sources in the FROM clause may be separated by commas *or* simply
+     juxtaposed (the paper writes one per line with no separator);
+   - every source is bound with `as` (paths are first-class: the binder
+     names the set of endpoints the path reaches);
+   - path operators *, +, ? bind tighter than `.` sequencing; grouping and
+     alternation use parentheses, inversion uses ^. *)
+
+open Pql_ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type state = { tokens : Pql_lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1) else Pql_lexer.EOF
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s but found %s" (Pql_lexer.token_to_string tok) (Pql_lexer.token_to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Pql_lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail "expected identifier, found %s" (Pql_lexer.token_to_string t)
+
+(* --- path expressions ----------------------------------------------------- *)
+
+let rec parse_path_alt st =
+  let first = parse_path_seq st in
+  let rec loop acc =
+    if peek st = Pql_lexer.PIPE then begin
+      advance st;
+      loop (Alt (acc, parse_path_seq st))
+    end
+    else acc
+  in
+  loop first
+
+and parse_path_seq st =
+  let first = parse_path_term st in
+  let rec loop acc =
+    (* sequencing continues over '.' when followed by a path atom *)
+    match (peek st, peek2 st) with
+    | Pql_lexer.DOT, (Pql_lexer.IDENT _ | Pql_lexer.CARET | Pql_lexer.UNDERSCORE | Pql_lexer.LPAREN) ->
+        advance st;
+        loop (Seq (acc, parse_path_term st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_path_term st =
+  let atom = parse_path_atom st in
+  let rec quantify acc =
+    match peek st with
+    | Pql_lexer.STAR ->
+        advance st;
+        quantify (Star acc)
+    | Pql_lexer.PLUS ->
+        advance st;
+        quantify (Plus acc)
+    | Pql_lexer.QMARK ->
+        advance st;
+        quantify (Opt acc)
+    | _ -> acc
+  in
+  quantify atom
+
+and parse_path_atom st =
+  match peek st with
+  | Pql_lexer.IDENT name ->
+      advance st;
+      Edge (Forward name)
+  | Pql_lexer.CARET ->
+      advance st;
+      Edge (Inverse (expect_ident st))
+  | Pql_lexer.UNDERSCORE ->
+      advance st;
+      Edge Any_edge
+  | Pql_lexer.LPAREN ->
+      advance st;
+      let p = parse_path_alt st in
+      expect st Pql_lexer.RPAREN;
+      p
+  | t -> fail "expected a path step, found %s" (Pql_lexer.token_to_string t)
+
+(* --- sources -------------------------------------------------------------- *)
+
+let parse_source st =
+  let first = expect_ident st in
+  let root, path =
+    if String.lowercase_ascii first = "provenance" then begin
+      expect st Pql_lexer.DOT;
+      let cls = expect_ident st in
+      let root =
+        match String.lowercase_ascii cls with
+        | "file" | "files" -> Root_files
+        | "process" | "processes" -> Root_processes
+        | "object" | "objects" | "node" | "nodes" -> Root_objects
+        | other -> fail "unknown provenance class %S" other
+      in
+      let path =
+        match (peek st, peek2 st) with
+        | Pql_lexer.DOT, (Pql_lexer.IDENT _ | Pql_lexer.CARET | Pql_lexer.UNDERSCORE | Pql_lexer.LPAREN) ->
+            advance st;
+            Some (parse_path_alt st)
+        | _ -> None
+      in
+      (root, path)
+    end
+    else begin
+      let path =
+        match (peek st, peek2 st) with
+        | Pql_lexer.DOT, (Pql_lexer.IDENT _ | Pql_lexer.CARET | Pql_lexer.UNDERSCORE | Pql_lexer.LPAREN) ->
+            advance st;
+            Some (parse_path_alt st)
+        | _ -> None
+      in
+      (Root_var first, path)
+    end
+  in
+  expect st Pql_lexer.AS;
+  let binder = expect_ident st in
+  { root; path; binder }
+
+let parse_sources st =
+  let rec loop acc =
+    let src = parse_source st in
+    let acc = src :: acc in
+    match peek st with
+    | Pql_lexer.COMMA ->
+        advance st;
+        loop acc
+    | Pql_lexer.IDENT _ -> loop acc (* juxtaposed sources, as in the paper *)
+    | _ -> List.rev acc
+  in
+  loop []
+
+(* --- expressions and conditions ------------------------------------------- *)
+
+let parse_expr st =
+  match peek st with
+  | Pql_lexer.STRING s ->
+      advance st;
+      Lit (L_str s)
+  | Pql_lexer.INT i ->
+      advance st;
+      Lit (L_int i)
+  | Pql_lexer.TRUE ->
+      advance st;
+      Lit (L_bool true)
+  | Pql_lexer.FALSE ->
+      advance st;
+      Lit (L_bool false)
+  | Pql_lexer.IDENT v -> (
+      advance st;
+      match (peek st, peek2 st) with
+      | Pql_lexer.DOT, Pql_lexer.IDENT _ ->
+          advance st;
+          let attr = expect_ident st in
+          Attr (v, attr)
+      | _ -> Var v)
+  | t -> fail "expected expression, found %s" (Pql_lexer.token_to_string t)
+
+let cmp_of_token = function
+  | Pql_lexer.EQ -> Some Eq
+  | Pql_lexer.NEQ -> Some Neq
+  | Pql_lexer.LT -> Some Lt
+  | Pql_lexer.LE -> Some Le
+  | Pql_lexer.GT -> Some Gt
+  | Pql_lexer.GE -> Some Ge
+  | Pql_lexer.TILDE -> Some Like
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let first = parse_and st in
+  let rec loop acc =
+    if peek st = Pql_lexer.OR then begin
+      advance st;
+      loop (Or (acc, parse_and st))
+    end
+    else acc
+  in
+  loop first
+
+and parse_and st =
+  let first = parse_not st in
+  let rec loop acc =
+    if peek st = Pql_lexer.AND then begin
+      advance st;
+      loop (And (acc, parse_not st))
+    end
+    else acc
+  in
+  loop first
+
+and parse_not st =
+  if peek st = Pql_lexer.NOT then begin
+    advance st;
+    Not (parse_not st)
+  end
+  else parse_primary_cond st
+
+and parse_primary_cond st =
+  match peek st with
+  | Pql_lexer.EXISTS ->
+      advance st;
+      expect st Pql_lexer.LPAREN;
+      let q = parse_query st in
+      expect st Pql_lexer.RPAREN;
+      Exists q
+  | Pql_lexer.LPAREN when peek2 st <> Pql_lexer.SELECT ->
+      advance st;
+      let c = parse_cond st in
+      expect st Pql_lexer.RPAREN;
+      c
+  | _ -> (
+      let lhs = parse_expr st in
+      match peek st with
+      | Pql_lexer.IN ->
+          advance st;
+          expect st Pql_lexer.LPAREN;
+          let q = parse_query st in
+          expect st Pql_lexer.RPAREN;
+          In_query (lhs, q)
+      | t -> (
+          match cmp_of_token t with
+          | Some op ->
+              advance st;
+              Cmp (lhs, op, parse_expr st)
+          | None -> fail "expected comparison, found %s" (Pql_lexer.token_to_string t)))
+
+(* --- outputs and the query ------------------------------------------------ *)
+
+and parse_output st =
+  let agg =
+    match peek st with
+    | Pql_lexer.COUNT -> Some Count
+    | Pql_lexer.SUM -> Some Sum
+    | Pql_lexer.MIN -> Some Min
+    | Pql_lexer.MAX -> Some Max
+    | Pql_lexer.AVG -> Some Avg
+    | _ -> None
+  in
+  match agg with
+  | Some a ->
+      advance st;
+      expect st Pql_lexer.LPAREN;
+      let e = parse_expr st in
+      expect st Pql_lexer.RPAREN;
+      O_agg (a, e)
+  | None -> O_expr (parse_expr st)
+
+and parse_query st =
+  expect st Pql_lexer.SELECT;
+  if peek st = Pql_lexer.DISTINCT then advance st;
+  let first = parse_output st in
+  let rec more acc =
+    if peek st = Pql_lexer.COMMA then begin
+      advance st;
+      more (parse_output st :: acc)
+    end
+    else List.rev acc
+  in
+  let select = more [ first ] in
+  expect st Pql_lexer.FROM;
+  let froms = parse_sources st in
+  let where =
+    if peek st = Pql_lexer.WHERE then begin
+      advance st;
+      Some (parse_cond st)
+    end
+    else None
+  in
+  let order =
+    if peek st = Pql_lexer.ORDER then begin
+      advance st;
+      expect st Pql_lexer.BY;
+      let e = parse_expr st in
+      let descending =
+        match peek st with
+        | Pql_lexer.DESC ->
+            advance st;
+            true
+        | Pql_lexer.ASC ->
+            advance st;
+            false
+        | _ -> false
+      in
+      Some (e, descending)
+    end
+    else None
+  in
+  let limit =
+    if peek st = Pql_lexer.LIMIT then begin
+      advance st;
+      match peek st with
+      | Pql_lexer.INT n ->
+          advance st;
+          Some n
+      | t -> fail "limit expects an integer, found %s" (Pql_lexer.token_to_string t)
+    end
+    else None
+  in
+  { select; froms; where; order; limit }
+
+let parse input =
+  let tokens = Array.of_list (Pql_lexer.tokenize input) in
+  let st = { tokens; pos = 0 } in
+  let q = parse_query st in
+  if peek st <> Pql_lexer.EOF then
+    fail "trailing tokens after query: %s" (Pql_lexer.token_to_string (peek st));
+  q

@@ -1,0 +1,162 @@
+(* Pretty-printer for PQL ASTs: parse (print q) == q, which gives the
+   parser a strong round-trip property test and the CLI a way to echo
+   normalized queries. *)
+
+open Pql_ast
+
+let rec print_path buf p =
+  match p with
+  | Edge (Forward a) -> Buffer.add_string buf a
+  | Edge (Inverse a) ->
+      Buffer.add_char buf '^';
+      Buffer.add_string buf a
+  | Edge Any_edge -> Buffer.add_char buf '_'
+  | Seq (a, b) ->
+      print_path_tight buf a;
+      Buffer.add_char buf '.';
+      print_path_tight buf b
+  | Alt (a, b) ->
+      Buffer.add_char buf '(';
+      print_path buf a;
+      Buffer.add_char buf '|';
+      print_path buf b;
+      Buffer.add_char buf ')'
+  | Star p ->
+      print_path_tight buf p;
+      Buffer.add_char buf '*'
+  | Plus p ->
+      print_path_tight buf p;
+      Buffer.add_char buf '+'
+  | Opt p ->
+      print_path_tight buf p;
+      Buffer.add_char buf '?'
+
+(* operands of quantifiers and '.' need parens when composite *)
+and print_path_tight buf p =
+  match p with
+  | Edge _ | Alt _ (* Alt prints its own parens *) -> print_path buf p
+  | Star _ | Plus _ | Opt _ -> print_path buf p
+  | Seq _ ->
+      Buffer.add_char buf '(';
+      print_path buf p;
+      Buffer.add_char buf ')'
+
+let print_root buf = function
+  | Root_files -> Buffer.add_string buf "Provenance.file"
+  | Root_processes -> Buffer.add_string buf "Provenance.process"
+  | Root_objects -> Buffer.add_string buf "Provenance.object"
+  | Root_var v -> Buffer.add_string buf v
+
+let print_source buf (s : source) =
+  print_root buf s.root;
+  (match s.path with
+  | Some p ->
+      Buffer.add_char buf '.';
+      print_path buf p
+  | None -> ());
+  Buffer.add_string buf " as ";
+  Buffer.add_string buf s.binder
+
+let print_expr buf = function
+  | Var v -> Buffer.add_string buf v
+  | Attr (v, a) ->
+      Buffer.add_string buf v;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf a
+  | Lit (L_str s) -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Lit (L_int i) -> Buffer.add_string buf (string_of_int i)
+  | Lit (L_bool b) -> Buffer.add_string buf (if b then "true" else "false")
+
+let cmp_str = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Like -> "~"
+
+let rec print_cond buf = function
+  | Cmp (a, op, b) ->
+      print_expr buf a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (cmp_str op);
+      Buffer.add_char buf ' ';
+      print_expr buf b
+  | And (a, b) ->
+      print_cond_paren buf a;
+      Buffer.add_string buf " and ";
+      print_cond_paren buf b
+  | Or (a, b) ->
+      print_cond_paren buf a;
+      Buffer.add_string buf " or ";
+      print_cond_paren buf b
+  | Not c ->
+      Buffer.add_string buf "not ";
+      print_cond_paren buf c
+  | Exists q ->
+      Buffer.add_string buf "exists (";
+      print_query buf q;
+      Buffer.add_char buf ')'
+  | In_query (e, q) ->
+      print_expr buf e;
+      Buffer.add_string buf " in (";
+      print_query buf q;
+      Buffer.add_char buf ')'
+
+and print_cond_paren buf c =
+  match c with
+  | Cmp _ | Exists _ | In_query _ | Not _ -> print_cond buf c
+  | And _ | Or _ ->
+      Buffer.add_char buf '(';
+      print_cond buf c;
+      Buffer.add_char buf ')'
+
+and print_output buf = function
+  | O_expr e -> print_expr buf e
+  | O_agg (agg, e) ->
+      Buffer.add_string buf
+        (match agg with
+        | Count -> "count"
+        | Sum -> "sum"
+        | Min -> "min"
+        | Max -> "max"
+        | Avg -> "avg");
+      Buffer.add_char buf '(';
+      print_expr buf e;
+      Buffer.add_char buf ')'
+
+and print_query buf (q : query) =
+  Buffer.add_string buf "select ";
+  List.iteri
+    (fun i o ->
+      if i > 0 then Buffer.add_string buf ", ";
+      print_output buf o)
+    q.select;
+  Buffer.add_string buf " from ";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ", ";
+      print_source buf s)
+    q.froms;
+  (match q.where with
+  | Some c ->
+      Buffer.add_string buf " where ";
+      print_cond buf c
+  | None -> ());
+  (match q.order with
+  | Some (e, descending) ->
+      Buffer.add_string buf " order by ";
+      print_expr buf e;
+      Buffer.add_string buf (if descending then " desc" else " asc")
+  | None -> ());
+  match q.limit with
+  | Some n ->
+      Buffer.add_string buf " limit ";
+      Buffer.add_string buf (string_of_int n)
+  | None -> ()
+
+let to_string q =
+  let buf = Buffer.create 128 in
+  print_query buf q;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/pyth/provwrap.ml: Hashtbl List Option Pass_core Printf Pyth_interp Pyth_value

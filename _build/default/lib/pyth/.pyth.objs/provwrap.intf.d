@@ -1,0 +1,1 @@
+lib/pyth/provwrap.mli: Pass_core Pyth_interp

@@ -1,0 +1,1 @@
+lib/pyth/pyth.ml: Buffer Kernel Pass_core Printf Provwrap Pyth_builtins Pyth_interp Pyth_value String System Vfs

@@ -1,0 +1,1 @@
+lib/pyth/pyth.mli: Buffer Provwrap Pyth_interp Pyth_value System Vfs

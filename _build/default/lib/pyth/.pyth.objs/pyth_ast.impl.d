@@ -1,0 +1,1 @@
+lib/pyth/pyth_ast.ml:

@@ -1,0 +1,1 @@
+lib/pyth/pyth_builtins.ml: Buffer Float Hashtbl List Printf Pyth_interp Pyth_value String Sxml

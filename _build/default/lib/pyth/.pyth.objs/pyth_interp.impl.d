@@ -1,0 +1,1 @@
+lib/pyth/pyth_interp.ml: Hashtbl List Printf Pyth_ast Pyth_parser Pyth_value String

@@ -1,0 +1,1 @@
+lib/pyth/pyth_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/pyth/pyth_parser.ml: Array List Printf Pyth_ast Pyth_lexer

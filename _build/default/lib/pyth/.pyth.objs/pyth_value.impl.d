@@ -1,0 +1,1 @@
+lib/pyth/pyth_value.ml: Bool Hashtbl List Pass_core Printf Pyth_ast String Sxml

@@ -1,0 +1,218 @@
+(* Global builtins and the standard modules of Pyth.
+
+   The thermography use case (paper §3.3) drives what the standard
+   library must contain: an XML module for the data-acquisition logs, a
+   plotting module whose output is a file, file listing, and arithmetic
+   helpers.  All file access funnels through the host (i.e. the simulated
+   kernel), so PASS sees every read and write. *)
+
+module V = Pyth_value
+
+let error = Pyth_interp.error
+
+let arity name n f =
+  V.Builtin
+    ( name,
+      fun args ->
+        if List.length args <> n then error "%s expects %d arguments, got %d" name n (List.length args)
+        else f args )
+
+let builtin1 name f = arity name 1 (function [ a ] -> f a | _ -> assert false)
+let builtin2 name f = arity name 2 (function [ a; b ] -> f a b | _ -> assert false)
+let builtin3 name f = arity name 3 (function [ a; b; c ] -> f a b c | _ -> assert false)
+
+let install_globals (host : Pyth_interp.host) env =
+  let def name data = V.define env name { V.data; prov = None } in
+  def "len"
+    (builtin1 "len" (fun a ->
+         match a.V.data with
+         | V.Str s -> V.int_ (String.length s)
+         | V.List l -> V.int_ (List.length !l)
+         | V.Dict d -> V.int_ (List.length !d)
+         | _ -> V.type_error "len: unsupported %s" (V.type_name a)));
+  def "str" (builtin1 "str" (fun a -> V.str (V.to_string a)));
+  def "int"
+    (builtin1 "int" (fun a ->
+         match a.V.data with
+         | V.Int _ -> a
+         | V.Float f -> V.int_ (int_of_float f)
+         | V.Str s -> (
+             match int_of_string_opt (String.trim s) with
+             | Some i -> V.int_ i
+             | None -> error "int: cannot parse %S" s)
+         | _ -> V.type_error "int: unsupported %s" (V.type_name a)));
+  def "float"
+    (builtin1 "float" (fun a ->
+         match a.V.data with
+         | V.Float _ -> a
+         | V.Int i -> V.float_ (float_of_int i)
+         | V.Str s -> (
+             match float_of_string_opt (String.trim s) with
+             | Some f -> V.float_ f
+             | None -> error "float: cannot parse %S" s)
+         | _ -> V.type_error "float: unsupported %s" (V.type_name a)));
+  def "range"
+    (V.Builtin
+       ( "range",
+         fun args ->
+           let lo, hi =
+             match args with
+             | [ hi ] -> (0, V.as_int hi)
+             | [ lo; hi ] -> (V.as_int lo, V.as_int hi)
+             | _ -> error "range expects 1 or 2 arguments"
+           in
+           V.list_ (List.init (max 0 (hi - lo)) (fun i -> V.int_ (lo + i))) ));
+  def "print"
+    (V.Builtin
+       ("print", fun args ->
+          host.print (String.concat " " (List.map V.to_string args));
+          V.none));
+  def "append"
+    (builtin2 "append" (fun l x ->
+         let cell = V.as_list l in
+         cell := !cell @ [ x ];
+         V.none));
+  def "sort"
+    (builtin1 "sort" (fun l ->
+         let cell = V.as_list l in
+         cell :=
+           List.sort
+             (fun a b ->
+               match (a.V.data, b.V.data) with
+               | V.Str x, V.Str y -> String.compare x y
+               | _ -> compare (V.as_float a) (V.as_float b))
+             !cell;
+         V.none));
+  def "keys"
+    (builtin1 "keys" (fun d ->
+         match d.V.data with
+         | V.Dict pairs -> V.list_ (List.rev_map fst !pairs)
+         | _ -> V.type_error "keys: expected dict"));
+  def "split"
+    (builtin2 "split" (fun s sep ->
+         V.list_
+           (String.split_on_char
+              (match V.as_str sep with
+              | "" -> error "split: empty separator"
+              | sep -> sep.[0])
+              (V.as_str s)
+           |> List.map V.str)));
+  def "join"
+    (builtin2 "join" (fun sep parts ->
+         V.str (String.concat (V.as_str sep) (List.map V.as_str !(V.as_list parts)))));
+  def "startswith"
+    (builtin2 "startswith" (fun s prefix ->
+         let s = V.as_str s and p = V.as_str prefix in
+         V.bool_ (String.length s >= String.length p && String.sub s 0 (String.length p) = p)));
+  def "endswith"
+    (builtin2 "endswith" (fun s suffix ->
+         let s = V.as_str s and p = V.as_str suffix in
+         let ns = String.length s and np = String.length p in
+         V.bool_ (ns >= np && String.sub s (ns - np) np = p)));
+  def "strip" (builtin1 "strip" (fun s -> V.str (String.trim (V.as_str s))));
+  def "upper" (builtin1 "upper" (fun s -> V.str (String.uppercase_ascii (V.as_str s))));
+  def "lower" (builtin1 "lower" (fun s -> V.str (String.lowercase_ascii (V.as_str s))));
+  def "replace"
+    (builtin3 "replace" (fun s old_s new_s ->
+         let s = V.as_str s and o = V.as_str old_s and n = V.as_str new_s in
+         if o = "" then V.str s
+         else begin
+           let buf = Buffer.create (String.length s) in
+           let i = ref 0 in
+           let no = String.length o in
+           while !i < String.length s do
+             if !i + no <= String.length s && String.sub s !i no = o then begin
+               Buffer.add_string buf n;
+               i := !i + no
+             end
+             else begin
+               Buffer.add_char buf s.[!i];
+               incr i
+             end
+           done;
+           V.str (Buffer.contents buf)
+         end));
+  def "readfile" (builtin1 "readfile" (fun path -> V.str (host.read_file (V.as_str path))));
+  def "writefile"
+    (builtin2 "writefile" (fun path data ->
+         host.write_file (V.as_str path) (V.as_str data);
+         V.none));
+  def "listdir"
+    (builtin1 "listdir" (fun path -> V.list_ (List.map V.str (host.listdir (V.as_str path)))))
+
+(* --- the xml module ----------------------------------------------------------- *)
+
+let xml_module (host : Pyth_interp.host) =
+  let table = Hashtbl.create 8 in
+  let def name data = Hashtbl.replace table name { V.data; prov = None } in
+  def "parse_file"
+    (builtin1 "xml.parse_file" (fun path ->
+         let source = host.read_file (V.as_str path) in
+         match Sxml.parse source with
+         | root -> V.xml root
+         | exception Sxml.Parse_error (msg, pos) ->
+             error "xml.parse_file %s: %s at %d" (V.as_str path) msg pos));
+  def "parse" (builtin1 "xml.parse" (fun s -> V.xml (Sxml.parse (V.as_str s))));
+  def "findall"
+    (builtin2 "xml.findall" (fun doc tag ->
+         V.list_ (List.map V.xml (Sxml.find_all (V.as_xml doc) (V.as_str tag)))));
+  def "attr"
+    (builtin2 "xml.attr" (fun el name ->
+         match Sxml.attr (V.as_xml el) (V.as_str name) with
+         | Some s -> V.str s
+         | None -> V.none));
+  def "text" (builtin1 "xml.text" (fun el -> V.str (Sxml.text_content (V.as_xml el))));
+  def "tag" (builtin1 "xml.tag" (fun el -> V.str (V.as_xml el).Sxml.tag));
+  { V.data = V.Module ("xml", table); prov = None }
+
+(* --- the plot module ----------------------------------------------------------- *)
+
+(* The "plot" is a deterministic text rendering of (x, y) points — what
+   matters for provenance is that it is an output file derived from the
+   points passed in. *)
+let plot_module (host : Pyth_interp.host) =
+  let table = Hashtbl.create 4 in
+  let def name data = Hashtbl.replace table name { V.data; prov = None } in
+  def "plot"
+    (builtin3 "plot.plot" (fun points title path ->
+         let pts = !(V.as_list points) in
+         let buf = Buffer.create 256 in
+         Buffer.add_string buf (Printf.sprintf "PLOT %s (%d points)\n" (V.as_str title) (List.length pts));
+         List.iter
+           (fun p ->
+             match p.V.data with
+             | V.List pair -> (
+                 match !pair with
+                 | [ x; y ] ->
+                     Buffer.add_string buf
+                       (Printf.sprintf "%.4f %.4f\n" (V.as_float x) (V.as_float y))
+                 | _ -> error "plot: points must be [x, y] pairs")
+             | _ -> error "plot: points must be [x, y] pairs")
+           pts;
+         host.cpu 500_000;
+         host.write_file (V.as_str path) (Buffer.contents buf);
+         V.none));
+  { V.data = V.Module ("plot", table); prov = None }
+
+(* --- the math module ------------------------------------------------------------ *)
+
+let math_module (host : Pyth_interp.host) =
+  let table = Hashtbl.create 4 in
+  let def name data = Hashtbl.replace table name { V.data; prov = None } in
+  def "sqrt"
+    (builtin1 "math.sqrt" (fun x ->
+         host.cpu 100;
+         V.float_ (sqrt (V.as_float x))));
+  def "pow"
+    (builtin2 "math.pow" (fun x y ->
+         host.cpu 100;
+         V.float_ (Float.pow (V.as_float x) (V.as_float y))));
+  def "absf" (builtin1 "math.absf" (fun x -> V.float_ (Float.abs (V.as_float x))));
+  { V.data = V.Module ("math", table); prov = None }
+
+(* Register the standard modules in the interpreter's import cache. *)
+let install_modules t =
+  let host = t.Pyth_interp.host in
+  Hashtbl.replace t.Pyth_interp.modules "xml" (xml_module host);
+  Hashtbl.replace t.Pyth_interp.modules "plot" (plot_module host);
+  Hashtbl.replace t.Pyth_interp.modules "math" (math_module host)

@@ -1,0 +1,227 @@
+(* The Pyth interpreter: a straightforward tree-walker over Pyth_ast.
+
+   The host record carries every capability that touches the outside
+   world (file I/O through the simulated kernel, module source lookup,
+   print, CPU accounting), so the same interpreter runs under a vanilla
+   or a PASS kernel — and so the Provwrap layer can interpose on module
+   functions without the interpreter knowing. *)
+
+open Pyth_ast
+module V = Pyth_value
+
+type host = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  listdir : string -> string list;
+  module_source : string -> string option; (* import: name -> source code *)
+  print : string -> unit;
+  cpu : int -> unit;
+}
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* non-local control flow *)
+exception Return_exc of V.t
+exception Break_exc
+exception Continue_exc
+
+type t = {
+  host : host;
+  globals : V.env;
+  modules : (string, V.t) Hashtbl.t; (* import cache *)
+  mutable on_import : string -> V.t -> unit; (* Provwrap hook *)
+  mutable call_count : int;
+}
+
+let rec eval t env expr : V.t =
+  t.host.cpu 40;
+  match expr with
+  | Enone -> V.none
+  | Ebool b -> V.bool_ b
+  | Eint i -> V.int_ i
+  | Efloat f -> V.float_ f
+  | Estr s -> V.str s
+  | Eident name -> (
+      match V.lookup env name with
+      | Some vv -> vv
+      | None -> error "name %s is not defined" name)
+  | Elist elems -> V.list_ (List.map (eval t env) elems)
+  | Edict pairs -> V.dict_ (List.map (fun (k, vv) -> (eval t env k, eval t env vv)) pairs)
+  | Eunop (Neg, e) -> (
+      let vv = eval t env e in
+      match vv.V.data with
+      | V.Int i -> V.int_ (-i)
+      | V.Float f -> V.float_ (-.f)
+      | _ -> V.type_error "cannot negate %s" (V.type_name vv))
+  | Eunop (Not, e) -> V.bool_ (not (V.truthy (eval t env e)))
+  | Ebinop (And, a, b) ->
+      let va = eval t env a in
+      if V.truthy va then eval t env b else va
+  | Ebinop (Or, a, b) ->
+      let va = eval t env a in
+      if V.truthy va then va else eval t env b
+  | Ebinop (op, a, b) -> binop op (eval t env a) (eval t env b)
+  | Eindex (c, k) -> (
+      let vc = eval t env c and vk = eval t env k in
+      match vc.V.data with
+      | V.List l -> (
+          let i = V.as_int vk in
+          let n = List.length !l in
+          let i = if i < 0 then n + i else i in
+          match List.nth_opt !l i with
+          | Some vv -> vv
+          | None -> error "list index %d out of range (len %d)" i n)
+      | V.Str s -> (
+          let i = V.as_int vk in
+          let n = String.length s in
+          let i = if i < 0 then n + i else i in
+          if i >= 0 && i < n then V.str (String.make 1 s.[i])
+          else error "string index %d out of range" i)
+      | V.Dict d -> (
+          match V.assoc_opt vk !d with
+          | Some vv -> vv
+          | None -> error "key %s not found" (V.repr vk))
+      | _ -> V.type_error "%s is not indexable" (V.type_name vc))
+  | Eattr (e, name) -> (
+      let vv = eval t env e in
+      match vv.V.data with
+      | V.Module (mname, table) -> (
+          match Hashtbl.find_opt table name with
+          | Some member -> member
+          | None -> error "module %s has no member %s" mname name)
+      | _ -> V.type_error "%s has no attributes" (V.type_name vv))
+  | Ecall (f, args) ->
+      let vf = eval t env f in
+      let vargs = List.map (eval t env) args in
+      call t vf vargs
+
+and binop op a b =
+  let open V in
+  match (op, a.data, b.data) with
+  | Add, Int x, Int y -> int_ (x + y)
+  | Add, (Int _ | Float _), (Int _ | Float _) -> float_ (as_float a +. as_float b)
+  | Add, Str x, Str y -> str (x ^ y)
+  | Add, List x, List y -> list_ (!x @ !y)
+  | Sub, Int x, Int y -> int_ (x - y)
+  | Sub, (Int _ | Float _), (Int _ | Float _) -> float_ (as_float a -. as_float b)
+  | Mul, Int x, Int y -> int_ (x * y)
+  | Mul, (Int _ | Float _), (Int _ | Float _) -> float_ (as_float a *. as_float b)
+  | Div, Int x, Int y -> if y = 0 then error "division by zero" else int_ (x / y)
+  | Div, (Int _ | Float _), (Int _ | Float _) ->
+      let d = as_float b in
+      if d = 0. then error "division by zero" else float_ (as_float a /. d)
+  | Mod, Int x, Int y -> if y = 0 then error "modulo by zero" else int_ (((x mod y) + y) mod y)
+  | Eq, _, _ -> bool_ (equal a b)
+  | Neq, _, _ -> bool_ (not (equal a b))
+  | (Lt | Le | Gt | Ge), Str x, Str y ->
+      let c = String.compare x y in
+      bool_ (match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | _ -> c >= 0)
+  | (Lt | Le | Gt | Ge), (Int _ | Float _), (Int _ | Float _) ->
+      let c = compare (as_float a) (as_float b) in
+      bool_ (match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | _ -> c >= 0)
+  | In, _, List l -> bool_ (List.exists (equal a) !l)
+  | In, _, Dict d -> bool_ (V.assoc_opt a !d <> None)
+  | In, Str x, Str y ->
+      let nx = String.length x and ny = String.length y in
+      let rec search i = i + nx <= ny && (String.sub y i nx = x || search (i + 1)) in
+      bool_ (nx = 0 || search 0)
+  | _ -> type_error "unsupported operands: %s and %s" (type_name a) (type_name b)
+
+and call t vf vargs =
+  t.call_count <- t.call_count + 1;
+  t.host.cpu 200;
+  match vf.V.data with
+  | V.Builtin (_, f) -> f vargs
+  | V.Func fn ->
+      if List.length vargs <> List.length fn.params then
+        error "%s expects %d arguments, got %d" fn.fname (List.length fn.params)
+          (List.length vargs);
+      let env = V.new_env ~parent:fn.closure () in
+      List.iter2 (V.define env) fn.params vargs;
+      (try
+         exec_block t env fn.body;
+         V.none
+       with Return_exc vv -> vv)
+  | _ -> V.type_error "%s is not callable" (V.type_name vf)
+
+and exec_block t env block = List.iter (exec t env) block
+
+and exec t env stmt =
+  t.host.cpu 40;
+  match stmt with
+  | Spass -> ()
+  | Sbreak -> raise Break_exc
+  | Scontinue -> raise Continue_exc
+  | Sexpr e -> ignore (eval t env e : V.t)
+  | Sassign (Tident name, e) -> V.assign env name (eval t env e)
+  | Sassign (Tindex (c, k), e) -> (
+      let vc = eval t env c and vk = eval t env k and vv = eval t env e in
+      match vc.V.data with
+      | V.List l ->
+          let i = V.as_int vk in
+          let n = List.length !l in
+          let i = if i < 0 then n + i else i in
+          if i < 0 || i >= n then error "list assignment index %d out of range" i
+          else l := List.mapi (fun j x -> if j = i then vv else x) !l
+      | V.Dict d ->
+          if V.assoc_opt vk !d = None then d := (vk, vv) :: !d
+          else d := List.map (fun (k0, v0) -> if V.equal k0 vk then (k0, vv) else (k0, v0)) !d
+      | _ -> V.type_error "%s does not support item assignment" (V.type_name vc))
+  | Sreturn e -> raise (Return_exc (match e with Some e -> eval t env e | None -> V.none))
+  | Sif (chain, els) -> (
+      let rec try_chain = function
+        | (cond, body) :: rest ->
+            if V.truthy (eval t env cond) then exec_block t env body else try_chain rest
+        | [] -> ( match els with Some body -> exec_block t env body | None -> ())
+      in
+      try_chain chain)
+  | Swhile (cond, body) -> (
+      try
+        while V.truthy (eval t env cond) do
+          try exec_block t env body with Continue_exc -> ()
+        done
+      with Break_exc -> ())
+  | Sfor (var, iter, body) -> (
+      let vv = eval t env iter in
+      let items =
+        match vv.V.data with
+        | V.List l -> !l
+        | V.Str s -> List.init (String.length s) (fun i -> V.str (String.make 1 s.[i]))
+        | V.Dict d -> List.map fst !d
+        | _ -> V.type_error "%s is not iterable" (V.type_name vv)
+      in
+      try
+        List.iter
+          (fun item ->
+            V.define env var item;
+            try exec_block t env body with Continue_exc -> ())
+          items
+      with Break_exc -> ())
+  | Sdef (name, params, body) ->
+      V.define env name
+        { V.data = V.Func { fname = name; params; body; closure = env }; prov = None }
+  | Simport name -> (
+      match Hashtbl.find_opt t.modules name with
+      | Some m -> V.define env name m
+      | None -> (
+          match t.host.module_source name with
+          | None -> error "no module named %s" name
+          | Some source ->
+              let program = Pyth_parser.parse source in
+              let menv = V.new_env ~parent:t.globals () in
+              exec_block t menv program;
+              let table = Hashtbl.create 16 in
+              Hashtbl.iter (Hashtbl.replace table) menv.V.vars;
+              let m = { V.data = V.Module (name, table); prov = None } in
+              Hashtbl.replace t.modules name m;
+              t.on_import name m;
+              V.define env name m))
+
+let create ~host ~globals () =
+  { host; globals; modules = Hashtbl.create 8; on_import = (fun _ _ -> ()); call_count = 0 }
+
+let run t program = exec_block t t.globals program
+
+let run_string t source = run t (Pyth_parser.parse source)

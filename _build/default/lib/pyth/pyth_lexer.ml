@@ -1,0 +1,143 @@
+(* Indentation-aware tokenizer for Pyth.  Leading whitespace at the start
+   of each logical line is converted into INDENT/DEDENT tokens the way
+   CPython's tokenizer does it (a stack of indentation levels); blank
+   lines and comment-only lines produce nothing. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string (* if elif else while for in def return import pass and or not True False None break continue *)
+  | OP of string (* + - * / % == != < <= > >= = ( ) [ ] { } , : . *)
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+exception Error of string * int (* message, line *)
+
+let keywords =
+  [ "if"; "elif"; "else"; "while"; "for"; "in"; "def"; "return"; "import";
+    "pass"; "and"; "or"; "not"; "True"; "False"; "None"; "break"; "continue" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize input =
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let lines = String.split_on_char '\n' input in
+  let indents = ref [ 0 ] in
+  let lineno = ref 0 in
+  let lex_line line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && line.[!i] <> '#' do
+      let c = line.[!i] in
+      if c = ' ' || c = '\t' then incr i
+      else if is_digit c then begin
+        let start = !i in
+        while !i < n && (is_digit line.[!i] || line.[!i] = '.') do incr i done;
+        let lit = String.sub line start (!i - start) in
+        if String.contains lit '.' then
+          match float_of_string_opt lit with
+          | Some f -> emit (FLOAT f)
+          | None -> raise (Error ("bad float literal " ^ lit, !lineno))
+        else
+          match int_of_string_opt lit with
+          | Some k -> emit (INT k)
+          | None -> raise (Error ("bad int literal " ^ lit, !lineno))
+      end
+      else if is_ident_start c then begin
+        let start = !i in
+        while !i < n && is_ident_char line.[!i] do incr i done;
+        let word = String.sub line start (!i - start) in
+        if List.mem word keywords then emit (KW word) else emit (IDENT word)
+      end
+      else if c = '"' || c = '\'' then begin
+        let quote = c in
+        let buf = Buffer.create 16 in
+        incr i;
+        let closed = ref false in
+        while !i < n && not !closed do
+          if line.[!i] = quote then begin
+            closed := true;
+            incr i
+          end
+          else if line.[!i] = '\\' && !i + 1 < n then begin
+            (match line.[!i + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | c -> Buffer.add_char buf c);
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char buf line.[!i];
+            incr i
+          end
+        done;
+        if not !closed then raise (Error ("unterminated string", !lineno));
+        emit (STRING (Buffer.contents buf))
+      end
+      else begin
+        let two = if !i + 1 < n then String.sub line !i 2 else "" in
+        match two with
+        | "==" | "!=" | "<=" | ">=" ->
+            emit (OP two);
+            i := !i + 2
+        | _ ->
+            (match c with
+            | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '(' | ')' | '[' | ']'
+            | '{' | '}' | ',' | ':' | '.' ->
+                emit (OP (String.make 1 c))
+            | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !lineno)));
+            incr i
+      end
+    done
+  in
+  List.iter
+    (fun line ->
+      incr lineno;
+      (* measure indentation; skip blank/comment-only lines *)
+      let n = String.length line in
+      let w = ref 0 in
+      while !w < n && line.[!w] = ' ' do incr w done;
+      let rest = String.sub line !w (n - !w) in
+      let blank = String.trim rest = "" || (String.length rest > 0 && rest.[0] = '#') in
+      if not blank then begin
+        let indent = !w in
+        let top () = List.hd !indents in
+        if indent > top () then begin
+          indents := indent :: !indents;
+          emit INDENT
+        end
+        else
+          while indent < top () do
+            indents := List.tl !indents;
+            if indent > top () then raise (Error ("inconsistent dedent", !lineno));
+            emit DEDENT
+          done;
+        lex_line line;
+        emit NEWLINE
+      end)
+    lines;
+  while List.hd !indents > 0 do
+    indents := List.tl !indents;
+    emit DEDENT
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | OP s -> s
+  | NEWLINE -> "<newline>"
+  | INDENT -> "<indent>"
+  | DEDENT -> "<dedent>"
+  | EOF -> "<eof>"

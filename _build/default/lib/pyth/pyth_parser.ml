@@ -1,0 +1,337 @@
+(* Recursive-descent parser for Pyth. *)
+
+open Pyth_ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type state = { tokens : Pyth_lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail "expected %s but found %s" (Pyth_lexer.to_string tok)
+      (Pyth_lexer.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Pyth_lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail "expected identifier, found %s" (Pyth_lexer.to_string t)
+
+(* --- expressions ------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = Pyth_lexer.KW "or" then begin
+    advance st;
+    Ebinop (Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek st = Pyth_lexer.KW "and" then begin
+    advance st;
+    Ebinop (And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if peek st = Pyth_lexer.KW "not" then begin
+    advance st;
+    Eunop (Not, parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_arith st in
+  let op =
+    match peek st with
+    | Pyth_lexer.OP "==" -> Some Eq
+    | Pyth_lexer.OP "!=" -> Some Neq
+    | Pyth_lexer.OP "<" -> Some Lt
+    | Pyth_lexer.OP "<=" -> Some Le
+    | Pyth_lexer.OP ">" -> Some Gt
+    | Pyth_lexer.OP ">=" -> Some Ge
+    | Pyth_lexer.KW "in" -> Some In
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      advance st;
+      Ebinop (op, lhs, parse_arith st)
+  | None -> lhs
+
+and parse_arith st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | Pyth_lexer.OP "+" ->
+        advance st;
+        loop (Ebinop (Add, lhs, parse_term st))
+    | Pyth_lexer.OP "-" ->
+        advance st;
+        loop (Ebinop (Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Pyth_lexer.OP "*" ->
+        advance st;
+        loop (Ebinop (Mul, lhs, parse_unary st))
+    | Pyth_lexer.OP "/" ->
+        advance st;
+        loop (Ebinop (Div, lhs, parse_unary st))
+    | Pyth_lexer.OP "%" ->
+        advance st;
+        loop (Ebinop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Pyth_lexer.OP "-" ->
+      advance st;
+      Eunop (Neg, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec loop e =
+    match peek st with
+    | Pyth_lexer.OP "(" ->
+        advance st;
+        let args = parse_args st in
+        expect st (Pyth_lexer.OP ")");
+        loop (Ecall (e, args))
+    | Pyth_lexer.OP "[" ->
+        advance st;
+        let idx = parse_expr st in
+        expect st (Pyth_lexer.OP "]");
+        loop (Eindex (e, idx))
+    | Pyth_lexer.OP "." ->
+        advance st;
+        loop (Eattr (e, expect_ident st))
+    | _ -> e
+  in
+  loop atom
+
+and parse_args st =
+  if peek st = Pyth_lexer.OP ")" then []
+  else
+    let rec loop acc =
+      let arg = parse_expr st in
+      if peek st = Pyth_lexer.OP "," then begin
+        advance st;
+        loop (arg :: acc)
+      end
+      else List.rev (arg :: acc)
+    in
+    loop []
+
+and parse_atom st =
+  match peek st with
+  | Pyth_lexer.INT i ->
+      advance st;
+      Eint i
+  | Pyth_lexer.FLOAT f ->
+      advance st;
+      Efloat f
+  | Pyth_lexer.STRING s ->
+      advance st;
+      Estr s
+  | Pyth_lexer.KW "True" ->
+      advance st;
+      Ebool true
+  | Pyth_lexer.KW "False" ->
+      advance st;
+      Ebool false
+  | Pyth_lexer.KW "None" ->
+      advance st;
+      Enone
+  | Pyth_lexer.IDENT name ->
+      advance st;
+      Eident name
+  | Pyth_lexer.OP "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect st (Pyth_lexer.OP ")");
+      e
+  | Pyth_lexer.OP "[" ->
+      advance st;
+      let rec loop acc =
+        if peek st = Pyth_lexer.OP "]" then List.rev acc
+        else
+          let e = parse_expr st in
+          if peek st = Pyth_lexer.OP "," then begin
+            advance st;
+            loop (e :: acc)
+          end
+          else List.rev (e :: acc)
+      in
+      let elems = loop [] in
+      expect st (Pyth_lexer.OP "]");
+      Elist elems
+  | Pyth_lexer.OP "{" ->
+      advance st;
+      let rec loop acc =
+        if peek st = Pyth_lexer.OP "}" then List.rev acc
+        else begin
+          let k = parse_expr st in
+          expect st (Pyth_lexer.OP ":");
+          let v = parse_expr st in
+          if peek st = Pyth_lexer.OP "," then begin
+            advance st;
+            loop ((k, v) :: acc)
+          end
+          else List.rev ((k, v) :: acc)
+        end
+      in
+      let pairs = loop [] in
+      expect st (Pyth_lexer.OP "}");
+      Edict pairs
+  | t -> fail "expected expression, found %s" (Pyth_lexer.to_string t)
+
+(* --- statements --------------------------------------------------------------- *)
+
+let rec parse_block st =
+  (* a block is NEWLINE INDENT stmts DEDENT *)
+  expect st Pyth_lexer.NEWLINE;
+  expect st Pyth_lexer.INDENT;
+  let rec loop acc =
+    match peek st with
+    | Pyth_lexer.DEDENT ->
+        advance st;
+        List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match peek st with
+  | Pyth_lexer.KW "pass" ->
+      advance st;
+      expect st Pyth_lexer.NEWLINE;
+      Spass
+  | Pyth_lexer.KW "break" ->
+      advance st;
+      expect st Pyth_lexer.NEWLINE;
+      Sbreak
+  | Pyth_lexer.KW "continue" ->
+      advance st;
+      expect st Pyth_lexer.NEWLINE;
+      Scontinue
+  | Pyth_lexer.KW "import" ->
+      advance st;
+      let name = expect_ident st in
+      expect st Pyth_lexer.NEWLINE;
+      Simport name
+  | Pyth_lexer.KW "return" ->
+      advance st;
+      if peek st = Pyth_lexer.NEWLINE then begin
+        advance st;
+        Sreturn None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Pyth_lexer.NEWLINE;
+        Sreturn (Some e)
+      end
+  | Pyth_lexer.KW "if" ->
+      advance st;
+      let cond = parse_expr st in
+      expect st (Pyth_lexer.OP ":");
+      let body = parse_block st in
+      let rec elifs acc =
+        match peek st with
+        | Pyth_lexer.KW "elif" ->
+            advance st;
+            let c = parse_expr st in
+            expect st (Pyth_lexer.OP ":");
+            let b = parse_block st in
+            elifs ((c, b) :: acc)
+        | Pyth_lexer.KW "else" ->
+            advance st;
+            expect st (Pyth_lexer.OP ":");
+            let b = parse_block st in
+            (List.rev acc, Some b)
+        | _ -> (List.rev acc, None)
+      in
+      let chain, els = elifs [] in
+      Sif ((cond, body) :: chain, els)
+  | Pyth_lexer.KW "while" ->
+      advance st;
+      let cond = parse_expr st in
+      expect st (Pyth_lexer.OP ":");
+      Swhile (cond, parse_block st)
+  | Pyth_lexer.KW "for" ->
+      advance st;
+      let var = expect_ident st in
+      (match peek st with
+      | Pyth_lexer.KW "in" -> advance st
+      | t -> fail "expected 'in', found %s" (Pyth_lexer.to_string t));
+      let iter = parse_expr st in
+      expect st (Pyth_lexer.OP ":");
+      Sfor (var, iter, parse_block st)
+  | Pyth_lexer.KW "def" ->
+      advance st;
+      let name = expect_ident st in
+      expect st (Pyth_lexer.OP "(");
+      let rec params acc =
+        match peek st with
+        | Pyth_lexer.OP ")" ->
+            advance st;
+            List.rev acc
+        | Pyth_lexer.IDENT p ->
+            advance st;
+            if peek st = Pyth_lexer.OP "," then advance st;
+            params (p :: acc)
+        | t -> fail "expected parameter, found %s" (Pyth_lexer.to_string t)
+      in
+      let ps = params [] in
+      expect st (Pyth_lexer.OP ":");
+      Sdef (name, ps, parse_block st)
+  | _ -> (
+      (* assignment or expression statement *)
+      let e = parse_expr st in
+      match (peek st, e) with
+      | Pyth_lexer.OP "=", Eident name ->
+          advance st;
+          let rhs = parse_expr st in
+          expect st Pyth_lexer.NEWLINE;
+          Sassign (Tident name, rhs)
+      | Pyth_lexer.OP "=", Eindex (c, k) ->
+          advance st;
+          let rhs = parse_expr st in
+          expect st Pyth_lexer.NEWLINE;
+          Sassign (Tindex (c, k), rhs)
+      | Pyth_lexer.OP "=", _ -> fail "invalid assignment target"
+      | _ ->
+          expect st Pyth_lexer.NEWLINE;
+          Sexpr e)
+
+let parse input =
+  let tokens = Array.of_list (Pyth_lexer.tokenize input) in
+  let st = { tokens; pos = 0 } in
+  let rec loop acc =
+    match peek st with
+    | Pyth_lexer.EOF -> List.rev acc
+    | Pyth_lexer.NEWLINE ->
+        advance st;
+        loop acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []

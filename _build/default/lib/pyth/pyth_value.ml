@@ -1,0 +1,133 @@
+(* Runtime values of Pyth.
+
+   Every value carries an optional provenance tag: the PASS object this
+   value descends from.  The tag is set only by provenance-aware wrappers
+   (Provwrap); ordinary interpreter operations produce untagged values.
+   That default is deliberate — it reproduces the paper's §6.5 lesson that
+   wrapping functions makes an *application* provenance-aware while
+   provenance is still lost across built-in operators, which would require
+   making the interpreter itself provenance-aware. *)
+
+type t = { data : data; mutable prov : Pass_core.Dpapi.handle option }
+
+and data =
+  | None_
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list ref
+  | Dict of (t * t) list ref
+  | Func of func
+  | Builtin of string * (t list -> t)
+  | Module of string * (string, t) Hashtbl.t
+  | Xml of Sxml.element
+
+and func = { fname : string; params : string list; body : Pyth_ast.block; closure : env }
+
+and env = { vars : (string, t) Hashtbl.t; parent : env option }
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let v data = { data; prov = None }
+let none = v None_
+let bool_ b = v (Bool b)
+let int_ i = v (Int i)
+let float_ f = v (Float f)
+let str s = v (Str s)
+let list_ l = v (List (ref l))
+let dict_ l = v (Dict (ref l))
+let xml e = v (Xml e)
+
+let type_name t =
+  match t.data with
+  | None_ -> "NoneType"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | List _ -> "list"
+  | Dict _ -> "dict"
+  | Func _ -> "function"
+  | Builtin _ -> "builtin"
+  | Module _ -> "module"
+  | Xml _ -> "xml"
+
+let truthy t =
+  match t.data with
+  | None_ -> false
+  | Bool b -> b
+  | Int i -> i <> 0
+  | Float f -> f <> 0.
+  | Str s -> s <> ""
+  | List l -> !l <> []
+  | Dict d -> !d <> []
+  | Func _ | Builtin _ | Module _ | Xml _ -> true
+
+let rec equal a b =
+  match (a.data, b.data) with
+  | None_, None_ -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | List x, List y -> List.length !x = List.length !y && List.for_all2 equal !x !y
+  | Dict x, Dict y ->
+      List.length !x = List.length !y
+      && List.for_all
+           (fun (k, vv) -> match assoc_opt k !y with Some w -> equal vv w | None -> false)
+           !x
+  | Xml x, Xml y -> x == y
+  | _ -> false
+
+and assoc_opt key pairs =
+  List.find_map (fun (k, vv) -> if equal k key then Some vv else None) pairs
+
+let as_int t = match t.data with Int i -> i | Bool b -> Bool.to_int b | _ -> type_error "expected int, got %s" (type_name t)
+let as_float t =
+  match t.data with
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> type_error "expected float, got %s" (type_name t)
+
+let as_str t = match t.data with Str s -> s | _ -> type_error "expected str, got %s" (type_name t)
+let as_list t = match t.data with List l -> l | _ -> type_error "expected list, got %s" (type_name t)
+let as_xml t = match t.data with Xml e -> e | _ -> type_error "expected xml, got %s" (type_name t)
+
+let rec to_string t =
+  match t.data with
+  | None_ -> "None"
+  | Bool b -> if b then "True" else "False"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | List l -> "[" ^ String.concat ", " (List.map repr !l) ^ "]"
+  | Dict d -> "{" ^ String.concat ", " (List.map (fun (k, vv) -> repr k ^ ": " ^ repr vv) !d) ^ "}"
+  | Func f -> Printf.sprintf "<function %s>" f.fname
+  | Builtin (n, _) -> Printf.sprintf "<builtin %s>" n
+  | Module (n, _) -> Printf.sprintf "<module %s>" n
+  | Xml e -> Printf.sprintf "<xml %s>" e.Sxml.tag
+
+and repr t = match t.data with Str s -> Printf.sprintf "%S" s | _ -> to_string t
+
+(* --- environments ------------------------------------------------------------ *)
+
+let new_env ?parent () = { vars = Hashtbl.create 16; parent }
+
+let rec lookup env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some vv -> Some vv
+  | None -> ( match env.parent with Some p -> lookup p name | None -> None)
+
+let define env name vv = Hashtbl.replace env.vars name vv
+
+(* assignment updates the defining scope if any, else defines locally *)
+let rec assign env name vv =
+  if Hashtbl.mem env.vars name then Hashtbl.replace env.vars name vv
+  else
+    match env.parent with
+    | Some p when lookup p name <> None -> assign p name vv
+    | _ -> Hashtbl.replace env.vars name vv

@@ -1,0 +1,1 @@
+lib/simdisk/disk.ml: Array Bytes Clock Hashtbl String

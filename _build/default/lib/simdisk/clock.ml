@@ -1,0 +1,13 @@
+(* Simulated wall clock, in nanoseconds.  One per simulated machine; the
+   disk charges I/O time and the kernel charges CPU time against it.  The
+   elapsed-time overheads of Table 2 are read off this clock. *)
+
+type t = { mutable now_ns : int }
+
+let create () = { now_ns = 0 }
+let now t = t.now_ns
+let advance t ns = if ns > 0 then t.now_ns <- t.now_ns + ns
+
+let ns_of_ms ms = ms * 1_000_000
+let ns_of_us us = us * 1_000
+let seconds t = float_of_int t.now_ns /. 1e9

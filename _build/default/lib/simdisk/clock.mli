@@ -1,0 +1,14 @@
+(** Simulated wall clock (nanoseconds), one per simulated machine. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+val advance : t -> int -> unit
+(** Advance the clock by some nanoseconds (no-op if non-positive). *)
+
+val ns_of_ms : int -> int
+val ns_of_us : int -> int
+
+val seconds : t -> float
+(** Current time in seconds, for reports. *)

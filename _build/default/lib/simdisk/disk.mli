@@ -1,0 +1,54 @@
+(** Simulated block device.
+
+    Tracks head position and charges seek, rotation and transfer time to
+    the machine's {!Clock}, which is how the elapsed-time overheads of the
+    paper's Table 2 emerge from provenance-log/data seek interference.
+    Supports crash injection for testing the WAP recovery protocol. *)
+
+val block_size : int
+(** 4096 bytes. *)
+
+type t
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable seeks : int;
+  mutable seek_ns : int;
+  mutable transfer_ns : int;
+}
+
+exception Crashed
+(** Raised by any access to a crashed device. *)
+
+val create : ?total_blocks:int -> ?stream_slots:int -> clock:Clock.t -> unit -> t
+(** [stream_slots] (default 5) is the number of concurrent sequential
+    streams the simulated elevator can keep cheap. *)
+
+val stats : t -> stats
+val clock : t -> Clock.t
+val is_crashed : t -> bool
+
+val schedule_crash : t -> after_writes:int -> unit
+(** Fail permanently after [after_writes] more successful block writes. *)
+
+val crash : t -> unit
+(** Fail immediately. *)
+
+val revive : t -> unit
+(** Bring the device back up; data written before the crash persists. *)
+
+val read_block : t -> int -> bytes
+val write_block : t -> int -> bytes -> unit
+
+val read_bytes : t -> off:int -> len:int -> string
+(** Byte-granularity read spanning blocks. *)
+
+val write_bytes : t -> off:int -> string -> unit
+(** Byte-granularity write spanning blocks (read-modify-write at the
+    edges). *)
+
+val io_ns : t -> int
+(** Total simulated nanoseconds spent in I/O so far. *)

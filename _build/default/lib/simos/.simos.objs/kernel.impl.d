@@ -1,0 +1,1 @@
+lib/simos/kernel.ml: Hashtbl List Pass_core Result Simdisk String Vfs

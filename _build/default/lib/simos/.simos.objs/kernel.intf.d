@@ -1,0 +1,1 @@
+lib/simos/kernel.mli: Pass_core Simdisk Vfs

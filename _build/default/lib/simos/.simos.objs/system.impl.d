@@ -1,0 +1,1 @@
+lib/simos/system.ml: Ext3 Kernel Lasagna List Option Pass_core Provdb Result Simdisk String Waldo

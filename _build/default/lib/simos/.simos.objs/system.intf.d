@@ -1,0 +1,1 @@
+lib/simos/system.mli: Ext3 Kernel Lasagna Pass_core Provdb Simdisk Vfs Waldo

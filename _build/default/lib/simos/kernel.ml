@@ -1,0 +1,330 @@
+(* The simulated OS kernel.
+
+   Hosts a process table, per-process file descriptors, pipes, a mount
+   table, and the system-call layer.  When the kernel is provenance-aware
+   (PASS mode), every relevant system call is intercepted and reported to
+   the observer, exactly the call set of paper §5.3: execve, fork, exit,
+   read, write, mmap, open, pipe, and the drop_inode kernel operation.
+   Data-path calls are then *performed by* the observer through the DPAPI
+   stack (observer -> analyzer -> distributor -> volume router -> Lasagna),
+   so provenance and data flow together.  In vanilla mode the same system
+   calls go straight to the mounted file system.
+
+   Mounts: each volume is mounted at /<name>; the first component of an
+   absolute path selects the volume. *)
+
+module Dpapi = Pass_core.Dpapi
+module Ctx = Pass_core.Ctx
+module Observer = Pass_core.Observer
+module Analyzer = Pass_core.Analyzer
+module Distributor = Pass_core.Distributor
+module Clock = Simdisk.Clock
+
+type mount = {
+  m_name : string;
+  m_ops : Vfs.ops; (* the file system processes see *)
+  m_endpoint : Dpapi.endpoint option; (* DPAPI face when provenance-aware *)
+  m_file_handle : (Vfs.ino -> (Dpapi.handle, Vfs.errno) result) option;
+}
+
+type pass_stack = {
+  observer : Observer.t;
+  analyzer : Analyzer.t;
+  distributor : Distributor.t;
+}
+
+type fd_entry = {
+  fd_mount : mount;
+  fd_ino : Vfs.ino;
+  mutable fd_off : int;
+  fd_path : string;
+}
+
+type process = {
+  pid : int;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+  mutable alive : bool;
+}
+
+type pipe = {
+  pipe_id : int;
+  mutable buffer : string list; (* chunks, oldest last *)
+}
+
+type errno = Vfs.errno
+
+type t = {
+  clock : Clock.t;
+  ctx : Ctx.t;
+  mounts : (string, mount) Hashtbl.t;
+  procs : (int, process) Hashtbl.t;
+  pipes : (int, pipe) Hashtbl.t;
+  mutable next_pid : int;
+  mutable next_pipe : int;
+  mutable pass : pass_stack option;
+  mutable syscall_count : int;
+}
+
+(* CPU cost knobs (simulated ns). *)
+let syscall_base_ns = 400
+let intercept_ns = 250
+
+let create ~clock ~machine () =
+  {
+    clock;
+    ctx = Ctx.create ~machine;
+    mounts = Hashtbl.create 8;
+    procs = Hashtbl.create 64;
+    pipes = Hashtbl.create 16;
+    next_pid = 2;
+    next_pipe = 1;
+    pass = None;
+    syscall_count = 0;
+  }
+
+let clock t = t.clock
+let ctx t = t.ctx
+let charge t ns = Clock.advance t.clock ns
+let cpu = charge
+let syscall_count t = t.syscall_count
+let pass_stack t = t.pass
+
+let mount t ~name ~ops ?endpoint ?file_handle () =
+  Hashtbl.replace t.mounts name
+    { m_name = name; m_ops = ops; m_endpoint = endpoint; m_file_handle = file_handle }
+
+let set_pass t stack = t.pass <- Some stack
+
+(* the init process *)
+let init_pid = 1
+
+let proc t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None ->
+      let p = { pid; fds = Hashtbl.create 8; next_fd = 3; alive = true } in
+      Hashtbl.add t.procs pid p;
+      p
+
+let ( let* ) = Result.bind
+
+let enter t =
+  t.syscall_count <- t.syscall_count + 1;
+  charge t syscall_base_ns;
+  if t.pass <> None then charge t intercept_ns
+
+let lift_dpapi : ('a, Dpapi.error) result -> ('a, errno) result = function
+  | Ok v -> Ok v
+  | Error e ->
+      Error
+        (match e with
+        | Dpapi.Enoent -> Vfs.ENOENT
+        | Dpapi.Eexist -> Vfs.EEXIST
+        | Dpapi.Einval -> Vfs.EINVAL
+        | Dpapi.Estale -> Vfs.ESTALE
+        | Dpapi.Enospc -> Vfs.ENOSPC
+        | Dpapi.Ecrashed -> Vfs.ECRASH
+        | Dpapi.Ebadf -> Vfs.EBADF
+        | Dpapi.Eio | Dpapi.Emsg _ -> Vfs.EIO)
+
+(* --- path resolution ----------------------------------------------------- *)
+
+let resolve_mount t path =
+  match Vfs.split_path path with
+  | [] -> Error Vfs.EINVAL
+  | vol :: rest -> (
+      match Hashtbl.find_opt t.mounts vol with
+      | Some m -> Ok (m, "/" ^ String.concat "/" rest)
+      | None -> Error Vfs.ENOENT)
+
+let file_handle_of m ino =
+  match (m.m_file_handle, m.m_endpoint) with
+  | Some fh, Some _ -> (
+      match fh ino with Ok h -> Some h | Error _ -> None)
+  | _ -> None
+
+(* --- process lifecycle --------------------------------------------------- *)
+
+let fork t ~parent =
+  enter t;
+  let child = t.next_pid in
+  t.next_pid <- child + 1;
+  ignore (proc t parent);
+  ignore (proc t child);
+  (match t.pass with
+  | Some s -> ignore (Observer.fork s.observer ~parent ~child)
+  | None -> ());
+  child
+
+let execve t ~pid ~path ~argv ~env =
+  enter t;
+  let* m, rel = resolve_mount t path in
+  let* ino = Vfs.lookup_path m.m_ops rel in
+  match t.pass with
+  | Some s -> (
+      match file_handle_of m ino with
+      | Some binary ->
+          lift_dpapi (Observer.execve s.observer ~pid ~path ~argv ~env ~binary)
+      | None -> Ok ())
+  | None -> Ok ()
+
+let exit t ~pid =
+  enter t;
+  let p = proc t pid in
+  p.alive <- false;
+  Hashtbl.reset p.fds;
+  (match t.pass with Some s -> ignore (Observer.exit s.observer ~pid) | None -> ());
+  Ok ()
+
+(* --- file I/O ------------------------------------------------------------ *)
+
+let open_file t ~pid ~path ~create =
+  enter t;
+  let* m, rel = resolve_mount t path in
+  let* ino =
+    match Vfs.lookup_path m.m_ops rel with
+    | Ok ino -> Ok ino
+    | Error Vfs.ENOENT when create -> Vfs.create_path ~mkparents:true m.m_ops rel Vfs.Regular
+    | Error _ as e -> e
+  in
+  let p = proc t pid in
+  let fd = p.next_fd in
+  p.next_fd <- fd + 1;
+  Hashtbl.replace p.fds fd { fd_mount = m; fd_ino = ino; fd_off = 0; fd_path = rel };
+  Ok fd
+
+let fd_entry t ~pid ~fd =
+  match Hashtbl.find_opt (proc t pid).fds fd with
+  | Some e -> Ok e
+  | None -> Error Vfs.EBADF
+
+let read t ~pid ~fd ~len =
+  enter t;
+  let* e = fd_entry t ~pid ~fd in
+  let* data =
+    match (t.pass, file_handle_of e.fd_mount e.fd_ino) with
+    | Some s, Some h ->
+        let* r = lift_dpapi (Observer.read s.observer ~pid ~file:h ~off:e.fd_off ~len) in
+        Ok r.Dpapi.data
+    | _ -> e.fd_mount.m_ops.read e.fd_ino ~off:e.fd_off ~len
+  in
+  e.fd_off <- e.fd_off + String.length data;
+  Ok data
+
+let write t ~pid ~fd ~data =
+  enter t;
+  let* e = fd_entry t ~pid ~fd in
+  let* () =
+    match (t.pass, file_handle_of e.fd_mount e.fd_ino) with
+    | Some s, Some h ->
+        let* _v = lift_dpapi (Observer.write s.observer ~pid ~file:h ~off:e.fd_off ~data) in
+        Ok ()
+    | _ -> e.fd_mount.m_ops.write e.fd_ino ~off:e.fd_off data
+  in
+  e.fd_off <- e.fd_off + String.length data;
+  Ok ()
+
+let seek t ~pid ~fd ~off =
+  let* e = fd_entry t ~pid ~fd in
+  e.fd_off <- off;
+  Ok ()
+
+let close t ~pid ~fd =
+  enter t;
+  let p = proc t pid in
+  if Hashtbl.mem p.fds fd then begin
+    Hashtbl.remove p.fds fd;
+    Ok ()
+  end
+  else Error Vfs.EBADF
+
+let mmap t ~pid ~fd ~writable =
+  enter t;
+  let* e = fd_entry t ~pid ~fd in
+  match (t.pass, file_handle_of e.fd_mount e.fd_ino) with
+  | Some s, Some h -> lift_dpapi (Observer.mmap s.observer ~pid ~file:h ~writable)
+  | _ -> Ok ()
+
+(* --- pipes ---------------------------------------------------------------- *)
+
+let pipe t ~pid =
+  enter t;
+  let id = t.next_pipe in
+  t.next_pipe <- id + 1;
+  Hashtbl.replace t.pipes id { pipe_id = id; buffer = [] };
+  (match t.pass with
+  | Some s -> ignore (Observer.pipe_create s.observer ~pid ~pipe_id:id)
+  | None -> ());
+  id
+
+let pipe_write t ~pid ~pipe_id ~data =
+  enter t;
+  match Hashtbl.find_opt t.pipes pipe_id with
+  | None -> Error Vfs.EBADF
+  | Some p ->
+      p.buffer <- data :: p.buffer;
+      (match t.pass with
+      | Some s -> lift_dpapi (Observer.pipe_write s.observer ~pid ~pipe_id)
+      | None -> Ok ())
+
+let pipe_read t ~pid ~pipe_id =
+  enter t;
+  match Hashtbl.find_opt t.pipes pipe_id with
+  | None -> Error Vfs.EBADF
+  | Some p ->
+      let data = String.concat "" (List.rev p.buffer) in
+      p.buffer <- [];
+      let* () =
+        match t.pass with
+        | Some s -> lift_dpapi (Observer.pipe_read s.observer ~pid ~pipe_id)
+        | None -> Ok ()
+      in
+      Ok data
+
+(* --- namespace operations ------------------------------------------------ *)
+
+let mkdir_p t ~path =
+  enter t;
+  let* m, rel = resolve_mount t path in
+  let* _ino = Vfs.mkdir_p m.m_ops rel in
+  Ok ()
+
+let unlink t ~pid:_ ~path =
+  enter t;
+  let* m, rel = resolve_mount t path in
+  (match (t.pass, Vfs.lookup_path m.m_ops rel) with
+  | Some s, Ok ino -> (
+      match file_handle_of m ino with
+      | Some h -> ignore (Observer.drop_inode s.observer ~file:h)
+      | None -> ())
+  | _ -> ());
+  Vfs.remove_path m.m_ops rel
+
+let rename t ~pid:_ ~src ~dst =
+  enter t;
+  let* ms, rels = resolve_mount t src in
+  let* md, reld = resolve_mount t dst in
+  if not (String.equal ms.m_name md.m_name) then Error Vfs.EINVAL
+  else Vfs.rename_path ms.m_ops rels reld
+
+let stat t ~path =
+  enter t;
+  let* m, rel = resolve_mount t path in
+  let* ino = Vfs.lookup_path m.m_ops rel in
+  m.m_ops.getattr ino
+
+let readdir t ~path =
+  enter t;
+  let* m, rel = resolve_mount t path in
+  let* ino = Vfs.lookup_path m.m_ops rel in
+  m.m_ops.readdir ino
+
+(* handle of a file by path, for examples and tests that disclose
+   provenance about files *)
+let handle_of_path t path =
+  let* m, rel = resolve_mount t path in
+  let* ino = Vfs.lookup_path m.m_ops rel in
+  match file_handle_of m ino with
+  | Some h -> Ok h
+  | None -> Error Vfs.EINVAL

@@ -1,0 +1,65 @@
+(** System assembly: a complete simulated machine.
+
+    Builds the two configurations of the paper's evaluation (Section 7):
+    [Vanilla] (ext3 volumes only — the baseline) and [Pass] (each volume
+    Lasagna-stacked with a Waldo attached, and the kernel carrying the
+    observer → analyzer → distributor → volume-router DPAPI chain). *)
+
+module Dpapi = Pass_core.Dpapi
+module Clock = Simdisk.Clock
+module Disk = Simdisk.Disk
+
+type mode = Vanilla | Pass
+
+type volume = {
+  v_name : string;
+  v_disk : Disk.t;
+  v_ext3 : Ext3.t;
+  v_lasagna : Lasagna.t option;
+  v_waldo : Waldo.t option;
+}
+
+type t
+
+val create : mode:mode -> machine:int -> volume_names:string list -> unit -> t
+
+val mode : t -> mode
+val clock : t -> Clock.t
+val kernel : t -> Kernel.t
+val volumes : t -> volume list
+val find_volume : t -> string -> volume option
+
+val elapsed_seconds : t -> float
+(** The machine's simulated wall clock, in seconds. *)
+
+val mount_external :
+  t ->
+  name:string ->
+  ops:Vfs.ops ->
+  ?endpoint:Dpapi.endpoint ->
+  ?file_handle:(Vfs.ino -> (Dpapi.handle, Vfs.errno) result) ->
+  unit ->
+  unit
+(** Mount an externally built file system (e.g. the PA-NFS client); with
+    an [endpoint] it also joins the provenance routing table. *)
+
+val drain : t -> int
+(** Close and process every volume's WAP logs; returns orphaned
+    transactions discarded. *)
+
+val waldo_db : t -> string -> Provdb.t option
+(** The Waldo database of a volume (after {!drain} for a complete view). *)
+
+val app_endpoint : t -> pid:int -> Dpapi.endpoint option
+(** The per-process DPAPI endpoint a provenance-aware application uses
+    (None on a vanilla kernel). *)
+
+type space = {
+  sp_data_bytes : int;
+  sp_prov_log_bytes : int;
+  sp_db_bytes : int;
+  sp_index_bytes : int;
+}
+
+val space : t -> space
+(** Space accounting for Table 3. *)

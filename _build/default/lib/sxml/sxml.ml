@@ -1,0 +1,249 @@
+(* A small XML parser/printer — the substrate for the PA-Python
+   thermography use case (paper §3.3), whose experiment logs live in a
+   series of XML files.
+
+   Supports elements, attributes, text nodes, self-closing tags, XML
+   declarations, comments, and the five standard entities.  No DTDs,
+   namespaces or CDATA — the data acquisition files do not need them. *)
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = { tag : string; attrs : (string * string) list; children : node list }
+
+exception Parse_error of string * int (* message, position *)
+
+let fail msg pos = raise (Parse_error (msg, pos))
+
+(* --- entities -------------------------------------------------------------- *)
+
+let decode_entities s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | Some j when j - !i <= 6 ->
+          (match String.sub s (!i + 1) (j - !i - 1) with
+          | "amp" -> Buffer.add_char buf '&'
+          | "lt" -> Buffer.add_char buf '<'
+          | "gt" -> Buffer.add_char buf '>'
+          | "quot" -> Buffer.add_char buf '"'
+          | "apos" -> Buffer.add_char buf '\''
+          | other -> fail ("unknown entity &" ^ other ^ ";") !i);
+          i := j + 1
+      | _ -> fail "unterminated entity" !i
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let encode_entities s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* --- parser ---------------------------------------------------------------- *)
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.input
+    && (match st.input.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  if peek st = Some c then st.pos <- st.pos + 1
+  else fail (Printf.sprintf "expected %C" c) st.pos
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  while st.pos < String.length st.input && is_name_char st.input.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail "expected a name" st.pos;
+  String.sub st.input start (st.pos - start)
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) ->
+        st.pos <- st.pos + 1;
+        q
+    | _ -> fail "expected quoted attribute value" st.pos
+  in
+  let start = st.pos in
+  (match String.index_from_opt st.input st.pos quote with
+  | Some j -> st.pos <- j + 1
+  | None -> fail "unterminated attribute value" st.pos);
+  decode_entities (String.sub st.input start (st.pos - 1 - start))
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_char c ->
+        let name = parse_name st in
+        skip_ws st;
+        expect st '=';
+        skip_ws st;
+        let value = parse_attr_value st in
+        loop ((name, value) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let skip_prolog st =
+  let rec loop () =
+    skip_ws st;
+    if st.pos + 1 < String.length st.input && st.input.[st.pos] = '<' then
+      match st.input.[st.pos + 1] with
+      | '?' -> (
+          match
+            (* <?xml ... ?> *)
+            String.index_from_opt st.input st.pos '>'
+          with
+          | Some j ->
+              st.pos <- j + 1;
+              loop ()
+          | None -> fail "unterminated processing instruction" st.pos)
+      | '!' -> (
+          (* comment <!-- ... --> *)
+          match String.index_from_opt st.input st.pos '>' with
+          | Some j ->
+              st.pos <- j + 1;
+              loop ()
+          | None -> fail "unterminated comment" st.pos)
+      | _ -> ()
+  in
+  loop ()
+
+let rec parse_element st =
+  expect st '<';
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_ws st;
+  match peek st with
+  | Some '/' ->
+      st.pos <- st.pos + 1;
+      expect st '>';
+      { tag; attrs; children = [] }
+  | Some '>' ->
+      st.pos <- st.pos + 1;
+      let children = parse_children st tag in
+      { tag; attrs; children }
+  | _ -> fail "malformed tag" st.pos
+
+and parse_children st tag =
+  let children = ref [] in
+  let closed = ref false in
+  while not !closed do
+    if st.pos >= String.length st.input then fail ("unclosed element " ^ tag) st.pos
+    else if st.input.[st.pos] = '<' then
+      if st.pos + 1 < String.length st.input && st.input.[st.pos + 1] = '/' then begin
+        st.pos <- st.pos + 2;
+        let closing = parse_name st in
+        if not (String.equal closing tag) then
+          fail (Printf.sprintf "mismatched close: <%s> vs </%s>" tag closing) st.pos;
+        skip_ws st;
+        expect st '>';
+        closed := true
+      end
+      else if st.pos + 3 < String.length st.input && String.sub st.input st.pos 4 = "<!--" then begin
+        match String.index_from_opt st.input st.pos '>' with
+        | Some j -> st.pos <- j + 1
+        | None -> fail "unterminated comment" st.pos
+      end
+      else children := Element (parse_element st) :: !children
+    else begin
+      let next_tag =
+        match String.index_from_opt st.input st.pos '<' with
+        | Some j -> j
+        | None -> String.length st.input
+      in
+      let text = decode_entities (String.sub st.input st.pos (next_tag - st.pos)) in
+      if String.trim text <> "" then children := Text text :: !children;
+      st.pos <- next_tag
+    end
+  done;
+  List.rev !children
+
+let parse input =
+  let st = { input; pos = 0 } in
+  skip_prolog st;
+  skip_ws st;
+  let root = parse_element st in
+  skip_ws st;
+  if st.pos <> String.length input then fail "trailing content after root element" st.pos;
+  root
+
+(* --- printer --------------------------------------------------------------- *)
+
+let rec print_node buf = function
+  | Text t -> Buffer.add_string buf (encode_entities t)
+  | Element e ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (encode_entities v);
+          Buffer.add_char buf '"')
+        e.attrs;
+      if e.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (print_node buf) e.children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf e.tag;
+        Buffer.add_char buf '>'
+      end
+
+let to_string root =
+  let buf = Buffer.create 256 in
+  print_node buf (Element root);
+  Buffer.contents buf
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let attr e name = List.assoc_opt name e.attrs
+
+let children_named e tag =
+  List.filter_map
+    (function Element c when String.equal c.tag tag -> Some c | Element _ | Text _ -> None)
+    e.children
+
+let first_child e tag = match children_named e tag with c :: _ -> Some c | [] -> None
+
+let text_content e =
+  String.concat ""
+    (List.filter_map (function Text t -> Some t | Element _ -> None) e.children)
+
+let rec find_all e tag =
+  let here = children_named e tag in
+  here @ List.concat_map (fun c -> find_all c tag)
+           (List.filter_map (function Element c -> Some c | Text _ -> None) e.children)

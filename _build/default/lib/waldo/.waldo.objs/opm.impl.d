@@ -1,0 +1,1 @@
+lib/waldo/opm.ml: List Pass_core Printf Provdb Sxml

@@ -1,0 +1,1 @@
+lib/waldo/opm.mli: Provdb Sxml

@@ -1,0 +1,1 @@
+lib/waldo/provdb.ml: Buffer Fun Hashtbl List Option Pass_core String Wire

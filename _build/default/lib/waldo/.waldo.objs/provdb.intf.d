@@ -1,0 +1,1 @@
+lib/waldo/provdb.mli: Pass_core

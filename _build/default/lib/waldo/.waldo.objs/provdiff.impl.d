@@ -1,0 +1,1 @@
+lib/waldo/provdiff.ml: Format Hashtbl List Option Pass_core Printf Provdb String

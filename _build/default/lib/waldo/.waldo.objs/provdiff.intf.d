@@ -1,0 +1,1 @@
+lib/waldo/provdiff.mli: Format Pass_core Provdb

@@ -1,0 +1,1 @@
+lib/waldo/provdot.ml: Buffer Hashtbl List Option Pass_core Printf Provdb String

@@ -1,0 +1,1 @@
+lib/waldo/provdot.mli: Pass_core Provdb

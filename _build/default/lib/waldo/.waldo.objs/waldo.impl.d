@@ -1,0 +1,1 @@
+lib/waldo/waldo.ml: Hashtbl Lasagna List Logs Option Pass_core Provdb Result String Vfs Wap_log Wire

@@ -1,0 +1,1 @@
+lib/waldo/waldo.mli: Lasagna Provdb Vfs

@@ -1,0 +1,11 @@
+(** Open-Provenance-Model-style XML export.
+
+    Maps a provenance database onto the OPM vocabulary the Provenance
+    Challenges (paper refs 24, 25) converged on: artifacts, processes,
+    and used / wasGeneratedBy / wasTriggeredBy / wasDerivedFrom
+    dependencies. *)
+
+val export : Provdb.t -> Sxml.element
+(** The [<opmGraph>] element. *)
+
+val to_string : Provdb.t -> string

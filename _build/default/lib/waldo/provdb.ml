@@ -1,0 +1,284 @@
+(* The provenance database Waldo maintains (paper §5.6).
+
+   PASSv1 wrote provenance directly into databases; PASSv2 writes a log
+   that Waldo later moves into a database and indexes.  The database holds
+   the provenance graph at (object, version) granularity:
+
+   - a node table: pnode -> kind, latest known name, known versions;
+   - a quad store: (pnode, version, attribute, value);
+   - a forward edge index: (pnode, version) -> ancestry cross-references;
+   - a reverse edge index: pnode -> who refers to it;
+   - a name index: name -> pnodes;
+   - an attribute index: attribute -> (pnode, version) occurrences.
+
+   Byte accounting mirrors Table 3: [db_bytes] is the encoded size of the
+   node and quad tables, [index_bytes] the encoded size of the indexes. *)
+
+module Pnode = Pass_core.Pnode
+module Pvalue = Pass_core.Pvalue
+module Record = Pass_core.Record
+
+type node_kind = File | Virtual
+
+type node = {
+  pnode : Pnode.t;
+  mutable kind : node_kind;
+  mutable node_name : string option;
+  mutable max_version : int;
+}
+
+type quad = { q_pnode : Pnode.t; q_version : int; q_attr : string; q_value : Pvalue.t }
+
+type t = {
+  nodes : (Pnode.t, node) Hashtbl.t;
+  quads : (Pnode.t * int, quad list ref) Hashtbl.t; (* newest first *)
+  fwd : (Pnode.t * int, (string * Pvalue.xref) list ref) Hashtbl.t;
+  rev : (Pnode.t, (Pnode.t * int * string * int) list ref) Hashtbl.t;
+  names : (string, Pnode.t list ref) Hashtbl.t;
+  attr_index : (string, (Pnode.t * int) list ref) Hashtbl.t;
+  mutable quad_count : int;
+  mutable db_bytes : int;
+  mutable index_bytes : int;
+}
+
+let create () =
+  {
+    nodes = Hashtbl.create 4096;
+    quads = Hashtbl.create 8192;
+    fwd = Hashtbl.create 8192;
+    rev = Hashtbl.create 8192;
+    names = Hashtbl.create 1024;
+    attr_index = Hashtbl.create 64;
+    quad_count = 0;
+    db_bytes = 0;
+    index_bytes = 0;
+  }
+
+let multi_add tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let node t pnode =
+  match Hashtbl.find_opt t.nodes pnode with
+  | Some n -> n
+  | None ->
+      let n = { pnode; kind = Virtual; node_name = None; max_version = 0 } in
+      Hashtbl.add t.nodes pnode n;
+      t.db_bytes <- t.db_bytes + 24;
+      n
+
+let set_file t pnode ~name =
+  let n = node t pnode in
+  n.kind <- File;
+  if name <> "" then begin
+    (match n.node_name with
+    | Some old when old <> name -> ()
+    | Some _ -> ()
+    | None -> t.index_bytes <- t.index_bytes + String.length name + 12);
+    n.node_name <- Some name;
+    multi_add t.names name pnode;
+    t.db_bytes <- t.db_bytes + String.length name
+  end
+
+let declare_virtual t pnode = ignore (node t pnode)
+
+let encoded_record_size record =
+  let buf = Buffer.create 32 in
+  Record.encode buf record;
+  Buffer.length buf
+
+(* Insert one record attributed to (pnode, version). *)
+let add_record t pnode ~version (record : Record.t) =
+  let n = node t pnode in
+  if version > n.max_version then n.max_version <- version;
+  let q = { q_pnode = pnode; q_version = version; q_attr = record.attr; q_value = record.value } in
+  multi_add t.quads (pnode, version) q;
+  t.quad_count <- t.quad_count + 1;
+  let sz = encoded_record_size record in
+  t.db_bytes <- t.db_bytes + sz + 16;
+  t.index_bytes <- t.index_bytes + 20 (* attr index entry *);
+  multi_add t.attr_index record.attr (pnode, version);
+  (match record.value with
+  | Pvalue.Xref x when Record.is_ancestry record ->
+      multi_add t.fwd (pnode, version) (record.attr, x);
+      multi_add t.rev x.pnode (pnode, version, record.attr, x.version);
+      ignore (node t x.pnode);
+      t.index_bytes <- t.index_bytes + 40 (* fwd + rev entries *)
+  | Pvalue.Str s when String.equal record.attr Record.Attr.name ->
+      let n = node t pnode in
+      if n.node_name = None then begin
+        n.node_name <- Some s;
+        multi_add t.names s pnode;
+        t.index_bytes <- t.index_bytes + String.length s + 12
+      end
+  | _ -> ())
+
+(* --- query access -------------------------------------------------------- *)
+
+let find_node t pnode = Hashtbl.find_opt t.nodes pnode
+let node_count t = Hashtbl.length t.nodes
+let quad_count t = t.quad_count
+
+let all_nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
+
+let find_by_name t name =
+  match Hashtbl.find_opt t.names name with Some l -> List.sort_uniq compare !l | None -> []
+
+let name_of t pnode = Option.bind (find_node t pnode) (fun n -> n.node_name)
+
+let versions t pnode =
+  match find_node t pnode with
+  | None -> []
+  | Some n -> List.init (n.max_version + 1) Fun.id
+
+let records_at t pnode ~version =
+  match Hashtbl.find_opt t.quads (pnode, version) with
+  | Some l -> List.rev !l
+  | None -> []
+
+let records_all t pnode =
+  List.concat_map (fun v -> records_at t pnode ~version:v) (versions t pnode)
+
+let out_edges t pnode ~version =
+  match Hashtbl.find_opt t.fwd (pnode, version) with Some l -> List.rev !l | None -> []
+
+let out_edges_all t pnode =
+  List.concat_map
+    (fun v -> List.map (fun (a, x) -> (v, a, x)) (out_edges t pnode ~version:v))
+    (versions t pnode)
+
+let in_edges t pnode =
+  match Hashtbl.find_opt t.rev pnode with Some l -> List.rev !l | None -> []
+
+let with_attr t attr =
+  match Hashtbl.find_opt t.attr_index attr with
+  | Some l -> List.sort_uniq compare !l
+  | None -> []
+
+let attr_value t pnode ~version attr =
+  List.find_map
+    (fun (q : quad) -> if String.equal q.q_attr attr then Some q.q_value else None)
+    (records_at t pnode ~version)
+
+let db_bytes t = t.db_bytes
+let index_bytes t = t.index_bytes
+let total_bytes t = t.db_bytes + t.index_bytes
+
+(* Merge [src] into [dst]: used by the query engine to get a unified view
+   over several volumes' databases (e.g. two NFS servers plus the local
+   disk in the Figure 1 scenario). *)
+let merge_into ~dst ~src =
+  Hashtbl.iter
+    (fun _ (n : node) ->
+      (match n.kind with
+      | File -> set_file dst n.pnode ~name:(Option.value n.node_name ~default:"")
+      | Virtual -> declare_virtual dst n.pnode);
+      match n.node_name with
+      | Some nm when n.kind = Virtual ->
+          (* preserve names of virtual objects too *)
+          let d = node dst n.pnode in
+          if d.node_name = None then begin
+            d.node_name <- Some nm;
+            multi_add dst.names nm n.pnode
+          end
+      | _ -> ())
+    src.nodes;
+  Hashtbl.iter
+    (fun (pnode, version) quads ->
+      List.iter
+        (fun (q : quad) -> add_record dst pnode ~version { attr = q.q_attr; value = q.q_value })
+        (List.rev !quads))
+    src.quads
+
+(* --- on-disk form ---------------------------------------------------------- *)
+
+(* Serialize the node and quad tables (indexes are rebuilt on load, since
+   add_record maintains them).  Deterministic order so persisted images
+   are stable. *)
+let serialize t =
+  let buf = Buffer.create 65536 in
+  Wire.put_string buf "PROVDB1";
+  let nodes = List.sort (fun a b -> Pnode.compare a.pnode b.pnode) (all_nodes t) in
+  Wire.put_u32 buf (List.length nodes);
+  List.iter
+    (fun n ->
+      Wire.put_i64 buf (Pnode.to_int n.pnode);
+      Wire.put_u8 buf (match n.kind with File -> 1 | Virtual -> 0);
+      Wire.put_string buf (Option.value n.node_name ~default:"");
+      Wire.put_i64 buf n.max_version)
+    nodes;
+  let quads =
+    List.concat_map
+      (fun n ->
+        List.concat_map (fun v -> records_at t n.pnode ~version:v) (versions t n.pnode))
+      nodes
+  in
+  Wire.put_u32 buf (List.length quads);
+  List.iter
+    (fun q ->
+      Wire.put_i64 buf (Pnode.to_int q.q_pnode);
+      Wire.put_i64 buf q.q_version;
+      Record.encode buf { Record.attr = q.q_attr; value = q.q_value })
+    quads;
+  Buffer.contents buf
+
+let deserialize image =
+  let pos = ref 0 in
+  if not (String.equal (Wire.get_string image pos) "PROVDB1") then
+    Wire.corrupt "provdb: bad magic";
+  let t = create () in
+  let n_nodes = Wire.get_u32 image pos in
+  for _ = 1 to n_nodes do
+    let pnode = Pnode.of_int (Wire.get_i64 image pos) in
+    let kind = Wire.get_u8 image pos in
+    let name = Wire.get_string image pos in
+    let _maxv = Wire.get_i64 image pos in
+    if kind = 1 then set_file t pnode ~name else declare_virtual t pnode
+  done;
+  let n_quads = Wire.get_u32 image pos in
+  for _ = 1 to n_quads do
+    let pnode = Pnode.of_int (Wire.get_i64 image pos) in
+    let version = Wire.get_i64 image pos in
+    let record = Record.decode image pos in
+    add_record t pnode ~version record
+  done;
+  t
+
+(* --- integrity ----------------------------------------------------------- *)
+
+(* Acyclicity at (pnode, version) granularity — DESIGN.md invariant 1. *)
+let is_acyclic t =
+  let color : (Pnode.t * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let rec dfs key =
+    match Hashtbl.find_opt color key with
+    | Some 1 -> false
+    | Some _ -> true
+    | None ->
+        Hashtbl.replace color key 1;
+        let pnode, version = key in
+        let ok =
+          List.for_all
+            (fun (_, (x : Pvalue.xref)) -> dfs (x.pnode, x.version))
+            (out_edges t pnode ~version)
+        in
+        Hashtbl.replace color key 2;
+        ok
+  in
+  Hashtbl.fold (fun key _ acc -> acc && dfs key) t.fwd true
+
+(* Transitive ancestor closure of (pnode, version): every (pnode, version)
+   reachable over ancestry edges, *including* earlier versions linked by
+   freeze records.  This is what `input*` ultimately walks. *)
+let ancestors t pnode ~version =
+  let seen = Hashtbl.create 64 in
+  let rec go key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      let p, v = key in
+      List.iter (fun (_, (x : Pvalue.xref)) -> go (x.pnode, x.version)) (out_edges t p ~version:v)
+    end
+  in
+  go (pnode, version);
+  Hashtbl.remove seen (pnode, version);
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []

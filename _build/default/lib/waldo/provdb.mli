@@ -1,0 +1,81 @@
+(** The provenance database Waldo maintains.
+
+    Holds the provenance graph at (object, version) granularity with the
+    indexes the query engine needs: forward and reverse ancestry edges, a
+    name index and an attribute index.  Byte accounting mirrors the
+    paper's Table 3 ([db_bytes] for the tables, [index_bytes] for the
+    indexes). *)
+
+module Pnode = Pass_core.Pnode
+module Pvalue = Pass_core.Pvalue
+
+type node_kind = File | Virtual
+
+type node = {
+  pnode : Pnode.t;
+  mutable kind : node_kind;
+  mutable node_name : string option;
+  mutable max_version : int;
+}
+
+type quad = { q_pnode : Pnode.t; q_version : int; q_attr : string; q_value : Pvalue.t }
+
+type t
+
+val create : unit -> t
+
+val set_file : t -> Pnode.t -> name:string -> unit
+(** Declare [pnode] to be a file, optionally recording its name. *)
+
+val declare_virtual : t -> Pnode.t -> unit
+
+val add_record : t -> Pnode.t -> version:int -> Pass_core.Record.t -> unit
+(** Insert one record attributed to (pnode, version), updating indexes. *)
+
+val find_node : t -> Pnode.t -> node option
+val node_count : t -> int
+val quad_count : t -> int
+val all_nodes : t -> node list
+
+val find_by_name : t -> string -> Pnode.t list
+val name_of : t -> Pnode.t -> string option
+val versions : t -> Pnode.t -> int list
+
+val records_at : t -> Pnode.t -> version:int -> quad list
+val records_all : t -> Pnode.t -> quad list
+
+val out_edges : t -> Pnode.t -> version:int -> (string * Pvalue.xref) list
+(** Ancestry edges leaving (pnode, version): attribute and target. *)
+
+val out_edges_all : t -> Pnode.t -> (int * string * Pvalue.xref) list
+
+val in_edges : t -> Pnode.t -> (Pnode.t * int * string * int) list
+(** Who refers to [pnode]: (source pnode, source version, attribute,
+    referenced version of [pnode]). *)
+
+val with_attr : t -> string -> (Pnode.t * int) list
+val attr_value : t -> Pnode.t -> version:int -> string -> Pvalue.t option
+
+val serialize : t -> string
+(** On-disk image of the node and quad tables (indexes are rebuilt by
+    {!deserialize}). *)
+
+val deserialize : string -> t
+(** @raise Wire.Corrupt on a malformed image. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Merge [src] into [dst], giving the query engine a unified view over
+    several volumes (e.g. the Figure 1 scenario's two NFS servers plus
+    the local disk). *)
+
+val db_bytes : t -> int
+val index_bytes : t -> int
+val total_bytes : t -> int
+
+val is_acyclic : t -> bool
+(** DESIGN.md invariant 1: the stored graph is a DAG at version
+    granularity. *)
+
+val ancestors : t -> Pnode.t -> version:int -> (Pnode.t * int) list
+(** Transitive ancestor closure over ancestry edges (what [input*]
+    walks). *)

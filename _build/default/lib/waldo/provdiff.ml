@@ -1,0 +1,150 @@
+(* Ancestry diffing — the paper's opening motivating question: "How does
+   the ancestry of two objects differ?" (§1).
+
+   Compares the transitive ancestries of two (object, version) pairs at
+   object granularity: which ancestors appear only on one side, and which
+   appear on both sides but at different versions (the §3.1 anomaly case:
+   Wednesday's atlas descends from a *newer version* of an input than
+   Monday's did). *)
+
+module Pnode = Pass_core.Pnode
+
+type side = { s_pnode : Pnode.t; s_version : int }
+
+type entry = {
+  e_pnode : Pnode.t;
+  e_name : string option;
+  versions_a : int list; (* versions of this ancestor reachable from a *)
+  versions_b : int list;
+}
+
+type t = {
+  only_a : entry list;
+  only_b : entry list;
+  version_changed : entry list; (* on both sides, different version sets *)
+  common : int; (* ancestors identical on both sides *)
+}
+
+(* Ancestry of one version, NOT following the object's own version chain:
+   following it would make a newer version's ancestry subsume every older
+   one's and the diff would be empty by construction.  Each side is "what
+   this version was derived from", which is what run-vs-run comparison
+   means. *)
+let ancestor_versions db root ~version =
+  let tbl : (Pnode.t, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let seen : (Pnode.t * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec go (p, v) =
+    if not (Hashtbl.mem seen (p, v)) then begin
+      Hashtbl.replace seen (p, v) ();
+      if not (Pnode.equal p root) then begin
+        (match Hashtbl.find_opt tbl p with
+        | Some l -> l := v :: !l
+        | None -> Hashtbl.add tbl p (ref [ v ]))
+      end;
+      if Pnode.equal p root && v <> version then ()
+      else
+        List.iter
+          (fun (_, (x : Pass_core.Pvalue.xref)) ->
+            (* skip the root's version chain; everything else is a real
+               derivation edge *)
+            if not (Pnode.equal x.pnode root) then go (x.pnode, x.version))
+          (Provdb.out_edges db p ~version:v)
+    end
+  in
+  go (root, version);
+  tbl
+
+let diff db ~a ~b =
+  let ta = ancestor_versions db a.s_pnode ~version:a.s_version in
+  let tb = ancestor_versions db b.s_pnode ~version:b.s_version in
+  let entry p va vb =
+    {
+      e_pnode = p;
+      e_name = Provdb.name_of db p;
+      versions_a = List.sort_uniq compare va;
+      versions_b = List.sort_uniq compare vb;
+    }
+  in
+  let only_a = ref [] and only_b = ref [] and changed = ref [] and common = ref 0 in
+  Hashtbl.iter
+    (fun p va ->
+      match Hashtbl.find_opt tb p with
+      | None -> only_a := entry p !va [] :: !only_a
+      | Some vb ->
+          let e = entry p !va !vb in
+          if e.versions_a = e.versions_b then incr common else changed := e :: !changed)
+    ta;
+  Hashtbl.iter
+    (fun p vb -> if not (Hashtbl.mem ta p) then only_b := entry p [] !vb :: !only_b)
+    tb;
+  let by_name e e' = compare e.e_name e'.e_name in
+  {
+    only_a = List.sort by_name !only_a;
+    only_b = List.sort by_name !only_b;
+    version_changed = List.sort by_name !changed;
+    common = !common;
+  }
+
+(* Diff two named objects at their latest versions; when the same name
+   resolves to several objects (e.g. re-created files), the latest pnode
+   wins. *)
+let diff_by_name db ~name_a ~name_b =
+  let resolve name =
+    match List.rev (Provdb.find_by_name db name) with
+    | p :: _ ->
+        let n = Option.get (Provdb.find_node db p) in
+        Some { s_pnode = p; s_version = n.Provdb.max_version }
+    | [] -> None
+  in
+  match (resolve name_a, resolve name_b) with
+  | Some a, Some b -> Some (diff db ~a ~b)
+  | _ -> None
+
+(* The §3.1 shape: two versions of the same object (Monday's atlas vs
+   Wednesday's). *)
+let diff_versions db pnode ~version_a ~version_b =
+  diff db ~a:{ s_pnode = pnode; s_version = version_a }
+    ~b:{ s_pnode = pnode; s_version = version_b }
+
+(* Restrict a diff to file ancestors: per-run virtual objects (operators,
+   invocations, processes) get fresh pnodes every run and would dominate
+   the output, while the run-to-run signal — which *data* changed — lives
+   in the file entries. *)
+let files_only db t =
+  let is_file e =
+    match Provdb.find_node db e.e_pnode with
+    | Some n -> n.Provdb.kind = Provdb.File
+    | None -> false
+  in
+  {
+    only_a = List.filter is_file t.only_a;
+    only_b = List.filter is_file t.only_b;
+    version_changed = List.filter is_file t.version_changed;
+    common = t.common;
+  }
+
+let pp_entry ppf (e : entry) =
+  let name =
+    Option.value e.e_name ~default:(Printf.sprintf "p%d" (Pnode.to_int e.e_pnode))
+  in
+  let vs l = String.concat "," (List.map string_of_int l) in
+  match (e.versions_a, e.versions_b) with
+  | va, [] -> Format.fprintf ppf "%s (v%s)" name (vs va)
+  | [], vb -> Format.fprintf ppf "%s (v%s)" name (vs vb)
+  | va, vb -> Format.fprintf ppf "%s (v%s -> v%s)" name (vs va) (vs vb)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>common ancestors: %d@," t.common;
+  if t.only_a <> [] then begin
+    Format.fprintf ppf "only in A's ancestry:@,";
+    List.iter (fun e -> Format.fprintf ppf "  %a@," pp_entry e) t.only_a
+  end;
+  if t.only_b <> [] then begin
+    Format.fprintf ppf "only in B's ancestry:@,";
+    List.iter (fun e -> Format.fprintf ppf "  %a@," pp_entry e) t.only_b
+  end;
+  if t.version_changed <> [] then begin
+    Format.fprintf ppf "same ancestor, different versions:@,";
+    List.iter (fun e -> Format.fprintf ppf "  %a@," pp_entry e) t.version_changed
+  end;
+  Format.fprintf ppf "@]"

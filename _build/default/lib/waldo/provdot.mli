@@ -1,0 +1,8 @@
+(** Graphviz export of a provenance database.
+
+    Files render as boxes, processes as ellipses, other application
+    objects as rounded boxes; version chains collapse to one node. *)
+
+val to_dot : ?roots:Pass_core.Pnode.t list -> Provdb.t -> string
+(** [to_dot db] renders the whole graph; with [roots] only the ancestry
+    cones of those objects. *)

@@ -1,0 +1,157 @@
+(* Waldo (paper §5.6): the user-level daemon that moves provenance from the
+   WAP logs into the database and serves the query engine.
+
+   The kernel closes a log when it exceeds a maximum size or goes dormant;
+   Waldo is notified (inotify in the paper, a callback here), processes
+   the log, and removes it.  Waldo also resolves PA-NFS transactions:
+   bundles tagged with a transaction id are buffered until the ENDTXN
+   record arrives; orphaned transactions — a client that crashed after
+   OP_BEGINTXN but before completing — are discarded at finalize time,
+   which is exactly the recovery story of Section 6.1.2. *)
+
+module Pnode = Pass_core.Pnode
+module Pvalue = Pass_core.Pvalue
+module Record = Pass_core.Record
+module Dpapi = Pass_core.Dpapi
+
+type stats = {
+  mutable logs_processed : int;
+  mutable frames_ingested : int;
+  mutable records_ingested : int;
+  mutable txns_committed : int;
+  mutable txns_orphaned : int;
+}
+
+type t = {
+  db : Provdb.t;
+  lower : Vfs.ops; (* the file system holding the .pass directory *)
+  ingest_version : (Pnode.t, int) Hashtbl.t; (* version tracking during ingest *)
+  pending_txns : (int, Dpapi.bundle list ref) Hashtbl.t;
+  stats : stats;
+}
+
+let create ~lower () =
+  {
+    db = Provdb.create ();
+    lower;
+    ingest_version = Hashtbl.create 1024;
+    pending_txns = Hashtbl.create 16;
+    stats =
+      { logs_processed = 0; frames_ingested = 0; records_ingested = 0;
+        txns_committed = 0; txns_orphaned = 0 };
+  }
+
+let db t = t.db
+let stats t = t.stats
+
+let cur_version t pnode =
+  Option.value (Hashtbl.find_opt t.ingest_version pnode) ~default:0
+
+let ingest_record t pnode (record : Record.t) =
+  t.stats.records_ingested <- t.stats.records_ingested + 1;
+  (* FREEZE records advance the ingest-side version: subsequent records for
+     this object belong to the new version.  The freeze's own records (the
+     marker and the version edge) are attributed to the new version. *)
+  (match record.value with
+  | Pvalue.Int v when String.equal record.attr Record.Attr.freeze ->
+      Hashtbl.replace t.ingest_version pnode v
+  | _ -> ());
+  Provdb.add_record t.db pnode ~version:(cur_version t pnode) record
+
+let ingest_bundle t (bundle : Dpapi.bundle) =
+  List.iter
+    (fun (e : Dpapi.bundle_entry) ->
+      List.iter (ingest_record t e.target.pnode) e.records)
+    bundle
+
+let ingest_frame t = function
+  | Wap_log.Map { pnode; ino = _; name } -> Provdb.set_file t.db pnode ~name
+  | Wap_log.Mkobj { pnode } -> Provdb.declare_virtual t.db pnode
+  | Wap_log.Bundle { txn = Some id; bundle; data = _ } -> (
+      (* transactional: buffer until ENDTXN *)
+      let is_endtxn =
+        List.exists
+          (fun (e : Dpapi.bundle_entry) ->
+            List.exists
+              (fun (r : Record.t) -> String.equal r.attr Record.Attr.endtxn)
+              e.records)
+          bundle
+      in
+      let pending =
+        match Hashtbl.find_opt t.pending_txns id with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add t.pending_txns id l;
+            l
+      in
+      pending := bundle :: !pending;
+      if is_endtxn then begin
+        List.iter (ingest_bundle t) (List.rev !pending);
+        Hashtbl.remove t.pending_txns id;
+        t.stats.txns_committed <- t.stats.txns_committed + 1
+      end)
+  | Wap_log.Bundle { txn = None; bundle; data } ->
+      ingest_bundle t bundle;
+      (match data with
+      | Some d ->
+          Provdb.add_record t.db d.d_pnode ~version:(cur_version t d.d_pnode)
+            (Record.make Record.Attr.data_md5 (Pvalue.Bytes d.d_md5))
+      | None -> ())
+
+let ( let* ) = Result.bind
+
+(* Process one closed log: read it, ingest every frame, remove the file. *)
+let process_log t ~dir ~name =
+  let* ino = t.lower.Vfs.lookup ~dir name in
+  let* st = t.lower.Vfs.getattr ino in
+  let* image = t.lower.Vfs.read ino ~off:0 ~len:st.Vfs.st_size in
+  let frames, _consumed = Wap_log.parse_log image in
+  List.iter
+    (fun f ->
+      t.stats.frames_ingested <- t.stats.frames_ingested + 1;
+      ingest_frame t f)
+    frames;
+  let* () = t.lower.Vfs.unlink ~dir name in
+  t.stats.logs_processed <- t.stats.logs_processed + 1;
+  Ok ()
+
+(* Wire this Waldo to a Lasagna instance: every closed log is processed
+   immediately (the simulated inotify). *)
+let attach t lasagna =
+  let dir =
+    match Vfs.lookup_path t.lower "/.pass" with
+    | Ok ino -> ino
+    | Error e -> failwith ("waldo: no .pass dir: " ^ Vfs.errno_to_string e)
+  in
+  Lasagna.on_log_closed lasagna (fun name _ino ->
+      match process_log t ~dir ~name with
+      | Ok () -> ()
+      | Error e ->
+          Logs.warn (fun m -> m "waldo: failed to process %s: %s" name (Vfs.errno_to_string e)))
+
+(* Persist the database through the file system (the paper's Waldo keeps
+   its databases on disk); [load] brings it back after a daemon restart. *)
+let persist t ~dir =
+  let image = Provdb.serialize t.db in
+  let* _ino = Vfs.write_file ~mkparents:true t.lower (dir ^ "/db.dat") image in
+  Ok ()
+
+let load ~lower ~dir () =
+  let* image = Vfs.read_file lower (dir ^ "/db.dat") in
+  match Provdb.deserialize image with
+  | db ->
+      let t = create ~lower () in
+      Provdb.merge_into ~dst:(t.db : Provdb.t) ~src:db;
+      Ok t
+  | exception Wire.Corrupt _ -> Error Vfs.EIO
+
+(* Drain everything: close the active log and (because attach processes
+   synchronously) return once the database is up to date.  Orphaned
+   transactions are discarded and counted. *)
+let finalize t lasagna =
+  Lasagna.flush_log lasagna;
+  let orphans = Hashtbl.length t.pending_txns in
+  t.stats.txns_orphaned <- t.stats.txns_orphaned + orphans;
+  Hashtbl.reset t.pending_txns;
+  orphans

@@ -1,0 +1,40 @@
+(** Waldo: the user-level daemon that moves provenance from the WAP logs
+    into the database and serves the query engine (paper, Section 5.6).
+
+    Also resolves PA-NFS transactions: bundles tagged with a transaction
+    id are buffered until ENDTXN; orphaned transactions (client crashed
+    mid-transaction) are discarded at {!finalize}. *)
+
+type t
+
+type stats = {
+  mutable logs_processed : int;
+  mutable frames_ingested : int;
+  mutable records_ingested : int;
+  mutable txns_committed : int;
+  mutable txns_orphaned : int;
+}
+
+val create : lower:Vfs.ops -> unit -> t
+(** [create ~lower ()] builds a Waldo reading logs from the [.pass]
+    directory of [lower] (the file system beneath Lasagna). *)
+
+val db : t -> Provdb.t
+val stats : t -> stats
+
+val attach : t -> Lasagna.t -> unit
+(** Subscribe to the Lasagna instance's closed-log notifications (the
+    simulated inotify). *)
+
+val process_log : t -> dir:Vfs.ino -> name:string -> (unit, Vfs.errno) result
+(** Ingest one closed log file and remove it. *)
+
+val persist : t -> dir:string -> (unit, Vfs.errno) result
+(** Write the database image to [dir/db.dat] on the lower file system. *)
+
+val load : lower:Vfs.ops -> dir:string -> unit -> (t, Vfs.errno) result
+(** Restart the daemon from a persisted image. *)
+
+val finalize : t -> Lasagna.t -> int
+(** Close the active log, drain it, and discard orphaned transactions;
+    returns the number of orphans discarded. *)

@@ -1,0 +1,1 @@
+lib/workloads/blast.ml: List Printf String Wk

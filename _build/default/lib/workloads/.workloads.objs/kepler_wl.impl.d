@@ -1,0 +1,1 @@
+lib/workloads/kepler_wl.ml: Actor Buffer Director Kepler_run List Printf String Wk Workflow

@@ -1,0 +1,1 @@
+lib/workloads/linux_compile.ml: Printf String Wk

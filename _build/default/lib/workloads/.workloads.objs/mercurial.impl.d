@@ -1,0 +1,1 @@
+lib/workloads/mercurial.ml: Kernel Printf String System Wk

@@ -1,0 +1,1 @@
+lib/workloads/postmark.ml: Hashtbl Kernel Printf Stdlib System Wk

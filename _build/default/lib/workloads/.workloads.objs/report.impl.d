@@ -1,0 +1,1 @@
+lib/workloads/report.ml: Format List Pass_core Runner String

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Blast Client Kepler_wl Kernel Linux_compile Mercurial Postmark Proto Server System

@@ -1,0 +1,1 @@
+lib/workloads/wk.ml: Buffer Char Kernel String System Vfs

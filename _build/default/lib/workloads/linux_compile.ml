@@ -1,0 +1,87 @@
+(* The Linux-compile workload (Table 2, row 1): unpack a source tree, then
+   build it — a CPU-intensive workload with a long tail of small writes.
+
+   Structure mirrors a kernel build: tar unpacks sources and headers; one
+   cc process per translation unit reads its source plus shared headers,
+   burns CPU, and writes an object file; one ld per directory links the
+   objects into a built-in.o; a final ld produces vmlinux.  Every compile
+   is a separate execve'd process, which is what makes this workload
+   provenance-heavy (argv, env and binary records per process). *)
+
+type params = { dirs : int; files_per_dir : int; headers : int; cc_cpu_ms : int }
+
+let default = { dirs = 8; files_per_dir = 12; headers = 6; cc_cpu_ms = 14 }
+
+let src_dir d = Printf.sprintf "/vol0/src/d%d" d
+let src_file d f = Printf.sprintf "%s/f%d.c" (src_dir d) f
+let obj_file d f = Printf.sprintf "/vol0/obj/d%d/f%d.o" d f
+let header_file h = Printf.sprintf "/vol0/src/include/h%d.h" h
+
+let setup sys ~parent =
+  (* install the toolchain binaries *)
+  let installer = Wk.spawn sys ~parent () in
+  Wk.write_file sys ~pid:installer ~path:"/vol0/bin/tar" (Wk.payload ~seed:101 ~len:9000);
+  Wk.write_file sys ~pid:installer ~path:"/vol0/bin/cc" (Wk.payload ~seed:102 ~len:30000);
+  Wk.write_file sys ~pid:installer ~path:"/vol0/bin/ld" (Wk.payload ~seed:103 ~len:20000);
+  Wk.exit sys ~pid:installer
+
+let run ?(params = default) sys ~parent =
+  setup sys ~parent;
+  (* phase 1: unpack *)
+  let tar =
+    Wk.spawn sys ~binary:"/vol0/bin/tar" ~argv:[ "tar"; "xf"; "linux.tar" ] ~parent ()
+  in
+  for h = 0 to params.headers - 1 do
+    Wk.write_file sys ~pid:tar ~path:(header_file h) (Wk.payload ~seed:(500 + h) ~len:3000)
+  done;
+  for d = 0 to params.dirs - 1 do
+    for f = 0 to params.files_per_dir - 1 do
+      Wk.write_file sys ~pid:tar
+        ~path:(src_file d f)
+        (Wk.payload ~seed:((d * 100) + f) ~len:(1500 + (((d * 7) + f) mod 5 * 1200)))
+    done
+  done;
+  Wk.exit sys ~pid:tar;
+  (* phase 2: compile, one process per translation unit *)
+  for d = 0 to params.dirs - 1 do
+    for f = 0 to params.files_per_dir - 1 do
+      let cc =
+        Wk.spawn sys ~binary:"/vol0/bin/cc"
+          ~argv:[ "cc"; "-O2"; "-c"; src_file d f; "-o"; obj_file d f ]
+          ~parent ()
+      in
+      let source = Wk.read_file sys ~pid:cc ~path:(src_file d f) in
+      (* every unit includes two headers *)
+      let _h1 = Wk.read_file sys ~pid:cc ~path:(header_file (d mod params.headers)) in
+      let _h2 = Wk.read_file sys ~pid:cc ~path:(header_file (f mod params.headers)) in
+      Wk.cpu sys (params.cc_cpu_ms * 1_000_000);
+      Wk.write_file sys ~pid:cc ~path:(obj_file d f)
+        (Wk.payload ~seed:(String.length source) ~len:(String.length source * 2));
+      Wk.exit sys ~pid:cc
+    done;
+    (* phase 3a: per-directory link *)
+    let ld =
+      Wk.spawn sys ~binary:"/vol0/bin/ld" ~argv:[ "ld"; "-r"; "-o"; "built-in.o" ] ~parent ()
+    in
+    let total = ref 0 in
+    for f = 0 to params.files_per_dir - 1 do
+      total := !total + String.length (Wk.read_file sys ~pid:ld ~path:(obj_file d f))
+    done;
+    Wk.cpu sys 6_000_000;
+    Wk.write_file sys ~pid:ld
+      ~path:(Printf.sprintf "/vol0/obj/d%d/built-in.o" d)
+      (Wk.payload ~seed:!total ~len:!total);
+    Wk.exit sys ~pid:ld
+  done;
+  (* phase 3b: final link *)
+  let ld = Wk.spawn sys ~binary:"/vol0/bin/ld" ~argv:[ "ld"; "-o"; "vmlinux" ] ~parent () in
+  let total = ref 0 in
+  for d = 0 to params.dirs - 1 do
+    total :=
+      !total
+      + String.length
+          (Wk.read_file sys ~pid:ld ~path:(Printf.sprintf "/vol0/obj/d%d/built-in.o" d))
+  done;
+  Wk.cpu sys 25_000_000;
+  Wk.write_file sys ~pid:ld ~path:"/vol0/vmlinux" (Wk.payload ~seed:!total ~len:!total);
+  Wk.exit sys ~pid:ld

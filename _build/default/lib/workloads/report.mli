@@ -1,0 +1,12 @@
+(** Table rendering for the bench harness, in the paper's row/column
+    shapes. *)
+
+val table1 : Format.formatter -> unit
+(** Table 1: record types per provenance-aware application. *)
+
+val table2 : Format.formatter -> local:Runner.row list -> nfs:Runner.row list -> unit
+(** Table 2: elapsed-time overheads (lists must be same-length and
+    same-order). *)
+
+val table3 : Format.formatter -> rows:Runner.space_row list -> unit
+(** Table 3: space overheads. *)

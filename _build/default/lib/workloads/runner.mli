@@ -1,0 +1,40 @@
+(** The measurement harness behind Tables 2 and 3.
+
+    Each workload writes to the volume mounted at [/vol0] and is measured
+    in two configurations: local (ext3 vs Lasagna-over-ext3) and remote
+    (plain NFS vs PA-NFS, client and server both provenance-aware). *)
+
+type workload = { wl_name : string; run : System.t -> unit }
+
+val standard : ?scale:float -> unit -> workload list
+(** The five paper workloads (Linux compile, Postmark, Mercurial, Blast,
+    PA-Kepler); [scale] shrinks the op counts for quick runs. *)
+
+val local_system : System.mode -> System.t
+val nfs_system : System.mode -> System.t * Server.t
+
+type row = {
+  r_name : string;
+  base_seconds : float;
+  pass_seconds : float;
+  overhead_pct : float;
+}
+
+val measure_local : workload -> row
+(** One Table 2 local row: run on ext3 and on PASSv2, compare clocks. *)
+
+val measure_nfs : workload -> row
+(** One Table 2 NFS row. *)
+
+type space_row = {
+  s_name : string;
+  ext3_mb : float;
+  prov_mb : float;
+  prov_pct : float;
+  total_mb : float;
+  total_pct : float;
+}
+
+val measure_space : workload -> space_row
+(** One Table 3 row: data footprint from the baseline run, provenance
+    database and index sizes from the PASS run. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Char Ctx Dpapi Ext3 List Pass_core Simdisk String Vfs

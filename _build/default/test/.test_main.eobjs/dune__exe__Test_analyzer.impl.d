@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Array Ctx Cycle_detect Dpapi Hashtbl Helpers List Option Pass_core Pnode Pvalue QCheck2 QCheck_alcotest Random Record

@@ -1,0 +1,1 @@
+test/test_core_types.ml: Alcotest Buffer Char Ctx Dpapi Hashtbl Helpers Libpass List Pass_core Pnode Pvalue QCheck2 QCheck_alcotest Record String

@@ -1,0 +1,1 @@
+test/test_distributor.ml: Alcotest Ctx Distributor Dpapi Helpers List Pass_core Pnode Pvalue Record String

@@ -1,0 +1,1 @@
+test/test_kepler.ml: Actor Alcotest Challenge Director Kepler_run Kernel List Option Pql Printf Provdb Recorder String System Workflow

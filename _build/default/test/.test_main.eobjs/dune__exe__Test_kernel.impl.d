@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Helpers Kernel List Option Pql Provdb Result System Vfs

@@ -1,0 +1,1 @@
+test/test_layers.ml: Alcotest Client Kernel Linux_compile List Option Pql Proto Provdb Pyth Runner Server System

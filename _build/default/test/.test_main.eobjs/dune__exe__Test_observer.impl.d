@@ -1,0 +1,1 @@
+test/test_observer.ml: Alcotest Analyzer Ctx Dpapi Helpers List Observer Pass_core Pnode Pvalue Record String

@@ -1,0 +1,1 @@
+test/test_palinks.ml: Actor Alcotest Browser Dpapi Helpers Kepler_run Kernel List Option Pass_core Pnode Pql Provdb Pvalue Record String System Web

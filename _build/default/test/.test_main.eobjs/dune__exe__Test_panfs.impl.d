@@ -1,0 +1,1 @@
+test/test_panfs.ml: Alcotest Client Ctx Dpapi Ext3 Helpers Kernel List Option Pass_core Pnode Pql Printf Proto Provdb Pvalue Record Recovery Server Simdisk String System Vfs Waldo

@@ -1,0 +1,1 @@
+test/test_pql.ml: Alcotest List Pass_core Pnode Pql Pql_ast Pql_eval Pql_lexer Pql_print Provdb Pvalue QCheck2 QCheck_alcotest Record String

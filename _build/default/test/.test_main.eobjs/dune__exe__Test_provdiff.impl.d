@@ -1,0 +1,1 @@
+test/test_provdiff.ml: Alcotest Format List Option Pass_core Pnode Provdb Provdiff Pvalue Record String

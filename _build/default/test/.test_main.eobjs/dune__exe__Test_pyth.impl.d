@@ -1,0 +1,1 @@
+test/test_pyth.ml: Alcotest Kernel List Option Pql Printf Provdb Provwrap Pyth Pyth_interp Pyth_lexer Pyth_parser Pyth_value Sxml System

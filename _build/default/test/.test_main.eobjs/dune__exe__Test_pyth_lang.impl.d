@@ -1,0 +1,1 @@
+test/test_pyth_lang.ml: Alcotest Kernel List Pyth Pyth_interp Pyth_lexer String System

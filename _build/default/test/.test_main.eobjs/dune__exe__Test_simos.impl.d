@@ -1,0 +1,1 @@
+test/test_simos.ml: Alcotest Buffer Dpapi Helpers Kernel Libpass List Option Pass_core Pql Pql_eval Printf Provdb Pvalue Record String System Vfs

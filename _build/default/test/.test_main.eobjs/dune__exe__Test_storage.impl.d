@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Ctx Dpapi Ext3 Hashtbl Helpers Lasagna List Pass_core Pnode Printf QCheck2 QCheck_alcotest Record Recovery Simdisk Stdlib String Vfs

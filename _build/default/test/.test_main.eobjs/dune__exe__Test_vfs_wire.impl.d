@@ -1,0 +1,1 @@
+test/test_vfs_wire.ml: Alcotest Buffer Ext3 Hashtbl Helpers List Printf QCheck2 QCheck_alcotest Simdisk String Vfs Wire

@@ -1,0 +1,1 @@
+test/test_waldo.ml: Alcotest Ctx Dpapi Ext3 Helpers Lasagna List Opm Option Pass_core Pnode Printf Provdb Pvalue Record Simdisk Sxml Test_pql Vfs Waldo Wire

@@ -1,0 +1,259 @@
+(* Unit and property tests for pass_core's basic types: pnodes, values,
+   records, bundles, wire round-trips. *)
+
+open Pass_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- pnode --------------------------------------------------------------- *)
+
+let test_pnode_fresh_unique () =
+  let a = Pnode.allocator ~machine:1 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 1000 do
+    let p = Pnode.fresh a in
+    check tbool "not seen before" false (Hashtbl.mem seen p);
+    Hashtbl.add seen p ()
+  done
+
+let test_pnode_machine_disjoint () =
+  let a = Pnode.allocator ~machine:1 and b = Pnode.allocator ~machine:2 in
+  for _ = 1 to 100 do
+    let pa = Pnode.fresh a and pb = Pnode.fresh b in
+    check tbool "different machines never collide" false (Pnode.equal pa pb);
+    check tint "machine tag a" 1 (Pnode.machine_of pa);
+    check tint "machine tag b" 2 (Pnode.machine_of pb)
+  done
+
+let test_pnode_roundtrip () =
+  let a = Pnode.allocator ~machine:7 in
+  let p = Pnode.fresh a in
+  check tbool "int roundtrip" true (Pnode.equal p (Pnode.of_int (Pnode.to_int p)))
+
+let test_pnode_bad_machine () =
+  Alcotest.check_raises "negative machine" (Invalid_argument "Pnode.allocator")
+    (fun () -> ignore (Pnode.allocator ~machine:(-1)))
+
+(* --- values -------------------------------------------------------------- *)
+
+let sample_values =
+  [
+    Pvalue.Str "hello";
+    Pvalue.Str "";
+    Pvalue.Int 0;
+    Pvalue.Int (-42);
+    Pvalue.Int max_int;
+    Pvalue.Bool true;
+    Pvalue.Bool false;
+    Pvalue.Bytes (String.init 256 Char.chr);
+    Pvalue.Strs [];
+    Pvalue.Strs [ "a"; "b"; "c" ];
+    Pvalue.xref (Pnode.of_int 12345) 7;
+  ]
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 32 in
+      Pvalue.encode buf v;
+      let v' = Pvalue.decode (Buffer.contents buf) (ref 0) in
+      check tbool "value roundtrip" true (Pvalue.equal v v'))
+    sample_values
+
+let test_value_truncated () =
+  let buf = Buffer.create 32 in
+  Pvalue.encode buf (Pvalue.Str "hello world");
+  let s = Buffer.contents buf in
+  let truncated = String.sub s 0 (String.length s - 3) in
+  Alcotest.check_raises "truncated" (Pvalue.Corrupt "truncated string (11 bytes)")
+    (fun () -> ignore (Pvalue.decode truncated (ref 0)))
+
+let test_value_bad_tag () =
+  Alcotest.check_raises "bad tag" (Pvalue.Corrupt "bad value tag 99") (fun () ->
+      ignore (Pvalue.decode (String.make 4 (Char.chr 99)) (ref 0)))
+
+(* --- records ------------------------------------------------------------- *)
+
+let test_record_roundtrip () =
+  List.iter
+    (fun v ->
+      let r = Record.make "SOME_ATTR" v in
+      let buf = Buffer.create 32 in
+      Record.encode buf r;
+      let r' = Record.decode (Buffer.contents buf) (ref 0) in
+      check tbool "record roundtrip" true (Record.equal r r'))
+    sample_values
+
+let test_record_ancestry () =
+  check tbool "xref is ancestry" true (Record.is_ancestry (Record.input_of (Pnode.of_int 1) 0));
+  check tbool "name is not ancestry" false (Record.is_ancestry (Record.name "x"))
+
+let test_registry_contents () =
+  (* Table 1: every PA application's record types are registered *)
+  let expect sys ty = check tbool (sys ^ "/" ^ ty) true (Record.registered ~system:sys ~record_type:ty) in
+  expect "PA-NFS" "BEGINTXN";
+  expect "PA-NFS" "ENDTXN";
+  expect "PA-NFS" "FREEZE";
+  expect "PA-Kepler" "TYPE";
+  expect "PA-Kepler" "NAME";
+  expect "PA-Kepler" "PARAMS";
+  expect "PA-Kepler" "INPUT";
+  expect "PA-links" "VISITED_URL";
+  expect "PA-links" "FILE_URL";
+  expect "PA-links" "CURRENT_URL";
+  expect "PA-links" "INPUT";
+  expect "PA-Python" "TYPE";
+  expect "PA-Python" "NAME";
+  expect "PA-Python" "INPUT";
+  check tbool "unknown not registered" false
+    (Record.registered ~system:"PA-NFS" ~record_type:"NO_SUCH")
+
+(* --- bundles ------------------------------------------------------------- *)
+
+let test_bundle_roundtrip () =
+  let h1 = Dpapi.handle ~volume:"vol0" (Pnode.of_int 10) in
+  let h2 = Dpapi.handle (Pnode.of_int 20) in
+  let bundle =
+    [
+      Dpapi.entry h1 [ Record.name "a.txt"; Record.input_of (Pnode.of_int 20) 3 ];
+      Dpapi.entry h2 [ Record.typ "PROCESS" ];
+    ]
+  in
+  let buf = Buffer.create 64 in
+  Dpapi.encode_bundle buf bundle;
+  let bundle' = Dpapi.decode_bundle (Buffer.contents buf) (ref 0) in
+  check tint "entries" 2 (List.length bundle');
+  let e1 = List.nth bundle' 0 and e2 = List.nth bundle' 1 in
+  check tbool "volume preserved" true (e1.Dpapi.target.volume = Some "vol0");
+  check tbool "no volume" true (e2.Dpapi.target.volume = None);
+  check tint "records 1" 2 (List.length e1.records);
+  check tbool "records equal" true
+    (List.for_all2 Record.equal (List.nth bundle 0).Dpapi.records e1.records)
+
+let test_bundle_size_positive () =
+  let h = Dpapi.handle (Pnode.of_int 1) in
+  let b = [ Dpapi.entry h [ Record.name "n" ] ] in
+  check tbool "bundle size sane" true (Dpapi.bundle_size b > 8)
+
+(* --- ctx ----------------------------------------------------------------- *)
+
+let test_ctx_versions () =
+  let ctx = Ctx.create ~machine:3 in
+  let p = Ctx.fresh ctx in
+  check tint "initial version" 0 (Ctx.current_version ctx p);
+  let v1 = Ctx.freeze ctx p in
+  check tint "first freeze" 1 v1;
+  let v2 = Ctx.freeze ctx p in
+  check tint "second freeze" 2 v2;
+  check tbool "births increase" true (Ctx.birth_at ctx p ~version:2 > Ctx.birth_at ctx p ~version:1);
+  check tbool "old version birth retrievable" true
+    (Ctx.birth_at ctx p ~version:0 < Ctx.birth_at ctx p ~version:1)
+
+let test_ctx_adopt () =
+  let ctx = Ctx.create ~machine:3 in
+  let foreign = Pnode.of_int ((9 lsl 40) lor 1) in
+  Ctx.adopt ctx foreign ~version:5;
+  check tint "adopted version" 5 (Ctx.current_version ctx foreign);
+  Ctx.adopt ctx foreign ~version:3;
+  check tint "adopt never regresses" 5 (Ctx.current_version ctx foreign)
+
+(* --- libpass -------------------------------------------------------------- *)
+
+let test_libpass_convenience () =
+  let ctx = Ctx.create ~machine:4 in
+  let s = Helpers.sink ctx in
+  let lp = Libpass.connect ~endpoint:(Helpers.sink_endpoint s) ~pid:9 in
+  check tint "pid bound" 9 (Libpass.pid lp);
+  let obj = Libpass.mkobj ~typ:"DATASET" ~name:"ds-1" lp in
+  (* TYPE and NAME were disclosed immediately *)
+  let records = Helpers.all_records s in
+  check tbool "TYPE disclosed" true
+    (List.exists (fun (_, (r : Record.t)) -> r.value = Pvalue.Str "DATASET") records);
+  check tbool "NAME disclosed" true
+    (List.exists (fun (_, (r : Record.t)) -> r.value = Pvalue.Str "ds-1") records);
+  let child = Libpass.mkobj lp in
+  Libpass.relate lp ~child ~parent:obj ~parent_version:0;
+  check tbool "relate writes an ancestry edge" true
+    (List.exists
+       (fun ((t : Dpapi.handle), (r : Record.t)) ->
+         Pnode.equal t.pnode child.Dpapi.pnode && Record.is_ancestry r)
+       (Helpers.all_records s))
+
+let test_libpass_raises () =
+  let failing : Dpapi.endpoint =
+    {
+      pass_read = (fun _ ~off:_ ~len:_ -> Error Dpapi.Enoent);
+      pass_write = (fun _ ~off:_ ~data:_ _ -> Error Dpapi.Eio);
+      pass_freeze = (fun _ -> Error Dpapi.Einval);
+      pass_mkobj = (fun ~volume:_ -> Error Dpapi.Enospc);
+      pass_reviveobj = (fun _ _ -> Error Dpapi.Estale);
+      pass_sync = (fun _ -> Error Dpapi.Ecrashed);
+    }
+  in
+  let lp = Libpass.connect ~endpoint:failing ~pid:1 in
+  let expect_err f =
+    match f () with
+    | exception Libpass.Pass_error _ -> ()
+    | _ -> Alcotest.fail "expected Pass_error"
+  in
+  expect_err (fun () -> ignore (Libpass.mkobj lp));
+  expect_err (fun () -> ignore (Libpass.reviveobj lp (Pnode.of_int 1) 0));
+  expect_err (fun () ->
+      ignore (Libpass.read lp (Dpapi.handle (Pnode.of_int 1)) ~off:0 ~len:1))
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let arb_value =
+  let open QCheck2.Gen in
+  let base =
+    oneof
+      [
+        map (fun s -> Pvalue.Str s) string_printable;
+        map (fun i -> Pvalue.Int i) int;
+        map (fun b -> Pvalue.Bool b) bool;
+        map (fun s -> Pvalue.Bytes s) string_printable;
+        map (fun l -> Pvalue.Strs l) (list_size (int_bound 5) string_printable);
+        map2 (fun p v -> Pvalue.xref (Pnode.of_int (abs p)) (abs v)) int int;
+      ]
+  in
+  base
+
+let prop_value_roundtrip =
+  QCheck2.Test.make ~name:"pvalue encode/decode roundtrip" ~count:500 arb_value (fun v ->
+      let buf = Buffer.create 32 in
+      Pvalue.encode buf v;
+      Pvalue.equal v (Pvalue.decode (Buffer.contents buf) (ref 0)))
+
+let prop_record_roundtrip =
+  QCheck2.Test.make ~name:"record encode/decode roundtrip" ~count:500
+    QCheck2.Gen.(pair string_printable arb_value)
+    (fun (attr, v) ->
+      let r = Record.make attr v in
+      let buf = Buffer.create 32 in
+      Record.encode buf r;
+      Record.equal r (Record.decode (Buffer.contents buf) (ref 0)))
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_value_roundtrip; prop_record_roundtrip ]
+
+let suite =
+  [
+    Alcotest.test_case "pnode: fresh pnodes are unique" `Quick test_pnode_fresh_unique;
+    Alcotest.test_case "pnode: machines are disjoint" `Quick test_pnode_machine_disjoint;
+    Alcotest.test_case "pnode: int roundtrip" `Quick test_pnode_roundtrip;
+    Alcotest.test_case "pnode: bad machine rejected" `Quick test_pnode_bad_machine;
+    Alcotest.test_case "pvalue: roundtrip samples" `Quick test_value_roundtrip;
+    Alcotest.test_case "pvalue: truncated input detected" `Quick test_value_truncated;
+    Alcotest.test_case "pvalue: bad tag detected" `Quick test_value_bad_tag;
+    Alcotest.test_case "record: roundtrip" `Quick test_record_roundtrip;
+    Alcotest.test_case "record: ancestry classification" `Quick test_record_ancestry;
+    Alcotest.test_case "record: Table 1 registry" `Quick test_registry_contents;
+    Alcotest.test_case "bundle: roundtrip" `Quick test_bundle_roundtrip;
+    Alcotest.test_case "bundle: encoded size" `Quick test_bundle_size_positive;
+    Alcotest.test_case "ctx: versions and births" `Quick test_ctx_versions;
+    Alcotest.test_case "ctx: adopt foreign pnodes" `Quick test_ctx_adopt;
+    Alcotest.test_case "libpass: conveniences" `Quick test_libpass_convenience;
+    Alcotest.test_case "libpass: raises Pass_error" `Quick test_libpass_raises;
+  ]
+  @ qcheck_cases

@@ -1,0 +1,129 @@
+(* The deep-stack tests: the paper's §5.2 claim that the DPAPI enables an
+   arbitrary number of layers.  We build the five-layer configuration the
+   paper sketches — a provenance-aware Pyth application using a
+   provenance-aware Pyth library, both executing on the (wrapped)
+   interpreter, over PA-NFS, over PASSv2 at the server — and check that
+   one query crosses all of it.  Plus the workload sanity checks. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let test_five_layer_stack () =
+  (* layer 5: PASSv2 at the NFS server; layer 4: PA-NFS; layers 3-1: the
+     interpreter, the library, the application *)
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "scratch" ] () in
+  let clock = System.clock sys in
+  let server = Server.create ~mode:Server.Pass_enabled ~clock ~machine:2 ~volume:"vol0" () in
+  let net = Proto.net clock in
+  let client =
+    Client.create ~net ~handler:(Server.handle server)
+      ~ctx:(Kernel.ctx (System.kernel sys))
+      ~mount_name:"vol0" ()
+  in
+  System.mount_external sys ~name:"vol0" ~ops:(Client.ops client)
+    ~endpoint:(Client.endpoint client)
+    ~file_handle:(Client.file_handle client) ();
+  let pid = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+  (* the provenance-aware library lives on the remote volume *)
+  Pyth.write_file sys ~pid "/vol0/lib/stats.py"
+    {|def total(doc):
+    import xml
+    t = 0.0
+    for r in xml.findall(doc, "r"):
+        t = t + float(xml.attr(r, "v"))
+    return t
+def report(doc):
+    return "total=" + str(total(doc))
+|};
+  Pyth.write_file sys ~pid "/vol0/data/readings.xml" {|<log><r v="1.5"/><r v="2.5"/></log>|};
+  let session = Pyth.create ~provenance:true ~module_dir:"/vol0/lib" sys ~pid () in
+  (* note: the report string must come from a *wrapped* library function —
+     a bare str() would launder the tag (the §6.5 lesson again) *)
+  Pyth.run session
+    {|import xml
+import stats
+d = xml.parse_file("/vol0/data/readings.xml")
+writefile("/vol0/out/sum.txt", stats.report(d))
+|};
+  ignore (System.drain sys : int);
+  ignore (Server.drain server : int);
+  (* everything persisted at the *server* (the provenance traveled down
+     all five layers and across the network) *)
+  let db = Option.get (Server.db server) in
+  check tbool "server db acyclic" true (Provdb.is_acyclic db);
+  let fine =
+    Pql.names db
+      {|select A from Provenance.file as F, F.input as I, I.input* as A
+        where F.name = "sum.txt" and I.type = "INVOCATION"|}
+  in
+  check tbool "app-layer chain reaches the xml file" true (List.mem "readings.xml" fine);
+  check tbool "library function object present" true
+    (List.exists (fun n -> n = "stats.report") fine);
+  (* the library FILE itself is an ancestor (the function object links to
+     the module file, which lives at the server) *)
+  let lib_ancestor =
+    Pql.names db
+      {|select A from Provenance.file as F F.input* as A where F.name = "sum.txt"|}
+  in
+  check tbool "library file in full ancestry" true (List.mem "stats.py" lib_ancestor)
+
+let test_workloads_generate_valid_provenance () =
+  (* every Table 2 workload leaves an acyclic database behind *)
+  let run_one (w : Runner.workload) =
+    let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+    w.run sys;
+    ignore (System.drain sys : int);
+    let db = Option.get (System.waldo_db sys "vol0") in
+    check tbool (w.wl_name ^ ": acyclic") true (Provdb.is_acyclic db);
+    check tbool (w.wl_name ^ ": nonempty") true (Provdb.quad_count db > 0)
+  in
+  List.iter run_one (Runner.standard ~scale:0.3 ())
+
+let test_workloads_deterministic () =
+  let elapsed (w : Runner.workload) =
+    let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+    w.run sys;
+    System.elapsed_seconds sys
+  in
+  List.iter
+    (fun w ->
+      let a = elapsed w and b = elapsed w in
+      check (Alcotest.float 1e-9) (w.Runner.wl_name ^ ": deterministic") a b)
+    (Runner.standard ~scale:0.2 ())
+
+let test_measured_overheads_positive () =
+  let w = List.nth (Runner.standard ~scale:0.3 ()) 2 (* mercurial *) in
+  let row = Runner.measure_local w in
+  check tbool "pass slower than ext3" true (row.Runner.pass_seconds > row.Runner.base_seconds);
+  check tbool "overhead positive and sane" true
+    (row.Runner.overhead_pct > 0. && row.Runner.overhead_pct < 100.);
+  let sp = Runner.measure_space w in
+  check tbool "provenance space positive" true (sp.Runner.prov_mb > 0.);
+  check tbool "indexes add space" true (sp.Runner.total_mb > sp.Runner.prov_mb)
+
+let test_compile_ancestry_depth () =
+  (* after the compile workload, vmlinux's ancestry reaches the original
+     sources through two link stages and the compile processes *)
+  let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
+  Linux_compile.run
+    ~params:{ Linux_compile.default with dirs = 2; files_per_dir = 3 }
+    sys ~parent:Kernel.init_pid;
+  ignore (System.drain sys : int);
+  let db = Option.get (System.waldo_db sys "vol0") in
+  let names =
+    Pql.names db
+      {|select A from Provenance.file as V V.input* as A where V.name = "vmlinux"|}
+  in
+  check tbool "sources in vmlinux ancestry" true (List.mem "f0.c" names);
+  check tbool "compiler binary in ancestry" true (List.mem "cc" names);
+  check tbool "intermediate objects in ancestry" true (List.mem "built-in.o" names)
+
+let suite =
+  [
+    Alcotest.test_case "five-layer stack (§5.2)" `Quick test_five_layer_stack;
+    Alcotest.test_case "workloads leave valid provenance" `Slow
+      test_workloads_generate_valid_provenance;
+    Alcotest.test_case "workloads are deterministic" `Slow test_workloads_deterministic;
+    Alcotest.test_case "measured overheads are sane" `Slow test_measured_overheads_positive;
+    Alcotest.test_case "compile ancestry depth" `Quick test_compile_ancestry_depth;
+  ]

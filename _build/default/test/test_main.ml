@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "pass"
+    [
+      ("core-types", Test_core_types.suite);
+      ("analyzer", Test_analyzer.suite);
+      ("storage", Test_storage.suite);
+      ("pql", Test_pql.suite);
+      ("simos", Test_simos.suite);
+      ("kernel", Test_kernel.suite);
+      ("panfs", Test_panfs.suite);
+      ("kepler", Test_kepler.suite);
+      ("palinks", Test_palinks.suite);
+      ("pyth", Test_pyth.suite);
+      ("pyth-lang", Test_pyth_lang.suite);
+      ("waldo", Test_waldo.suite);
+      ("distributor", Test_distributor.suite);
+      ("observer", Test_observer.suite);
+      ("vfs-wire", Test_vfs_wire.suite);
+      ("layers", Test_layers.suite);
+      ("props", Test_props.suite);
+      ("provdiff", Test_provdiff.suite);
+    ]

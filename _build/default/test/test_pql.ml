@@ -1,0 +1,413 @@
+(* PQL tests: lexer/parser behaviour, evaluator semantics on a hand-built
+   provenance graph, the paper's sample query, subqueries, aggregation,
+   inverse edges, and glob matching. *)
+
+open Pass_core
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstrs = Alcotest.(list string)
+
+(* Hand-build the database for a tiny rendition of the Figure 1 scenario:
+
+     input1.dat --\
+                   kepler(process) --> out.gif
+     input2.dat --/
+     out.gif also has an older version linked by a freeze edge. *)
+let sample_db () =
+  let db = Provdb.create () in
+  let alloc = Pnode.allocator ~machine:1 in
+  let p () = Pnode.fresh alloc in
+  let in1 = p () and in2 = p () and proc = p () and out = p () and unrelated = p () in
+  Provdb.set_file db in1 ~name:"input1.dat";
+  Provdb.set_file db in2 ~name:"input2.dat";
+  Provdb.set_file db out ~name:"out.gif";
+  Provdb.set_file db unrelated ~name:"bystander.txt";
+  Provdb.declare_virtual db proc;
+  Provdb.add_record db proc ~version:0 (Record.typ "PROCESS");
+  Provdb.add_record db proc ~version:0 (Record.name "kepler");
+  Provdb.add_record db proc ~version:0
+    (Record.make Record.Attr.argv (Pvalue.Strs [ "kepler"; "wf.xml" ]));
+  Provdb.add_record db proc ~version:0 (Record.input_of in1 0);
+  Provdb.add_record db proc ~version:0 (Record.input_of in2 0);
+  (* out v0 written by proc, then frozen to v1 *)
+  Provdb.add_record db out ~version:0 (Record.input_of proc 0);
+  Provdb.add_record db out ~version:1 (Record.make Record.Attr.freeze (Pvalue.Int 1));
+  Provdb.add_record db out ~version:1 (Record.input_of out 0);
+  (db, in1, in2, proc, out, unrelated)
+
+(* --- parser --------------------------------------------------------------- *)
+
+let test_parse_paper_query () =
+  let q =
+    Pql.parse
+      {|select Ancestor
+        from Provenance.file as Atlas
+             Atlas.input* as Ancestor
+        where Atlas.name = "atlas-x.gif"|}
+  in
+  check tint "two sources" 2 (List.length q.froms);
+  check tint "one output" 1 (List.length q.select);
+  check tbool "has where" true (q.where <> None)
+
+let test_parse_operators () =
+  let q = Pql.parse "select X from Provenance.object.(input|^input)+.name? as X" in
+  match (List.hd q.froms).path with
+  | Some (Pql_ast.Seq (Pql_ast.Plus (Pql_ast.Alt _), Pql_ast.Opt _)) -> ()
+  | _ -> Alcotest.fail "unexpected path structure"
+
+let test_parse_errors () =
+  let bad s =
+    match Pql.parse s with
+    | exception Pql.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  bad "select";
+  bad "select X from";
+  bad "select X from Provenance.nosuchclass as X";
+  bad "select X from Provenance.file as X where";
+  bad "select X from Provenance.file as X trailing";
+  bad "select X from Provenance.file X" (* missing `as` *)
+
+let test_lexer_comments_and_strings () =
+  let toks = Pql_lexer.tokenize "select -- comment\n 'single' \"dou\\\"ble\"" in
+  check tint "tokens" 4 (List.length toks) (* select, 2 strings, EOF *)
+
+(* --- evaluator ------------------------------------------------------------ *)
+
+let test_paper_query_semantics () =
+  let db, _in1, _in2, _proc, _out, _unrelated = sample_db () in
+  let names =
+    Pql.names db
+      {|select Ancestor
+        from Provenance.file as Atlas
+             Atlas.input* as Ancestor
+        where Atlas.name = "out.gif"|}
+  in
+  (* input* is reflexive: includes out.gif itself, the process, both inputs *)
+  check tstrs "full ancestry"
+    [ "input1.dat"; "input2.dat"; "kepler"; "out.gif" ]
+    names
+
+let test_plus_excludes_self () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db
+      {|select A from Provenance.file as F F.input+ as A where F.name = "out.gif"|}
+  in
+  (* input+ starts with one step: v1 -> v0 of out.gif is still out.gif,
+     so out.gif remains via its older version; kepler and inputs appear *)
+  check tbool "kepler reached" true (List.mem "kepler" names);
+  check tbool "inputs reached" true (List.mem "input1.dat" names)
+
+let test_single_step () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db {|select A from Provenance.file as F F.input as A where F.name = "out.gif"|}
+  in
+  (* one step from out.gif v1 reaches only out.gif v0 (the version edge) *)
+  check tstrs "one step = version edge" [ "out.gif" ] names
+
+let test_inverse_edges () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db
+      {|select D from Provenance.file as F F.^input as D where F.name = "input1.dat"|}
+  in
+  check tstrs "descendant via inverse" [ "kepler" ] names
+
+let test_inverse_closure_descendants () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db
+      {|select D from Provenance.file as F F.^input+ as D where F.name = "input1.dat"|}
+  in
+  check tbool "out.gif descends from input1" true (List.mem "out.gif" names)
+
+let test_where_filters () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db {|select F from Provenance.file as F where F.name ~ "input*"|}
+  in
+  check tstrs "glob filter" [ "input1.dat"; "input2.dat" ] names
+
+let test_where_and_or_not () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db
+      {|select F from Provenance.file as F
+        where (F.name = "input1.dat" or F.name = "out.gif") and not F.name = "out.gif"|}
+  in
+  check tstrs "boolean conditions" [ "input1.dat" ] names
+
+let test_process_root () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names = Pql.names db "select P from Provenance.process as P" in
+  check tstrs "process root" [ "kepler" ] names
+
+let test_attribute_access () =
+  let db, _, _, _, _, _ = sample_db () in
+  let r =
+    Pql.query db
+      {|select P.argv from Provenance.process as P where P.name = "kepler"|}
+  in
+  check tint "one row" 1 (List.length r.rows)
+
+let test_count_aggregate () =
+  let db, _, _, _, _, _ = sample_db () in
+  let r =
+    Pql.query db
+      {|select count(A) from Provenance.file as F F.input* as A where F.name = "out.gif"|}
+  in
+  match r.rows with
+  | [ [ Pql_eval.Value (Pvalue.Int n) ] ] ->
+      (* out.gif v1, out.gif v0, kepler, input1, input2 = 5 node-versions *)
+      check tint "count of distinct ancestors" 5 n
+  | _ -> Alcotest.fail "expected single count row"
+
+let test_exists_subquery () =
+  let db, _, _, _, _, _ = sample_db () in
+  (* files that have at least one descendant *)
+  let names =
+    Pql.names db
+      {|select F from Provenance.file as F
+        where exists (select D from F.^input as D)|}
+  in
+  check tbool "input1 has descendants" true (List.mem "input1.dat" names);
+  check tbool "bystander does not" false (List.mem "bystander.txt" names)
+
+let test_in_subquery () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db
+      {|select F from Provenance.file as F
+        where F in (select A from Provenance.file as Out Out.input* as A
+                    where Out.name = "out.gif")|}
+  in
+  check tbool "inputs are in out's ancestry" true (List.mem "input1.dat" names);
+  check tbool "bystander is not" false (List.mem "bystander.txt" names)
+
+let test_version_pseudo_attr () =
+  let db, _, _, _, _, _ = sample_db () in
+  let r =
+    Pql.query db {|select F.version from Provenance.file as F where F.name = "out.gif"|}
+  in
+  match r.rows with
+  | [ [ Pql_eval.Value (Pvalue.Int v) ] ] -> check tint "latest version" 1 v
+  | _ -> Alcotest.fail "expected version row"
+
+let test_empty_result () =
+  let db, _, _, _, _, _ = sample_db () in
+  let r = Pql.query db {|select F from Provenance.file as F where F.name = "absent"|} in
+  check tint "no rows" 0 (List.length r.rows)
+
+let test_multi_column_select () =
+  let db, _, _, _, _, _ = sample_db () in
+  let r =
+    Pql.query db
+      {|select F, F.name, F.version from Provenance.file as F where F.name ~ "input*"|}
+  in
+  check tint "two rows" 2 (List.length r.rows);
+  check tint "three columns" 3 (List.length (List.hd r.rows));
+  check (Alcotest.list Alcotest.string) "column names"
+    [ "F"; "F.name"; "F.version" ] r.columns
+
+let test_from_separators () =
+  (* comma-separated and juxtaposed sources are both accepted, and mix *)
+  let q1 = Pql.parse "select A from Provenance.file as F, F.input* as A" in
+  let q2 = Pql.parse "select A from Provenance.file as F F.input* as A" in
+  let q3 = Pql.parse "select A from Provenance.file as F, F.input as B B.input* as A" in
+  check tint "comma" 2 (List.length q1.froms);
+  check tint "juxtaposed" 2 (List.length q2.froms);
+  check tint "mixed" 3 (List.length q3.froms)
+
+let test_print_module () =
+  let q =
+    Pql.parse
+      {|select count(A), F.name from Provenance.file as F, F.(input|^input)+ as A
+        where not (F.name = "x" and F.version > 2) or F.name ~ "y*" limit 5|}
+  in
+  let printed = Pql_print.to_string q in
+  check Alcotest.bool "reparse equals" true (Pql.parse printed = q)
+
+let test_order_by () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names_in_order q =
+    let r = Pql.query db q in
+    List.filter_map
+      (fun row ->
+        match row with [ Pql_eval.Node (p, _) ] -> Provdb.name_of db p | _ -> None)
+      r.rows
+  in
+  let asc = names_in_order "select F from Provenance.file as F order by F.name asc" in
+  let desc = names_in_order "select F from Provenance.file as F order by F.name desc" in
+  check (Alcotest.list Alcotest.string) "ascending"
+    [ "bystander.txt"; "input1.dat"; "input2.dat"; "out.gif" ] asc;
+  check (Alcotest.list Alcotest.string) "descending" (List.rev asc) desc;
+  (* order by + limit = deterministic top-k *)
+  let top =
+    names_in_order "select F from Provenance.file as F order by F.name limit 2"
+  in
+  check (Alcotest.list Alcotest.string) "top 2" [ "bystander.txt"; "input1.dat" ] top
+
+let test_limit_clause () =
+  let db, _, _, _, _, _ = sample_db () in
+  let r =
+    Pql.query db
+      {|select A from Provenance.file as F F.input* as A where F.name = "out.gif" limit 2|}
+  in
+  check tint "rows pruned to 2" 2 (List.length r.rows);
+  let r0 =
+    Pql.query db {|select F from Provenance.file as F limit 0|}
+  in
+  check tint "limit 0" 0 (List.length r0.rows);
+  (match Pql.parse "select F from Provenance.file as F limit x" with
+  | exception Pql.Error _ -> ()
+  | _ -> Alcotest.fail "non-integer limit rejected")
+
+let test_any_edge () =
+  let db, _, _, _, _, _ = sample_db () in
+  let names =
+    Pql.names db {|select A from Provenance.file as F F._* as A where F.name = "out.gif"|}
+  in
+  check tbool "wildcard closure matches input*" true (List.mem "input2.dat" names)
+
+(* qcheck: printing a parsed query and reparsing yields the same AST *)
+let gen_query_ast =
+  let open QCheck2.Gen in
+  let ident = oneofl [ "X"; "Y"; "Anc"; "File2" ] in
+  let attr = oneofl [ "name"; "type"; "version"; "params" ] in
+  let edge =
+    oneof
+      [
+        map (fun a -> Pql_ast.Edge (Pql_ast.Forward a)) (oneofl [ "input"; "file_url" ]);
+        map (fun a -> Pql_ast.Edge (Pql_ast.Inverse a)) (oneofl [ "input" ]);
+        pure (Pql_ast.Edge Pql_ast.Any_edge);
+      ]
+  in
+  let path =
+    fix
+      (fun self depth ->
+        if depth = 0 then edge
+        else
+          oneof
+            [
+              edge;
+              map2 (fun a b -> Pql_ast.Seq (a, b)) (self (depth - 1)) (self (depth - 1));
+              map2 (fun a b -> Pql_ast.Alt (a, b)) (self (depth - 1)) (self (depth - 1));
+              map (fun a -> Pql_ast.Star a) (self (depth - 1));
+              map (fun a -> Pql_ast.Plus a) (self (depth - 1));
+              map (fun a -> Pql_ast.Opt a) (self (depth - 1));
+            ])
+      2
+  in
+  let root =
+    oneof
+      [
+        pure Pql_ast.Root_files;
+        pure Pql_ast.Root_processes;
+        pure Pql_ast.Root_objects;
+      ]
+  in
+  let source =
+    map3 (fun root path binder -> { Pql_ast.root; path; binder }) root (option path) ident
+  in
+  let expr =
+    oneof
+      [
+        map (fun v -> Pql_ast.Var v) ident;
+        map2 (fun v a -> Pql_ast.Attr (v, a)) ident attr;
+        map (fun s -> Pql_ast.Lit (Pql_ast.L_str s))
+          (string_size ~gen:(char_range 'a' 'z') (int_bound 8));
+        map (fun i -> Pql_ast.Lit (Pql_ast.L_int i)) (int_bound 100);
+      ]
+  in
+  let cmp = oneofl Pql_ast.[ Eq; Neq; Lt; Le; Gt; Ge; Like ] in
+  let cond =
+    fix
+      (fun self depth ->
+        if depth = 0 then map3 (fun a op b -> Pql_ast.Cmp (a, op, b)) expr cmp expr
+        else
+          oneof
+            [
+              map3 (fun a op b -> Pql_ast.Cmp (a, op, b)) expr cmp expr;
+              map2 (fun a b -> Pql_ast.And (a, b)) (self (depth - 1)) (self (depth - 1));
+              map2 (fun a b -> Pql_ast.Or (a, b)) (self (depth - 1)) (self (depth - 1));
+              map (fun a -> Pql_ast.Not a) (self (depth - 1));
+            ])
+      2
+  in
+  let output =
+    oneof
+      [
+        map (fun e -> Pql_ast.O_expr e) expr;
+        map (fun e -> Pql_ast.O_agg (Pql_ast.Count, e)) expr;
+      ]
+  in
+  let order = option (pair expr bool) in
+  map3
+    (fun select (froms, where) (order, limit) ->
+      { Pql_ast.select; froms; where; order; limit })
+    (list_size (int_range 1 3) output)
+    (pair (list_size (int_range 1 3) source) (option cond))
+    (pair order (option (int_bound 50)))
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"pql: print/parse AST roundtrip" ~count:300 gen_query_ast (fun q ->
+      let printed = Pql_print.to_string q in
+      match Pql.parse printed with
+      | q' -> q = q'
+      | exception Pql.Error _ -> false)
+
+(* qcheck: glob matcher agrees with a reference implementation on simple
+   patterns *)
+let prop_glob =
+  QCheck2.Test.make ~name:"pql: glob matcher basics" ~count:200
+    QCheck2.Gen.(pair (string_size ~gen:(char_range 'a' 'c') (int_bound 6))
+                   (string_size ~gen:(char_range 'a' 'c') (int_bound 6)))
+    (fun (s, p) ->
+      (* pattern without wildcards behaves like equality *)
+      Pql_eval.glob_match p s = String.equal p s)
+
+let prop_glob_star =
+  QCheck2.Test.make ~name:"pql: '*' matches any suffix" ~count:200
+    QCheck2.Gen.(pair (string_size ~gen:printable (int_bound 8))
+                   (string_size ~gen:printable (int_bound 8)))
+    (fun (prefix, rest) ->
+      QCheck2.assume (not (String.contains prefix '*' || String.contains prefix '?'));
+      Pql_eval.glob_match (prefix ^ "*") (prefix ^ rest))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_print_parse_roundtrip; prop_glob; prop_glob_star ]
+
+let suite =
+  [
+    Alcotest.test_case "parse: the paper's sample query" `Quick test_parse_paper_query;
+    Alcotest.test_case "parse: path operators" `Quick test_parse_operators;
+    Alcotest.test_case "parse: errors rejected" `Quick test_parse_errors;
+    Alcotest.test_case "lex: comments and strings" `Quick test_lexer_comments_and_strings;
+    Alcotest.test_case "eval: paper query full ancestry" `Quick test_paper_query_semantics;
+    Alcotest.test_case "eval: input+ semantics" `Quick test_plus_excludes_self;
+    Alcotest.test_case "eval: single step" `Quick test_single_step;
+    Alcotest.test_case "eval: inverse edge" `Quick test_inverse_edges;
+    Alcotest.test_case "eval: inverse closure (descendants)" `Quick
+      test_inverse_closure_descendants;
+    Alcotest.test_case "eval: glob in where" `Quick test_where_filters;
+    Alcotest.test_case "eval: and/or/not" `Quick test_where_and_or_not;
+    Alcotest.test_case "eval: Provenance.process root" `Quick test_process_root;
+    Alcotest.test_case "eval: attribute access" `Quick test_attribute_access;
+    Alcotest.test_case "eval: count aggregate" `Quick test_count_aggregate;
+    Alcotest.test_case "eval: exists subquery" `Quick test_exists_subquery;
+    Alcotest.test_case "eval: in subquery" `Quick test_in_subquery;
+    Alcotest.test_case "eval: version pseudo-attribute" `Quick test_version_pseudo_attr;
+    Alcotest.test_case "eval: empty result" `Quick test_empty_result;
+    Alcotest.test_case "eval: multi-column select" `Quick test_multi_column_select;
+    Alcotest.test_case "parse: from-list separators" `Quick test_from_separators;
+    Alcotest.test_case "print: normalizes and reparses" `Quick test_print_module;
+    Alcotest.test_case "eval: order by" `Quick test_order_by;
+    Alcotest.test_case "eval: limit clause prunes results" `Quick test_limit_clause;
+    Alcotest.test_case "eval: any-edge wildcard" `Quick test_any_edge;
+  ]
+  @ qcheck_cases

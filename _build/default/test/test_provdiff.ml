@@ -1,0 +1,109 @@
+(* Provdiff tests: the ancestry-diff tool answering the paper's opening
+   question ("How does the ancestry of two objects differ?"). *)
+
+open Pass_core
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+(* Build: out has two versions; v1 derived from in1+proc1, v2 from
+   in1(new version)+in2+proc2. *)
+let build () =
+  let db = Provdb.create () in
+  let alloc = Pnode.allocator ~machine:1 in
+  let p () = Pnode.fresh alloc in
+  let in1 = p () and in2 = p () and proc1 = p () and proc2 = p () and out = p () in
+  Provdb.set_file db in1 ~name:"in1";
+  Provdb.set_file db in2 ~name:"in2";
+  Provdb.set_file db out ~name:"out";
+  Provdb.declare_virtual db proc1;
+  Provdb.declare_virtual db proc2;
+  Provdb.add_record db proc1 ~version:0 (Record.typ "PROCESS");
+  Provdb.add_record db proc2 ~version:0 (Record.typ "PROCESS");
+  (* run 1: out v1 <- proc1 <- in1@0 *)
+  Provdb.add_record db proc1 ~version:0 (Record.input_of in1 0);
+  Provdb.add_record db out ~version:1 (Record.make Record.Attr.freeze (Pvalue.Int 1));
+  Provdb.add_record db out ~version:1 (Record.input_of out 0);
+  Provdb.add_record db out ~version:1 (Record.input_of proc1 0);
+  (* in1 modified *)
+  Provdb.add_record db in1 ~version:1 (Record.make Record.Attr.freeze (Pvalue.Int 1));
+  Provdb.add_record db in1 ~version:1 (Record.input_of in1 0);
+  (* run 2: out v2 <- proc2 <- in1@1, in2@0 *)
+  Provdb.add_record db proc2 ~version:0 (Record.input_of in1 1);
+  Provdb.add_record db proc2 ~version:0 (Record.input_of in2 0);
+  Provdb.add_record db out ~version:2 (Record.make Record.Attr.freeze (Pvalue.Int 2));
+  Provdb.add_record db out ~version:2 (Record.input_of out 1);
+  Provdb.add_record db out ~version:2 (Record.input_of proc2 0);
+  (db, in1, in2, proc1, proc2, out)
+
+let name_of (e : Provdiff.entry) = Option.value e.e_name ~default:"?"
+
+let test_version_diff () =
+  let db, _in1, _in2, _p1, _p2, out = build () in
+  let d = Provdiff.diff_versions db out ~version_a:1 ~version_b:2 in
+  (* in2 and proc2 only in run 2's ancestry; proc1 only in run 1's;
+     in1 on both sides at different versions *)
+  check tbool "in2 only in B" true (List.exists (fun e -> name_of e = "in2") d.only_b);
+  check tbool "proc1 only in A" true
+    (List.exists (fun (e : Provdiff.entry) -> e.e_name = None || name_of e = "?") d.only_a);
+  let changed = List.filter (fun e -> name_of e = "in1") d.version_changed in
+  check tint "in1 version changed" 1 (List.length changed);
+  (match changed with
+  | [ e ] ->
+      check (Alcotest.list tint) "A saw v0" [ 0 ] e.versions_a;
+      (* B reaches in1@1 and, through in1's own version chain, v0 too *)
+      check (Alcotest.list tint) "B saw v1 (and its history)" [ 0; 1 ] e.versions_b
+  | _ -> Alcotest.fail "expected one changed entry")
+
+let test_identical_versions_diff_empty () =
+  let db, _, _, _, _, out = build () in
+  let d = Provdiff.diff_versions db out ~version_a:1 ~version_b:1 in
+  check tint "no only_a" 0 (List.length d.only_a);
+  check tint "no only_b" 0 (List.length d.only_b);
+  check tint "no changes" 0 (List.length d.version_changed);
+  check tbool "common nonempty" true (d.common > 0)
+
+let test_diff_by_name () =
+  let db, _, _, _, _, _ = build () in
+  (match Provdiff.diff_by_name db ~name_a:"out" ~name_b:"in1" with
+  | Some d -> check tbool "different objects diff nonempty" true (List.length d.only_a > 0)
+  | None -> Alcotest.fail "both names exist");
+  check tbool "unknown name gives None" true
+    (Provdiff.diff_by_name db ~name_a:"out" ~name_b:"absent" = None)
+
+let test_files_only_filter () =
+  let db, _, _, _, _, out = build () in
+  let d = Provdiff.diff_versions db out ~version_a:1 ~version_b:2 in
+  let filtered = Provdiff.files_only db d in
+  check tbool "virtual objects removed" true
+    (List.for_all
+       (fun (e : Provdiff.entry) ->
+         match Provdb.find_node db e.e_pnode with
+         | Some n -> n.Provdb.kind = Provdb.File
+         | None -> false)
+       (filtered.only_a @ filtered.only_b @ filtered.version_changed));
+  check tbool "file signal kept" true
+    (List.exists (fun e -> name_of e = "in1") filtered.version_changed)
+
+let test_pp_smoke () =
+  let db, _, _, _, _, out = build () in
+  let d = Provdiff.diff_versions db out ~version_a:1 ~version_b:2 in
+  let s = Format.asprintf "%a" Provdiff.pp d in
+  check tbool "render mentions in1 and arrow" true
+    (String.length s > 20
+    && (let contains needle hay =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        contains "in1" s && contains "->" s))
+
+let suite =
+  [
+    Alcotest.test_case "run-to-run version diff" `Quick test_version_diff;
+    Alcotest.test_case "identical versions: empty diff" `Quick test_identical_versions_diff_empty;
+    Alcotest.test_case "diff by name" `Quick test_diff_by_name;
+    Alcotest.test_case "files-only filter" `Quick test_files_only_filter;
+    Alcotest.test_case "pretty printer" `Quick test_pp_smoke;
+  ]

@@ -1,0 +1,200 @@
+(* Tests of the small substrates: VFS path helpers and the Wire
+   serialization primitives, including an ext3-vs-model property test
+   that drives random namespace/data operations against a trivial
+   in-memory oracle. *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+
+(* --- wire ------------------------------------------------------------------ *)
+
+let test_wire_roundtrips () =
+  let buf = Buffer.create 64 in
+  Wire.put_u8 buf 200;
+  Wire.put_u32 buf 123456;
+  Wire.put_i64 buf (-42);
+  Wire.put_string buf "hello";
+  Wire.put_bool buf true;
+  Wire.put_list buf Wire.put_string [ "a"; "bb"; "" ];
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  check tint "u8" 200 (Wire.get_u8 s pos);
+  check tint "u32" 123456 (Wire.get_u32 s pos);
+  check tint "i64" (-42) (Wire.get_i64 s pos);
+  check tstr "string" "hello" (Wire.get_string s pos);
+  check tbool "bool" true (Wire.get_bool s pos);
+  check (Alcotest.list tstr) "list" [ "a"; "bb"; "" ] (Wire.get_list Wire.get_string s pos);
+  check tint "fully consumed" (String.length s) !pos
+
+let test_wire_corruption () =
+  let expect_corrupt f =
+    match f () with
+    | exception Wire.Corrupt _ -> ()
+    | _ -> Alcotest.fail "expected Wire.Corrupt"
+  in
+  expect_corrupt (fun () -> Wire.get_u32 "ab" (ref 0));
+  expect_corrupt (fun () -> Wire.get_i64 "abcd" (ref 0));
+  expect_corrupt (fun () ->
+      let buf = Buffer.create 8 in
+      Wire.put_string buf "hello world";
+      Wire.get_string (String.sub (Buffer.contents buf) 0 8) (ref 0));
+  (match Wire.put_u8 (Buffer.create 1) 300 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "u8 range check")
+
+(* --- path helpers ------------------------------------------------------------ *)
+
+let test_split_path () =
+  check (Alcotest.list tstr) "basic" [ "a"; "b"; "c" ] (Vfs.split_path "/a/b/c");
+  check (Alcotest.list tstr) "doubled slashes" [ "a"; "b" ] (Vfs.split_path "//a///b/");
+  check (Alcotest.list tstr) "dot segments dropped" [ "a" ] (Vfs.split_path "/./a/.");
+  check (Alcotest.list tstr) "empty" [] (Vfs.split_path "/")
+
+let test_path_helpers_on_ext3 () =
+  let _disk, fs = Helpers.fresh_ext3 () in
+  let ops = Ext3.ops fs in
+  let dir = Helpers.ok_fs (Vfs.mkdir_p ops "/x/y/z") in
+  check tbool "mkdir_p idempotent" true (Helpers.ok_fs (Vfs.mkdir_p ops "/x/y/z") = dir);
+  let parent, leaf = Helpers.ok_fs (Vfs.parent_and_leaf ops "/x/y/z/file.txt") in
+  check tstr "leaf" "file.txt" leaf;
+  check tbool "parent is z" true (parent = dir);
+  (match Vfs.parent_and_leaf ops "/" with
+  | Error Vfs.EINVAL -> ()
+  | _ -> Alcotest.fail "root has no leaf");
+  (* write_file creates, then truncates on rewrite *)
+  let ino = Helpers.ok_fs (Vfs.write_file ops "/x/y/z/file.txt" "0123456789") in
+  let _ = Helpers.ok_fs (Vfs.write_file ops "/x/y/z/file.txt" "abc") in
+  let st = Helpers.ok_fs (ops.getattr ino) in
+  check tint "rewrite truncates" 3 st.Vfs.st_size
+
+(* --- ext3 vs an in-memory oracle (model-based property test) --------------- *)
+
+(* The model: path -> contents.  Operations chosen to keep both sides in
+   the same state space (no hard links, flat two-level namespace). *)
+type op =
+  | Write of int * string (* file index, data *)
+  | Delete of int
+  | Rename of int * int
+  | Check of int
+
+let gen_ops =
+  let open QCheck2.Gen in
+  let file = int_bound 9 in
+  let data = map (fun (seed, len) -> Helpers.payload ~seed ~len:(len + 1)) (pair (int_bound 1000) (int_bound 9000)) in
+  list_size (int_range 5 60)
+    (oneof
+       [
+         map2 (fun f d -> Write (f, d)) file data;
+         map (fun f -> Delete f) file;
+         map2 (fun a b -> Rename (a, b)) file file;
+         map (fun f -> Check f) file;
+       ])
+
+let path_of i = Printf.sprintf "/d%d/f%d" (i mod 3) i
+
+let prop_ext3_matches_model =
+  QCheck2.Test.make ~name:"ext3 agrees with an in-memory model" ~count:60 gen_ops (fun ops_list ->
+      let _disk, fs = Helpers.fresh_ext3 () in
+      let ops = Ext3.ops fs in
+      (* pre-create the directories so rename targets always resolve *)
+      List.iter (fun d -> ignore (Vfs.mkdir_p ops (Printf.sprintf "/d%d" d))) [ 0; 1; 2 ];
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Write (f, d) -> (
+              match Vfs.write_file ~mkparents:true ops (path_of f) d with
+              | Ok _ -> Hashtbl.replace model f d
+              | Error _ -> ok := false)
+          | Delete f -> (
+              let expected = Hashtbl.mem model f in
+              match Vfs.remove_path ops (path_of f) with
+              | Ok () ->
+                  if not expected then ok := false;
+                  Hashtbl.remove model f
+              | Error Vfs.ENOENT -> if expected then ok := false
+              | Error _ -> ok := false)
+          | Rename (a, b) -> (
+              let expected = Hashtbl.mem model a in
+              match Vfs.rename_path ops (path_of a) (path_of b) with
+              | Ok () ->
+                  if not expected then ok := false
+                  else begin
+                    Hashtbl.replace model b (Hashtbl.find model a);
+                    if a <> b then Hashtbl.remove model a
+                  end
+              | Error Vfs.ENOENT -> if expected then ok := false
+              | Error _ -> ok := false)
+          | Check f -> (
+              match (Vfs.read_file ops (path_of f), Hashtbl.find_opt model f) with
+              | Ok data, Some expected -> if not (String.equal data expected) then ok := false
+              | Error Vfs.ENOENT, None -> ()
+              | Ok _, None | Error _, Some _ | Error _, None -> ok := false))
+        ops_list;
+      (* final full sweep *)
+      Hashtbl.iter
+        (fun f expected ->
+          match Vfs.read_file ops (path_of f) with
+          | Ok data -> if not (String.equal data expected) then ok := false
+          | Error _ -> ok := false)
+        model;
+      !ok)
+
+(* the same sweep must hold after a crash + journal replay *)
+let prop_ext3_replay_matches_model =
+  QCheck2.Test.make ~name:"ext3 journal replay preserves the model" ~count:30 gen_ops
+    (fun ops_list ->
+      let clock = Simdisk.Clock.create () in
+      let disk = Simdisk.Disk.create ~clock () in
+      let fs = Ext3.format disk in
+      let ops = Ext3.ops fs in
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | Write (f, d) -> (
+              match Vfs.write_file ~mkparents:true ops (path_of f) d with
+              | Ok _ -> Hashtbl.replace model f d
+              | Error _ -> ())
+          | Delete f -> (
+              match Vfs.remove_path ops (path_of f) with
+              | Ok () -> Hashtbl.remove model f
+              | Error _ -> ())
+          | Rename (a, b) -> (
+              match Vfs.rename_path ops (path_of a) (path_of b) with
+              | Ok () ->
+                  (match Hashtbl.find_opt model a with
+                  | Some d ->
+                      Hashtbl.replace model b d;
+                      if a <> b then Hashtbl.remove model a
+                  | None -> ())
+              | Error _ -> ())
+          | Check _ -> ())
+        ops_list;
+      (* crash + remount *)
+      Simdisk.Disk.crash disk;
+      Simdisk.Disk.revive disk;
+      let ops2 = Ext3.ops (Ext3.mount disk) in
+      Hashtbl.fold
+        (fun f expected acc ->
+          acc
+          &&
+          match Vfs.read_file ops2 (path_of f) with
+          | Ok data -> String.equal data expected
+          | Error _ -> false)
+        model true)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_ext3_matches_model; prop_ext3_replay_matches_model ]
+
+let suite =
+  [
+    Alcotest.test_case "wire roundtrips" `Quick test_wire_roundtrips;
+    Alcotest.test_case "wire corruption detected" `Quick test_wire_corruption;
+    Alcotest.test_case "split_path" `Quick test_split_path;
+    Alcotest.test_case "path helpers on ext3" `Quick test_path_helpers_on_ext3;
+  ]
+  @ qcheck_cases
