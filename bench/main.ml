@@ -20,6 +20,8 @@ module Cycle_detect = Pass_core.Cycle_detect
 
 let section name = Printf.printf "\n==================== %s ====================\n" name
 
+module J = Telemetry.Json
+
 (* --- FIG 2: architecture self-check ---------------------------------------- *)
 
 let fig2 () =
@@ -63,9 +65,12 @@ let table2_and_3 () =
     | None -> 1.0
   in
   if scale <> 1.0 then Printf.printf "(workload scale: %.2fx)\n" scale;
+  (* one registry across all PASS-configuration runs: the embedded
+     telemetry snapshot describes the whole benchmark's pipeline work *)
+  let registry = Telemetry.create () in
   let wls = Runner.standard ~scale () in
-  let local = List.map Runner.measure_local wls in
-  let nfs = List.map Runner.measure_nfs wls in
+  let local = List.map (Runner.measure_local ~registry) wls in
+  let nfs = List.map (Runner.measure_nfs ~registry) wls in
   Report.table2 Format.std_formatter ~local ~nfs;
   Printf.printf "\nPaper-reported overheads for comparison (shape, not absolute numbers):\n";
   List.iter
@@ -76,7 +81,8 @@ let table2_and_3 () =
   Report.table3 Format.std_formatter ~rows;
   Printf.printf
     "\nPaper-reported: Linux Compile 6.9%%/18.4%%, Postmark 0.1%%/0.1%%, Mercurial 1.8%%/3.4%%,\n\
-    \                Blast 1.1%%/3.8%%, PA-Kepler 4.7%%/14.2%% (provenance / +indexes)\n"
+    \                Blast 1.1%%/3.8%%, PA-Kepler 4.7%%/14.2%% (provenance / +indexes)\n";
+  (scale, registry, local, nfs, rows)
 
 (* --- FIG 1 + the paper's PQL query ------------------------------------------ *)
 
@@ -328,20 +334,128 @@ let microbench () =
         (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
         instance raw
     in
-    Hashtbl.iter
-      (fun name result ->
+    Hashtbl.fold
+      (fun name result acc ->
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "  %-32s %10.1f ns/op\n" name est
-        | _ -> Printf.printf "  %-32s (no estimate)\n" name)
-      results
+        | Some [ est ] ->
+            Printf.printf "  %-32s %10.1f ns/op\n" name est;
+            (name, Some est) :: acc
+        | _ ->
+            Printf.printf "  %-32s (no estimate)\n" name;
+            (name, None) :: acc)
+      results []
   in
-  List.iter run_one [ bench_analyzer; bench_provdb; bench_pql; bench_wap ]
+  List.concat_map run_one [ bench_analyzer; bench_provdb; bench_pql; bench_wap ]
+
+(* --- machine-readable results ------------------------------------------------ *)
+
+(* Cross-check the telemetry registry against the legacy per-module stats
+   views on a fresh PA-Kepler run: CI fails the bench-smoke job when the
+   two disagree or when the pipeline did no work at all. *)
+let self_check () =
+  section "SELF-CHECK: telemetry vs legacy stats views";
+  let registry = Telemetry.create () in
+  let sys =
+    System.create ~registry ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] ()
+  in
+  Kepler_wl.run sys ~parent:Kernel.init_pid;
+  ignore (System.drain sys : int);
+  let stack = Option.get (Kernel.pass_stack (System.kernel sys)) in
+  let an = Analyzer.stats stack.Kernel.analyzer in
+  let vol = List.hd (System.volumes sys) in
+  let las = Lasagna.stats (Option.get vol.System.v_lasagna) in
+  let tv name = Option.value (Telemetry.counter_value registry name) ~default:(-1) in
+  let pairs =
+    [
+      ("analyzer.records_in", tv "analyzer.records_in", an.Analyzer.records_in);
+      ("analyzer.records_out", tv "analyzer.records_out", an.Analyzer.records_out);
+      ( "analyzer.duplicates_dropped",
+        tv "analyzer.duplicates_dropped",
+        an.Analyzer.duplicates_dropped );
+      ("wap.frames_written", tv "wap.frames_written", las.Lasagna.frames_logged);
+      ("wap.bytes_written", tv "wap.bytes_written", las.Lasagna.prov_bytes_logged);
+    ]
+  in
+  let ok =
+    List.for_all (fun (_, t, l) -> t = l) pairs
+    && an.Analyzer.records_in > 0
+    && las.Lasagna.frames_logged > 0
+  in
+  List.iter
+    (fun (name, t, l) ->
+      Printf.printf "  %-30s telemetry %8d  legacy %8d  %s\n" name t l
+        (if t = l then "ok" else "MISMATCH"))
+    pairs;
+  Printf.printf "  self-check: %s\n" (if ok then "ok" else "FAILED");
+  let counters =
+    J.Obj
+      (List.map (fun (name, t, l) -> (name, J.Obj [ ("telemetry", J.Int t); ("legacy", J.Int l) ]))
+         pairs)
+  in
+  (ok, J.Obj [ ("ok", J.Bool ok); ("counters", counters) ])
+
+let results_file = "BENCH_results.json"
+
+let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~micro =
+  let row_json (r : Runner.row) =
+    J.Obj
+      [
+        ("base_seconds", J.Float r.Runner.base_seconds);
+        ("pass_seconds", J.Float r.Runner.pass_seconds);
+        ("overhead_pct", J.Float r.Runner.overhead_pct);
+      ]
+  in
+  let space_json (s : Runner.space_row) =
+    J.Obj
+      [
+        ("ext3_mb", J.Float s.Runner.ext3_mb);
+        ("prov_mb", J.Float s.Runner.prov_mb);
+        ("prov_pct", J.Float s.Runner.prov_pct);
+        ("total_mb", J.Float s.Runner.total_mb);
+        ("total_pct", J.Float s.Runner.total_pct);
+      ]
+  in
+  let workloads =
+    List.map2
+      (fun (l, n) (sp : Runner.space_row) ->
+        J.Obj
+          [
+            ("name", J.Str sp.Runner.s_name);
+            ("local", row_json l);
+            ("nfs", row_json n);
+            ("space", space_json sp);
+          ])
+      (List.combine local nfs) space
+  in
+  let micro_json =
+    J.Obj
+      (List.map
+         (fun (name, est) ->
+           (name, match est with Some ns -> J.Float ns | None -> J.Null))
+         (List.sort compare micro))
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "pass-bench/v1");
+        ("scale", J.Float scale);
+        ("workloads", J.List workloads);
+        ("self_check", self_check);
+        ("telemetry", Telemetry.snapshot registry);
+        ("micro", micro_json);
+      ]
+  in
+  let oc = open_out results_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" results_file
 
 let () =
   Printf.printf "PASSv2 reproduction benchmark harness\n";
   Printf.printf "(simulated time: see DESIGN.md for the substrate cost model)\n";
   fig2 ();
-  table2_and_3 ();
+  let scale, registry, local, nfs, space = table2_and_3 () in
   fig1 ();
   section "TABLE1: record-type registry";
   Report.table1 Format.std_formatter;
@@ -349,5 +463,8 @@ let () =
   ablation_dedup ();
   ablation_wap ();
   ablation_nfs_txn ();
-  microbench ();
-  Printf.printf "\ndone.\n"
+  let micro = microbench () in
+  let check_ok, self_check = self_check () in
+  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~micro;
+  Printf.printf "\ndone.\n";
+  if not check_ok then exit 1

@@ -7,6 +7,7 @@
      query  <pql>              run a PQL query against a canned challenge-workflow run
      workload <name> [--mode]  run one Table 2 workload and print timing/space stats
      recordtypes               print the Table 1 record-type registry
+     stats                     print a telemetry snapshot of a canned run as JSON
      recover                   demonstrate WAP crash recovery *)
 
 module Record = Pass_core.Record
@@ -215,6 +216,30 @@ let opm_cmd =
        ~doc:"Export the canned run's provenance as Open-Provenance-Model XML")
     Term.(const cmd_opm $ const ())
 
+(* Run the canned challenge workflow against a fresh registry and print the
+   full telemetry snapshot as JSON — every layer's named instruments plus
+   the DPAPI hot-path span histograms. *)
+let cmd_stats () =
+  let registry = Telemetry.create () in
+  let sys =
+    System.create ~registry ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] ()
+  in
+  let pid = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
+  let io = Kepler_run.io_of_system sys ~pid in
+  Challenge.prepare_inputs ~input_dir:"/vol0/inputs" io;
+  ignore
+    (Kepler_run.run sys ~pid
+       (Challenge.workflow ~input_dir:"/vol0/inputs" ~output_dir:"/vol0/results")
+      : Director.result);
+  ignore (System.drain sys : int);
+  print_endline (Telemetry.to_json registry)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the canned challenge workflow and print its telemetry snapshot as JSON")
+    Term.(const cmd_stats $ const ())
+
 let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc:"Demonstrate WAP crash recovery")
     Term.(const cmd_recover $ const ())
@@ -224,4 +249,4 @@ let () =
     Cmd.info "passctl" ~version:"1.0"
       ~doc:"PASSv2 reproduction: layered provenance collection and query"
   in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd ]))

@@ -31,16 +31,36 @@ type stats = {
   mutable adoptions : int; (* childless-target births lowered instead of freezing *)
 }
 
-let stats_zero () =
-  { records_in = 0; records_out = 0; duplicates_dropped = 0; freezes = 0; writes_elided = 0;
-    dedup_evictions = 0; adoptions = 0 }
+(* Named instruments in the telemetry registry; the [stats] record is now a
+   view built on demand, so existing callers keep working. *)
+type instruments = {
+  records_in : Telemetry.counter;
+  records_out : Telemetry.counter;
+  duplicates_dropped : Telemetry.counter;
+  freezes : Telemetry.counter;
+  writes_elided : Telemetry.counter;
+  dedup_evictions : Telemetry.counter;
+  adoptions : Telemetry.counter;
+}
+
+let instruments registry =
+  let c name = Telemetry.counter ?registry ("analyzer." ^ name) in
+  {
+    records_in = c "records_in";
+    records_out = c "records_out";
+    duplicates_dropped = c "duplicates_dropped";
+    freezes = c "freezes";
+    writes_elided = c "writes_elided";
+    dedup_evictions = c "dedup_evictions";
+    adoptions = c "adoptions";
+  }
 
 type t = {
   ctx : Ctx.t;
   lower : Dpapi.endpoint;
   seen : (Pnode.t * int * Record.t, unit) Hashtbl.t;
   dedup_capacity : int; (* bound on the seen-table; kernel memory is finite *)
-  stats : stats;
+  i : instruments;
   charge : int -> unit; (* simulated CPU nanoseconds per unit of work *)
   dedup_enabled : bool;
 }
@@ -50,11 +70,22 @@ type t = {
 let cost_per_record = 180
 let cost_per_freeze = 450
 
-let create ?(charge = fun _ -> ()) ?(dedup = true) ?(dedup_capacity = 1 lsl 18) ~ctx ~lower () =
-  { ctx; lower; seen = Hashtbl.create 4096; dedup_capacity; stats = stats_zero (); charge;
+let create ?registry ?(charge = fun _ -> ()) ?(dedup = true) ?(dedup_capacity = 1 lsl 18)
+    ~ctx ~lower () =
+  { ctx; lower; seen = Hashtbl.create 4096; dedup_capacity; i = instruments registry; charge;
     dedup_enabled = dedup }
 
-let stats t = t.stats
+let stats t : stats =
+  let v = Telemetry.value in
+  {
+    records_in = v t.i.records_in;
+    records_out = v t.i.records_out;
+    duplicates_dropped = v t.i.duplicates_dropped;
+    freezes = v t.i.freezes;
+    writes_elided = v t.i.writes_elided;
+    dedup_evictions = v t.i.dedup_evictions;
+    adoptions = v t.i.adoptions;
+  }
 
 let duplicate t pnode version record =
   Hashtbl.mem t.seen (pnode, version, record)
@@ -66,7 +97,7 @@ let remember t pnode version record =
        re-admitted, never that a first occurrence is lost. *)
     if Hashtbl.length t.seen >= t.dedup_capacity then begin
       Hashtbl.reset t.seen;
-      t.stats.dedup_evictions <- t.stats.dedup_evictions + 1
+      Telemetry.incr t.i.dedup_evictions
     end;
     Hashtbl.replace t.seen (pnode, version, record) ()
   end
@@ -84,7 +115,7 @@ let freeze_records old_version new_version target =
 let do_freeze t (target : Dpapi.handle) =
   let old_version = Ctx.current_version t.ctx target.pnode in
   let new_version = Ctx.freeze t.ctx target.pnode in
-  t.stats.freezes <- t.stats.freezes + 1;
+  Telemetry.incr t.i.freezes;
   t.charge cost_per_freeze;
   let records = freeze_records old_version new_version target in
   List.iter (remember t target.pnode new_version) records;
@@ -99,7 +130,7 @@ let process_entry t (e : Dpapi.bundle_entry) =
   let target = e.target in
   let out = ref [] in
   let admit record =
-    t.stats.records_in <- t.stats.records_in + 1;
+    Telemetry.incr t.i.records_in;
     t.charge cost_per_record;
     (match Record.xref_of record with
     | Some { pnode = y; version = vy } when Record.is_ancestry record ->
@@ -117,7 +148,7 @@ let process_entry t (e : Dpapi.bundle_entry) =
                adopt the edge by lowering its effective birth instead of
                freezing the source (this is what keeps a long-lived
                process cheap as it reads files younger than itself) *)
-            t.stats.adoptions <- t.stats.adoptions + 1;
+            Telemetry.incr t.i.adoptions;
             Ctx.lower_birth t.ctx y ~version:vy ~below:birth_x
           end
           else begin
@@ -128,7 +159,7 @@ let process_entry t (e : Dpapi.bundle_entry) =
     | Some _ | None -> ());
     let version = Ctx.current_version t.ctx target.pnode in
     if t.dedup_enabled && duplicate t target.pnode version record then
-      t.stats.duplicates_dropped <- t.stats.duplicates_dropped + 1
+      Telemetry.incr t.i.duplicates_dropped
     else begin
       remember t target.pnode version record;
       out := record :: !out
@@ -136,14 +167,14 @@ let process_entry t (e : Dpapi.bundle_entry) =
   in
   List.iter admit e.records;
   let records = List.rev !out in
-  t.stats.records_out <- t.stats.records_out + List.length records;
+  Telemetry.add t.i.records_out (List.length records);
   if records = [] then None else Some { e with records }
 
 let pass_write t handle ~off ~data bundle =
   let bundle' = List.filter_map (process_entry t) bundle in
   match (data, bundle') with
   | None, [] ->
-      t.stats.writes_elided <- t.stats.writes_elided + 1;
+      Telemetry.incr t.i.writes_elided;
       Ok (Ctx.current_version t.ctx handle.Dpapi.pnode)
   | _ -> t.lower.pass_write handle ~off ~data bundle'
 

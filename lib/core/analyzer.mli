@@ -22,6 +22,7 @@ type stats = {
 }
 
 val create :
+  ?registry:Telemetry.registry ->
   ?charge:(int -> unit) ->
   ?dedup:bool ->
   ?dedup_capacity:int ->
@@ -30,13 +31,15 @@ val create :
   unit ->
   t
 (** [create ~ctx ~lower ()] builds an analyzer stage above [lower].
-    [charge] receives simulated CPU nanoseconds as work is performed;
-    [dedup] (default true) can be disabled for the ablation benchmark;
-    [dedup_capacity] bounds the duplicate-detection table (epoch reset
-    when full — duplicates may then be re-admitted, first occurrences are
-    never lost). *)
+    [registry] receives the [analyzer.*] instruments (default
+    {!Telemetry.default}); [charge] receives simulated CPU nanoseconds as
+    work is performed; [dedup] (default true) can be disabled for the
+    ablation benchmark; [dedup_capacity] bounds the duplicate-detection
+    table (epoch reset when full — duplicates may then be re-admitted,
+    first occurrences are never lost). *)
 
 val endpoint : t -> Dpapi.endpoint
 (** The DPAPI face of this analyzer, to be handed to the layer above. *)
 
 val stats : t -> stats
+(** A point-in-time view over the [analyzer.*] telemetry instruments. *)

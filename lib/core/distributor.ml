@@ -23,24 +23,41 @@ type stats = {
   mutable flushed_records : int;
 }
 
+(* Registry-backed instruments; [stats] is a view built on demand. *)
+type instruments = {
+  cached_records : Telemetry.counter;
+  flushes : Telemetry.counter;
+  flushed_records : Telemetry.counter;
+}
+
 type t = {
   ctx : Ctx.t;
   lower : Dpapi.endpoint;
   default_volume : string;
   cache : (Pnode.t, ventry) Hashtbl.t;
-  stats : stats;
+  i : instruments;
 }
 
-let create ~ctx ~lower ~default_volume () =
+let create ?registry ~ctx ~lower ~default_volume () =
   {
     ctx;
     lower;
     default_volume;
     cache = Hashtbl.create 256;
-    stats = { cached_records = 0; flushes = 0; flushed_records = 0 };
+    i =
+      {
+        cached_records = Telemetry.counter ?registry "distributor.cached_records";
+        flushes = Telemetry.counter ?registry "distributor.flushes";
+        flushed_records = Telemetry.counter ?registry "distributor.flushed_records";
+      };
   }
 
-let stats t = t.stats
+let stats t : stats =
+  {
+    cached_records = Telemetry.value t.i.cached_records;
+    flushes = Telemetry.value t.i.flushes;
+    flushed_records = Telemetry.value t.i.flushed_records;
+  }
 let cached_object_count t = Hashtbl.length t.cache
 
 let is_cached_unflushed t pnode =
@@ -63,8 +80,8 @@ let rec flush t pnode volume =
       v.assigned <- Some volume;
       let records = List.rev v.records in
       v.records <- [];
-      t.stats.flushes <- t.stats.flushes + 1;
-      t.stats.flushed_records <- t.stats.flushed_records + List.length records;
+      Telemetry.incr t.i.flushes;
+      Telemetry.add t.i.flushed_records (List.length records);
       let handle = Dpapi.handle ~volume pnode in
       let* _version =
         t.lower.pass_write handle ~off:0 ~data:None [ Dpapi.entry handle records ]
@@ -89,7 +106,7 @@ let route_entry t volume_of_write (e : Dpapi.bundle_entry) =
   | None, Some v when v.assigned = None ->
       (* still virtual: cache, and remember references among virtuals *)
       v.records <- List.rev_append e.records v.records;
-      t.stats.cached_records <- t.stats.cached_records + List.length e.records;
+      Telemetry.add t.i.cached_records (List.length e.records);
       Ok None
   | None, Some v ->
       (* previously anchored: forward to its assigned volume *)
@@ -102,7 +119,7 @@ let route_entry t volume_of_write (e : Dpapi.bundle_entry) =
          fresh cache entry *)
       let v = { records = List.rev e.records; hint = None; assigned = None } in
       Hashtbl.replace t.cache pnode v;
-      t.stats.cached_records <- t.stats.cached_records + List.length e.records;
+      Telemetry.add t.i.cached_records (List.length e.records);
       Ok None
   | Some volume, _ ->
       let* () = flush_ancestors_of t e.records (Option.value volume_of_write ~default:volume) in

@@ -16,14 +16,18 @@ type stats = {
 }
 
 val create :
+  ?registry:Telemetry.registry ->
   ctx:Ctx.t -> lower:Dpapi.endpoint -> default_volume:string -> unit -> t
 (** [create ~ctx ~lower ~default_volume ()] builds a distributor stage.
     [default_volume] receives the provenance of [pass_sync]ed objects that
-    were created without a volume hint. *)
+    were created without a volume hint; [registry] receives the
+    [distributor.*] instruments (default {!Telemetry.default}). *)
 
 val endpoint : t -> Dpapi.endpoint
 
 val stats : t -> stats
+(** A point-in-time view over the [distributor.*] telemetry instruments. *)
+
 val cached_object_count : t -> int
 
 val is_cached_unflushed : t -> Pnode.t -> bool

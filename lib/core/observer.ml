@@ -19,23 +19,32 @@ type stats = {
   mutable records_emitted : int;
 }
 
+(* Registry-backed instruments; [stats] is a view built on demand. *)
+type instruments = {
+  events : Telemetry.counter;
+  records_emitted : Telemetry.counter;
+}
+
 type t = {
   ctx : Ctx.t;
   lower : Dpapi.endpoint; (* the analyzer *)
   procs : (int, proc) Hashtbl.t; (* pid -> process object *)
   pipes : (int, Dpapi.handle) Hashtbl.t; (* pipe id -> pipe object *)
-  stats : stats;
+  i : instruments;
 }
 
-let create ~ctx ~lower () =
+let create ?registry ~ctx ~lower () =
   { ctx; lower; procs = Hashtbl.create 64; pipes = Hashtbl.create 16;
-    stats = { events = 0; records_emitted = 0 } }
+    i = { events = Telemetry.counter ?registry "observer.events";
+          records_emitted = Telemetry.counter ?registry "observer.records_emitted" } }
 
-let stats t = t.stats
+let stats t : stats =
+  { events = Telemetry.value t.i.events;
+    records_emitted = Telemetry.value t.i.records_emitted }
 let ( let* ) = Result.bind
 
 let emit t target records =
-  t.stats.records_emitted <- t.stats.records_emitted + List.length records;
+  Telemetry.add t.i.records_emitted (List.length records);
   Dpapi.disclose t.lower target records
 
 let proc_state t pid =
@@ -65,7 +74,7 @@ let proc_xref t pid =
 (* --- system call events ------------------------------------------------ *)
 
 let fork t ~parent ~child =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let ph = proc_handle t parent in
   let child_handle =
     match t.lower.pass_mkobj ~volume:None with
@@ -81,7 +90,7 @@ let fork t ~parent ~child =
     ]
 
 let execve t ~pid ~path ~argv ~env ~binary =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let p = proc_handle t pid in
   (* learn the exact identity of the binary being executed *)
   let* id = t.lower.pass_read binary ~off:0 ~len:0 in
@@ -94,7 +103,7 @@ let execve t ~pid ~path ~argv ~env ~binary =
     ]
 
 let exit t ~pid =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   (match Hashtbl.find_opt t.procs pid with
   | Some p -> p.alive <- false
   | None -> ());
@@ -103,7 +112,7 @@ let exit t ~pid =
 (* read: pass_read the file, then record that the process depends on the
    exact version read. *)
 let read t ~pid ~file ~off ~len =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let p = proc_handle t pid in
   let* r = t.lower.pass_read file ~off ~len in
   let* () = emit t p [ Record.input_of r.r_pnode r.r_version ] in
@@ -112,20 +121,20 @@ let read t ~pid ~file ~off ~len =
 (* write: send the data together with the record stating that the process
    is an input of the file. *)
 let write t ~pid ~file ~off ~data =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let record = Record.input (proc_xref t pid) in
-  t.stats.records_emitted <- t.stats.records_emitted + 1;
+  Telemetry.incr t.i.records_emitted;
   t.lower.pass_write file ~off ~data:(Some data) [ Dpapi.entry file [ record ] ]
 
 let mmap t ~pid ~file ~writable =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let p = proc_handle t pid in
   let* r = t.lower.pass_read file ~off:0 ~len:0 in
   let* () = emit t p [ Record.input_of r.r_pnode r.r_version ] in
   if writable then emit t file [ Record.input (proc_xref t pid) ] else Ok ()
 
 let pipe_create t ~pid ~pipe_id =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let* h = t.lower.pass_mkobj ~volume:None in
   Hashtbl.replace t.pipes pipe_id h;
   let* () = emit t h [ Record.typ "PIPE" ] in
@@ -138,18 +147,18 @@ let pipe_handle t pipe_id =
   | None -> Error Dpapi.Ebadf
 
 let pipe_write t ~pid ~pipe_id =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let* h = pipe_handle t pipe_id in
   emit t h [ Record.input (proc_xref t pid) ]
 
 let pipe_read t ~pid ~pipe_id =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   let* h = pipe_handle t pipe_id in
   let p = proc_handle t pid in
   emit t p [ Record.input (Pvalue.xref h.pnode (Ctx.current_version t.ctx h.pnode)) ]
 
 let drop_inode t ~file:_ =
-  t.stats.events <- t.stats.events + 1;
+  Telemetry.incr t.i.events;
   Ok ()
 
 (* --- the DPAPI face handed to provenance-aware applications ------------ *)
@@ -173,9 +182,8 @@ let endpoint_for t ~pid : Dpapi.endpoint =
           | Some _ -> Dpapi.entry h [ Record.input (proc_xref t pid) ] :: bundle
           | None -> bundle
         in
-        t.stats.records_emitted <-
-          t.stats.records_emitted
-          + List.fold_left (fun n (e : Dpapi.bundle_entry) -> n + List.length e.records) 0 bundle;
+        Telemetry.add t.i.records_emitted
+          (List.fold_left (fun n (e : Dpapi.bundle_entry) -> n + List.length e.records) 0 bundle);
         lower.pass_write h ~off ~data bundle);
     pass_freeze = lower.pass_freeze;
     pass_mkobj = lower.pass_mkobj;

@@ -10,11 +10,13 @@ type t
 
 type stats = { mutable events : int; mutable records_emitted : int }
 
-val create : ctx:Ctx.t -> lower:Dpapi.endpoint -> unit -> t
+val create : ?registry:Telemetry.registry -> ctx:Ctx.t -> lower:Dpapi.endpoint -> unit -> t
 (** [create ~ctx ~lower ()] builds an observer whose lower layer is
-    normally the analyzer. *)
+    normally the analyzer.  [registry] receives the [observer.*]
+    instruments (default {!Telemetry.default}). *)
 
 val stats : t -> stats
+(** A point-in-time view over the [observer.*] telemetry instruments. *)
 
 val proc_handle : t -> int -> Dpapi.handle
 (** The virtual object representing process [pid] (created on demand). *)

@@ -28,6 +28,16 @@ type stats = {
   mutable rotations : int;
 }
 
+(* Registry-backed instruments; [stats] is a view built on demand.  The
+   WAP log owns the [wap.*] names, the stacking data path [lasagna.*]. *)
+type instruments = {
+  frames_written : Telemetry.counter; (* wap.frames_written *)
+  bytes_written : Telemetry.counter; (* wap.bytes_written *)
+  rotations : Telemetry.counter; (* wap.rotations *)
+  data_bytes : Telemetry.counter; (* lasagna.data_bytes *)
+  append_ns : Telemetry.histogram; (* wap.append_ns, simulated span *)
+}
+
 type t = {
   lower : Vfs.ops;
   ctx : Ctx.t;
@@ -49,7 +59,7 @@ type t = {
       (* versions with a data-identity frame -> (off, len) of the last
          digested range; a later write overlapping it must re-digest or
          recovery would flag clean data *)
-  stats : stats;
+  i : instruments;
 }
 
 let pass_dirname = ".pass"
@@ -78,7 +88,13 @@ let errno_to_dpapi : Vfs.errno -> Dpapi.error = function
 
 let lift r = Result.map_error errno_to_dpapi r
 
-let stats t = t.stats
+let stats t : stats =
+  {
+    frames_logged = Telemetry.value t.i.frames_written;
+    prov_bytes_logged = Telemetry.value t.i.bytes_written;
+    data_bytes = Telemetry.value t.i.data_bytes;
+    rotations = Telemetry.value t.i.rotations;
+  }
 let volume t = t.volume
 
 let fresh_log t =
@@ -88,8 +104,8 @@ let fresh_log t =
       t.log_off <- 0
   | Error e -> failwith ("lasagna: cannot create log: " ^ Vfs.errno_to_string e)
 
-let create ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fun () -> 0) ~lower ~ctx
-    ~volume ~charge () =
+let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fun () -> 0)
+    ~lower ~ctx ~volume ~charge () =
   let pass_dir =
     match Vfs.mkdir_p lower ("/" ^ pass_dirname) with
     | Ok ino -> ino
@@ -103,7 +119,14 @@ let create ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fun () -> 0)
       by_ino = Hashtbl.create 1024;
       virtuals = Hashtbl.create 256;
       described = Hashtbl.create 1024;
-      stats = { frames_logged = 0; prov_bytes_logged = 0; data_bytes = 0; rotations = 0 };
+      i =
+        {
+          frames_written = Telemetry.counter ?registry "wap.frames_written";
+          bytes_written = Telemetry.counter ?registry "wap.bytes_written";
+          rotations = Telemetry.counter ?registry "wap.rotations";
+          data_bytes = Telemetry.counter ?registry "lasagna.data_bytes";
+          append_ns = Telemetry.histogram ?registry "wap.append_ns";
+        };
     }
   in
   fresh_log t;
@@ -115,7 +138,7 @@ let rotate_log t =
   let closed = log_name t.log_seq in
   let closed_ino = t.log_ino in
   t.log_seq <- t.log_seq + 1;
-  t.stats.rotations <- t.stats.rotations + 1;
+  Telemetry.incr t.i.rotations;
   fresh_log t;
   List.iter (fun f -> f closed closed_ino) t.listeners
 
@@ -124,6 +147,7 @@ let rotate_log t =
 let flush_log t = if t.log_off > 0 then rotate_log t
 
 let append_frame t frame =
+  Telemetry.with_span t.i.append_ns ~now:t.now @@ fun () ->
   (* dormancy rotation (paper §5.6): if the log has been idle past the
      threshold, close it so Waldo can process it without waiting for the
      size limit *)
@@ -136,8 +160,8 @@ let append_frame t frame =
   | Error e -> Error e
   | Ok () ->
       t.log_off <- t.log_off + String.length encoded;
-      t.stats.frames_logged <- t.stats.frames_logged + 1;
-      t.stats.prov_bytes_logged <- t.stats.prov_bytes_logged + String.length encoded;
+      Telemetry.incr t.i.frames_written;
+      Telemetry.add t.i.bytes_written (String.length encoded);
       if t.log_off >= t.log_max then rotate_log t;
       Ok ()
 
@@ -183,7 +207,7 @@ let pass_read t (h : Dpapi.handle) ~off ~len =
   | Some ino ->
       let* data = lift (t.lower.read ino ~off ~len) in
       t.charge (String.length data * double_buffer_ns_per_byte);
-      t.stats.data_bytes <- t.stats.data_bytes + String.length data;
+      Telemetry.add t.i.data_bytes (String.length data);
       Ok { Dpapi.data; r_pnode = h.pnode; r_version = Ctx.current_version t.ctx h.pnode }
 
 let log_bundle ?txn t (h : Dpapi.handle) ~off ~data bundle =
@@ -233,7 +257,7 @@ let pass_write ?txn t (h : Dpapi.handle) ~off ~data bundle =
     match (data, ino_of_pnode t h.pnode) with
     | Some d, Some ino ->
         t.charge (String.length d * double_buffer_ns_per_byte);
-        t.stats.data_bytes <- t.stats.data_bytes + String.length d;
+        Telemetry.add t.i.data_bytes (String.length d);
         lift (t.lower.write ino ~off d)
     | Some _, None ->
         (* data aimed at a virtual object has no backing store *)

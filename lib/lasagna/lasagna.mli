@@ -16,6 +16,7 @@ type stats = {
 }
 
 val create :
+  ?registry:Telemetry.registry ->
   ?log_max:int ->
   ?idle_ns:int ->
   ?now:(unit -> int) ->
@@ -26,11 +27,13 @@ val create :
   unit ->
   t
 (** [create ~lower ~ctx ~volume ~charge ()] stacks a Lasagna instance over
-    [lower].  [charge] receives the double-buffering CPU nanoseconds the
-    stacking costs; [log_max] (default 1 MiB) bounds the active log before
-    rotation, and a log dormant for [idle_ns] (default 5 simulated
-    seconds, measured on [now]) is closed on the next append — the
-    paper's two rotation triggers. *)
+    [lower].  [registry] receives the [wap.*] and [lasagna.*] instruments
+    (default {!Telemetry.default}); [charge] receives the double-buffering
+    CPU nanoseconds the stacking costs; [log_max] (default 1 MiB) bounds
+    the active log before rotation, and a log dormant for [idle_ns]
+    (default 5 simulated seconds, measured on [now]) is closed on the next
+    append — the paper's two rotation triggers.  Each WAP append is timed
+    into the [wap.append_ns] histogram on the simulated clock. *)
 
 val ops : t -> Vfs.ops
 (** The VFS face (hides the [.pass] directory). *)
@@ -50,6 +53,8 @@ val write_txn_bundle :
 (** [pass_write] with an explicit PA-NFS transaction tag (Section 6.1.2). *)
 
 val stats : t -> stats
+(** A point-in-time view over the [wap.*] / [lasagna.*] instruments. *)
+
 val volume : t -> string
 
 val file_handle : t -> Vfs.ino -> (Pass_core.Dpapi.handle, Vfs.errno) result

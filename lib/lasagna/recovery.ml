@@ -55,7 +55,19 @@ let read_whole lower ino =
   let* st = lower.Vfs.getattr ino in
   lower.Vfs.read ino ~off:0 ~len:st.Vfs.st_size
 
-let scan lower =
+(* Recovery publishes its outcome as [wap.recovery.*] counters so a
+   post-crash scan shows up in the same snapshot as the run it repairs. *)
+let record_outcome registry report =
+  let c name v =
+    Telemetry.add (Telemetry.counter ?registry ("wap.recovery." ^ name)) v
+  in
+  c "logs_scanned" report.logs_scanned;
+  c "frames_ok" report.frames_ok;
+  c "torn_bytes" report.torn_bytes;
+  c "data_checked" report.data_checked;
+  c "inconsistent" (List.length report.inconsistent)
+
+let scan ?registry lower =
   let* pass_dir, logs = list_logs lower in
   let frames_ok = ref 0 and torn = ref 0 in
   let files = ref [] and virtuals = ref [] in
@@ -109,7 +121,7 @@ let scan lower =
                     reason = "data digest mismatch" }
                   :: !bad))
     last_data;
-  Ok
+  let report =
     {
       logs_scanned = List.length logs;
       frames_ok = !frames_ok;
@@ -119,6 +131,9 @@ let scan lower =
       files = List.rev !files;
       virtuals = List.rev !virtuals;
     }
+  in
+  record_outcome registry report;
+  Ok report
 
 let pp_report ppf r =
   Format.fprintf ppf

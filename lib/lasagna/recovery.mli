@@ -23,7 +23,9 @@ type report = {
   virtuals : Pass_core.Pnode.t list;
 }
 
-val scan : Vfs.ops -> (report, Vfs.errno) result
-(** [scan lower] performs recovery over the [.pass] logs on [lower]. *)
+val scan : ?registry:Telemetry.registry -> Vfs.ops -> (report, Vfs.errno) result
+(** [scan lower] performs recovery over the [.pass] logs on [lower] and
+    publishes the outcome as [wap.recovery.*] counters into [registry]
+    (default {!Telemetry.default}). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -29,6 +29,23 @@ type stats = {
   mutable inline_writes : int; (* pass_writes that fit in one OP_PASSWRITE *)
 }
 
+(* Registry-backed instruments; [stats] is a view built on demand. *)
+type instruments = {
+  rpcs : Telemetry.counter;
+  txns : Telemetry.counter;
+  inline_writes : Telemetry.counter;
+  rpc_latency : Telemetry.histogram; (* simulated ns per RPC round trip *)
+}
+
+let instruments registry =
+  let c name = Telemetry.counter ?registry ("panfs." ^ name) in
+  {
+    rpcs = c "rpcs";
+    txns = c "txns";
+    inline_writes = c "inline_writes";
+    rpc_latency = Telemetry.histogram ?registry "panfs.rpc_latency";
+  }
+
 (* Write-behind buffers: the client coalesces contiguous streaming writes
    up to the 64 KB block size before issuing one WRITE / OP_PASSWRITE, the
    way a real NFS client's wsize batching works.  Close-to-open
@@ -50,24 +67,26 @@ type t = {
   mount_name : string; (* volume name on the client *)
   pnode_cache : (Vfs.ino, Pnode.t) Hashtbl.t;
   pending_freezes : (Pnode.t, Record.t list) Hashtbl.t;
-  stats : stats;
+  i : instruments;
   mutable crashed : bool;
   mutable plain_pending : plain_buf option;
   mutable prov_pending : prov_buf option;
 }
 
-let create ~net ~handler ~ctx ~mount_name () =
+let create ?registry ~net ~handler ~ctx ~mount_name () =
   {
     net; handler; ctx; mount_name;
     pnode_cache = Hashtbl.create 256;
     pending_freezes = Hashtbl.create 16;
-    stats = { rpcs = 0; txns = 0; inline_writes = 0 };
+    i = instruments registry;
     crashed = false;
     plain_pending = None;
     prov_pending = None;
   }
 
-let stats t = t.stats
+let stats t : stats =
+  let v = Telemetry.value in
+  { rpcs = v t.i.rpcs; txns = v t.i.txns; inline_writes = v t.i.inline_writes }
 
 (* Simulate the client host dying: every subsequent call fails.  Used by
    the orphaned-transaction tests. *)
@@ -76,8 +95,10 @@ let crash t = t.crashed <- true
 let call t req =
   if t.crashed then Proto.R_err Vfs.ECRASH
   else begin
-    t.stats.rpcs <- t.stats.rpcs + 1;
-    Proto.rpc t.net t.handler req
+    Telemetry.incr t.i.rpcs;
+    Telemetry.with_span t.i.rpc_latency
+      ~now:(fun () -> Simdisk.Clock.now t.net.Proto.clock)
+      (fun () -> Proto.rpc t.net t.handler req)
   end
 
 let lift_err = function
@@ -140,28 +161,32 @@ let ops t : Vfs.ops =
     root = (fun () -> Ext3.root_ino);
     lookup =
       (fun ~dir name ->
-        match call t (Proto.Lookup { dir; name }) with
-        | Proto.R_ino ino -> Ok ino
-        | Proto.R_err e -> Error e
-        | _ -> bad);
+        flush_then (fun () ->
+            match call t (Proto.Lookup { dir; name }) with
+            | Proto.R_ino ino -> Ok ino
+            | Proto.R_err e -> Error e
+            | _ -> bad));
     create =
       (fun ~dir name kind ->
-        match call t (Proto.Create { dir; name; kind }) with
-        | Proto.R_ino ino -> Ok ino
-        | Proto.R_err e -> Error e
-        | _ -> bad);
+        flush_then (fun () ->
+            match call t (Proto.Create { dir; name; kind }) with
+            | Proto.R_ino ino -> Ok ino
+            | Proto.R_err e -> Error e
+            | _ -> bad));
     unlink =
       (fun ~dir name ->
-        match call t (Proto.Remove { dir; name }) with
-        | Proto.R_ok -> Ok ()
-        | Proto.R_err e -> Error e
-        | _ -> bad);
+        flush_then (fun () ->
+            match call t (Proto.Remove { dir; name }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
     rename =
       (fun ~src_dir ~src_name ~dst_dir ~dst_name ->
-        match call t (Proto.Rename { src_dir; src_name; dst_dir; dst_name }) with
-        | Proto.R_ok -> Ok ()
-        | Proto.R_err e -> Error e
-        | _ -> bad);
+        flush_then (fun () ->
+            match call t (Proto.Rename { src_dir; src_name; dst_dir; dst_name }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
     read =
       (fun ino ~off ~len ->
         flush_then (fun () ->
@@ -219,7 +244,7 @@ let file_handle t ino =
 let begin_txn t =
   match call t Proto.Op_begintxn with
   | Proto.R_txn id ->
-      t.stats.txns <- t.stats.txns + 1;
+      Telemetry.incr t.i.txns;
       Ok id
   | Proto.R_err e -> Error (lift_err e)
   | _ -> Error Dpapi.Eio
@@ -300,7 +325,7 @@ let send_passwrite t (h : Dpapi.handle) ~off ~data bundle =
   let bundle = attach_pending t h bundle in
   let total = Dpapi.bundle_size bundle + match data with Some d -> String.length d | None -> 0 in
   if total <= Proto.block_limit then begin
-    t.stats.inline_writes <- t.stats.inline_writes + 1;
+    Telemetry.incr t.i.inline_writes;
     match call t (Proto.Op_passwrite { pnode = h.pnode; off; data; bundle; txn = None }) with
     | Proto.R_version v -> Ok v
     | Proto.R_err e -> Error (lift_err e)

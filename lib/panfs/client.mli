@@ -24,6 +24,7 @@ type stats = {
 }
 
 val create :
+  ?registry:Telemetry.registry ->
   net:Proto.net ->
   handler:(Proto.req -> Proto.resp) ->
   ctx:Ctx.t ->
@@ -31,9 +32,12 @@ val create :
   unit ->
   t
 (** [mount_name] is the volume name this client is mounted under on its
-    machine; handles it returns carry it. *)
+    machine; handles it returns carry it.  [registry] receives the
+    [panfs.*] instruments, including the [panfs.rpc_latency] histogram of
+    simulated round-trip nanoseconds (default {!Telemetry.default}). *)
 
 val stats : t -> stats
+(** A point-in-time view over the [panfs.*] telemetry counters. *)
 
 val crash : t -> unit
 (** Simulate the client host dying: every subsequent call fails with

@@ -23,6 +23,19 @@ module Disk = Simdisk.Disk
 
 type mode = Plain | Pass_enabled
 
+(* Server-side instruments (the embedded analyzer / Lasagna / Waldo / disk
+   register their own when a registry is threaded through [create]). *)
+type instruments = {
+  requests : Telemetry.counter;
+  txns_opened : Telemetry.counter;
+}
+
+let instruments registry =
+  {
+    requests = Telemetry.counter ?registry "panfs.server.requests";
+    txns_opened = Telemetry.counter ?registry "panfs.server.txns_opened";
+  }
+
 type t = {
   mode : mode;
   clock : Clock.t;
@@ -34,34 +47,37 @@ type t = {
   waldo : Waldo.t option;
   ctx : Ctx.t;
   volume : string;
+  i : instruments;
   mutable next_txn : int;
   mutable open_txns : int list;
 }
 
-let create ~mode ~clock ~machine ~volume () =
-  let disk = Disk.create ~clock () in
+let create ?registry ~mode ~clock ~machine ~volume () =
+  let i = instruments registry in
+  let disk = Disk.create ?registry ~clock () in
   let ext3 = Ext3.format disk in
   let ctx = Ctx.create ~machine in
   match mode with
   | Plain ->
       {
         mode; clock; disk; ext3; export = Ext3.ops ext3; lasagna = None;
-        analyzer = None; waldo = None; ctx; volume; next_txn = 1; open_txns = [];
+        analyzer = None; waldo = None; ctx; volume; i; next_txn = 1; open_txns = [];
       }
   | Pass_enabled ->
       Ext3.set_cache_capacity ext3 2048;
       let lasagna =
-        Lasagna.create ~now:(fun () -> Clock.now clock) ~lower:(Ext3.ops ext3) ~ctx ~volume
-          ~charge:(Clock.advance clock) ()
+        Lasagna.create ?registry ~now:(fun () -> Clock.now clock) ~lower:(Ext3.ops ext3) ~ctx
+          ~volume ~charge:(Clock.advance clock) ()
       in
       let analyzer =
-        Analyzer.create ~charge:(Clock.advance clock) ~ctx ~lower:(Lasagna.endpoint lasagna) ()
+        Analyzer.create ?registry ~charge:(Clock.advance clock) ~ctx
+          ~lower:(Lasagna.endpoint lasagna) ()
       in
-      let waldo = Waldo.create ~lower:(Ext3.ops ext3) () in
+      let waldo = Waldo.create ?registry ~lower:(Ext3.ops ext3) () in
       Waldo.attach waldo lasagna;
       {
         mode; clock; disk; ext3; export = Lasagna.ops lasagna; lasagna = Some lasagna;
-        analyzer = Some analyzer; waldo = Some waldo; ctx; volume; next_txn = 1;
+        analyzer = Some analyzer; waldo = Some waldo; ctx; volume; i; next_txn = 1;
         open_txns = [];
       }
 
@@ -122,6 +138,7 @@ let localize_bundle t bundle =
 let stable_metadata_ns = 2_800_000
 
 let handle t (req : Proto.req) : Proto.resp =
+  Telemetry.incr t.i.requests;
   (match req with
   | Proto.Create _ | Proto.Remove _ | Proto.Rename _ | Proto.Truncate _ ->
       Clock.advance t.clock stable_metadata_ns
@@ -183,6 +200,7 @@ let handle t (req : Proto.req) : Proto.resp =
           let id = t.next_txn in
           t.next_txn <- id + 1;
           t.open_txns <- id :: t.open_txns;
+          Telemetry.incr t.i.txns_opened;
           (* log the BEGINTXN record at the server (§6.1.2) *)
           let marker_h = Dpapi.handle ~volume:t.volume (Ctx.fresh t.ctx) in
           let marker =

@@ -15,9 +15,19 @@ type mode = Plain | Pass_enabled
 
 type t
 
-val create : mode:mode -> clock:Clock.t -> machine:int -> volume:string -> unit -> t
+val create :
+  ?registry:Telemetry.registry ->
+  mode:mode ->
+  clock:Clock.t ->
+  machine:int ->
+  volume:string ->
+  unit ->
+  t
 (** [clock] is shared with the clients so server disk time appears as
-    client-visible latency. *)
+    client-visible latency.  [registry] receives the [panfs.server.*]
+    counters, plus the instruments of the embedded disk and — in
+    [Pass_enabled] mode — Lasagna, analyzer and Waldo (default
+    {!Telemetry.default}). *)
 
 val handle : t -> Proto.req -> Proto.resp
 (** Serve one request (the simulated transport calls this). *)

@@ -27,9 +27,28 @@ type stats = {
   mutable transfer_ns : int;
 }
 
-let stats_zero () =
-  { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; seeks = 0;
-    seek_ns = 0; transfer_ns = 0 }
+(* Registry-backed instruments; [stats] is a view built on demand. *)
+type instruments = {
+  reads : Telemetry.counter;
+  writes : Telemetry.counter;
+  bytes_read : Telemetry.counter;
+  bytes_written : Telemetry.counter;
+  seeks : Telemetry.counter;
+  seek_ns : Telemetry.counter;
+  transfer_ns : Telemetry.counter;
+}
+
+let instruments registry =
+  let c name = Telemetry.counter ?registry ("disk." ^ name) in
+  {
+    reads = c "reads";
+    writes = c "writes";
+    bytes_read = c "bytes_read";
+    bytes_written = c "bytes_written";
+    seeks = c "seeks";
+    seek_ns = c "seek_ns";
+    transfer_ns = c "transfer_ns";
+  }
 
 exception Crashed
 
@@ -45,7 +64,7 @@ type t = {
   mutable use_counter : int;
   mutable crashed : bool;
   mutable crash_after_writes : int option;
-  stats : stats;
+  i : instruments;
   (* cost knobs, ns *)
   full_seek_ns : int;
   min_seek_ns : int;
@@ -54,7 +73,7 @@ type t = {
   per_block_transfer_ns : int;
 }
 
-let create ?(total_blocks = 20_000_000) ?(stream_slots = 5) ~clock () =
+let create ?registry ?(total_blocks = 20_000_000) ?(stream_slots = 5) ~clock () =
   {
     clock;
     blocks = Hashtbl.create 65536;
@@ -63,7 +82,7 @@ let create ?(total_blocks = 20_000_000) ?(stream_slots = 5) ~clock () =
     use_counter = 0;
     crashed = false;
     crash_after_writes = None;
-    stats = stats_zero ();
+    i = instruments registry;
     full_seek_ns = Clock.ns_of_ms 17;      (* full-stroke seek *)
     min_seek_ns = Clock.ns_of_us 800;      (* track-to-track *)
     rotation_ns = Clock.ns_of_ms 4;        (* ~half rotation at 7200rpm *)
@@ -71,7 +90,17 @@ let create ?(total_blocks = 20_000_000) ?(stream_slots = 5) ~clock () =
     per_block_transfer_ns = Clock.ns_of_us 65; (* 4 KB at ~60 MB/s *)
   }
 
-let stats t = t.stats
+let stats t : stats =
+  let v = Telemetry.value in
+  {
+    reads = v t.i.reads;
+    writes = v t.i.writes;
+    bytes_read = v t.i.bytes_read;
+    bytes_written = v t.i.bytes_written;
+    seeks = v t.i.seeks;
+    seek_ns = v t.i.seek_ns;
+    transfer_ns = v t.i.transfer_ns;
+  }
 let clock t = t.clock
 let is_crashed t = t.crashed
 
@@ -120,13 +149,13 @@ let charge_position t blk =
       s.s_used <- t.use_counter
   | Some (s, _) ->
       (* near a live stream: elevator picks it up within the same sweep *)
-      t.stats.seek_ns <- t.stats.seek_ns + t.settle_ns;
+      Telemetry.add t.i.seek_ns t.settle_ns;
       Clock.advance t.clock t.settle_ns;
       s.s_head <- blk + 1;
       s.s_used <- t.use_counter
   | None ->
       (* cold region: real seek; evict the least-recently-used stream *)
-      t.stats.seeks <- t.stats.seeks + 1;
+      Telemetry.incr t.i.seeks;
       let lru = ref t.streams.(0) in
       Array.iter (fun s -> if s.s_used < !lru.s_used then lru := s) t.streams;
       let origin = if !lru.s_head >= 0 then !lru.s_head else 0 in
@@ -138,12 +167,12 @@ let charge_position t blk =
         + int_of_float (float_of_int (t.full_seek_ns - t.min_seek_ns) *. sqrt frac)
       in
       let cost = seek + t.rotation_ns in
-      t.stats.seek_ns <- t.stats.seek_ns + cost;
+      Telemetry.add t.i.seek_ns cost;
       Clock.advance t.clock cost;
       !lru.s_head <- blk + 1;
       !lru.s_used <- t.use_counter);
   if !charge_transfer then begin
-    t.stats.transfer_ns <- t.stats.transfer_ns + t.per_block_transfer_ns;
+    Telemetry.add t.i.transfer_ns t.per_block_transfer_ns;
     Clock.advance t.clock t.per_block_transfer_ns
   end
 
@@ -154,8 +183,8 @@ let read_block t blk =
   check_alive t;
   check_block t blk;
   charge_position t blk;
-  t.stats.reads <- t.stats.reads + 1;
-  t.stats.bytes_read <- t.stats.bytes_read + block_size;
+  Telemetry.incr t.i.reads;
+  Telemetry.add t.i.bytes_read block_size;
   match Hashtbl.find_opt t.blocks blk with
   | Some b -> Bytes.copy b
   | None -> Bytes.make block_size '\000'
@@ -171,8 +200,8 @@ let write_block t blk data =
   | Some n -> t.crash_after_writes <- Some (n - 1)
   | None -> ());
   charge_position t blk;
-  t.stats.writes <- t.stats.writes + 1;
-  t.stats.bytes_written <- t.stats.bytes_written + block_size;
+  Telemetry.incr t.i.writes;
+  Telemetry.add t.i.bytes_written block_size;
   Hashtbl.replace t.blocks blk (Bytes.copy data)
 
 (* Convenience used by the file systems: read/write [len] bytes at an
@@ -211,4 +240,4 @@ let write_bytes t ~off data =
     pos := !pos + n
   done
 
-let io_ns t = t.stats.seek_ns + t.stats.transfer_ns
+let io_ns t = Telemetry.value t.i.seek_ns + Telemetry.value t.i.transfer_ns

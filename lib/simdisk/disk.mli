@@ -23,11 +23,20 @@ type stats = {
 exception Crashed
 (** Raised by any access to a crashed device. *)
 
-val create : ?total_blocks:int -> ?stream_slots:int -> clock:Clock.t -> unit -> t
+val create :
+  ?registry:Telemetry.registry ->
+  ?total_blocks:int ->
+  ?stream_slots:int ->
+  clock:Clock.t ->
+  unit ->
+  t
 (** [stream_slots] (default 5) is the number of concurrent sequential
-    streams the simulated elevator can keep cheap. *)
+    streams the simulated elevator can keep cheap; [registry] receives the
+    [disk.*] instruments (default {!Telemetry.default}). *)
 
 val stats : t -> stats
+(** A point-in-time view over the [disk.*] telemetry instruments. *)
+
 val clock : t -> Clock.t
 val is_crashed : t -> bool
 

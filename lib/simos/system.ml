@@ -31,12 +31,14 @@ type t = {
   mode : mode;
   clock : Clock.t;
   kernel : Kernel.t;
+  registry : Telemetry.registry;
   mutable volumes : volume list;
   mutable router_table : (string * Dpapi.endpoint) list;
 }
 
 let mode t = t.mode
 let clock t = t.clock
+let telemetry t = t.registry
 let kernel t = t.kernel
 let volumes t = t.volumes
 let elapsed_seconds t = Clock.seconds t.clock
@@ -91,13 +93,13 @@ let router t : Dpapi.endpoint =
         ep.pass_sync h);
   }
 
-let create ~mode ~machine ~volume_names () =
+let create ?(registry = Telemetry.default) ~mode ~machine ~volume_names () =
   let clock = Clock.create () in
   let kernel = Kernel.create ~clock ~machine () in
-  let t = { mode; clock; kernel; volumes = []; router_table = [] } in
+  let t = { mode; clock; kernel; registry; volumes = []; router_table = [] } in
   let charge = Clock.advance clock in
   let make_volume name =
-    let disk = Disk.create ~clock () in
+    let disk = Disk.create ~registry ~clock () in
     let ext3 = Ext3.format disk in
     match mode with
     | Vanilla ->
@@ -109,10 +111,10 @@ let create ~mode ~machine ~volume_names () =
         Ext3.set_cache_capacity ext3 2048;
         let ctx = Kernel.ctx kernel in
         let lasagna =
-          Lasagna.create ~now:(fun () -> Clock.now clock) ~lower:(Ext3.ops ext3) ~ctx
-            ~volume:name ~charge ()
+          Lasagna.create ~registry ~now:(fun () -> Clock.now clock) ~lower:(Ext3.ops ext3)
+            ~ctx ~volume:name ~charge ()
         in
-        let waldo = Waldo.create ~lower:(Ext3.ops ext3) () in
+        let waldo = Waldo.create ~registry ~lower:(Ext3.ops ext3) () in
         Waldo.attach waldo lasagna;
         t.router_table <- (name, Lasagna.endpoint lasagna) :: t.router_table;
         Kernel.mount kernel ~name ~ops:(Lasagna.ops lasagna)
@@ -126,12 +128,28 @@ let create ~mode ~machine ~volume_names () =
   | Pass, { v_name = default_volume; _ } :: _ ->
       let ctx = Kernel.ctx kernel in
       let distributor =
-        Distributor.create ~ctx ~lower:(router t) ~default_volume ()
+        Distributor.create ~registry ~ctx ~lower:(router t) ~default_volume ()
       in
       let analyzer =
-        Analyzer.create ~charge ~ctx ~lower:(Distributor.endpoint distributor) ()
+        Analyzer.create ~registry ~charge ~ctx ~lower:(Distributor.endpoint distributor) ()
       in
-      let observer = Observer.create ~ctx ~lower:(Analyzer.endpoint analyzer) () in
+      (* span timing around the DPAPI hot path: pass_write / pass_freeze
+         as seen at the top of the in-kernel chain, in simulated ns *)
+      let write_ns = Telemetry.histogram ~registry "dpapi.pass_write_ns" in
+      let freeze_ns = Telemetry.histogram ~registry "dpapi.pass_freeze_ns" in
+      let now () = Clock.now clock in
+      let inner = Analyzer.endpoint analyzer in
+      let timed =
+        {
+          inner with
+          Dpapi.pass_write =
+            (fun h ~off ~data b ->
+              Telemetry.with_span write_ns ~now (fun () -> inner.pass_write h ~off ~data b));
+          pass_freeze =
+            (fun h -> Telemetry.with_span freeze_ns ~now (fun () -> inner.pass_freeze h));
+        }
+      in
+      let observer = Observer.create ~registry ~ctx ~lower:timed () in
       Kernel.set_pass kernel { Kernel.observer; analyzer; distributor }
   | Pass, [] | Vanilla, _ -> ());
   t

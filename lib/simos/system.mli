@@ -21,9 +21,24 @@ type volume = {
 
 type t
 
-val create : mode:mode -> machine:int -> volume_names:string list -> unit -> t
+val create :
+  ?registry:Telemetry.registry ->
+  mode:mode ->
+  machine:int ->
+  volume_names:string list ->
+  unit ->
+  t
+(** [registry] (default {!Telemetry.default}) receives the instruments of
+    every layer of this machine — [disk.*], [wap.*], [waldo.*],
+    [distributor.*], [analyzer.*], [observer.*] — plus the DPAPI hot-path
+    span histograms [dpapi.pass_write_ns] / [dpapi.pass_freeze_ns]
+    (simulated nanoseconds, [Pass] mode only). *)
 
 val mode : t -> mode
+
+val telemetry : t -> Telemetry.registry
+(** The registry this machine's layers report into. *)
+
 val clock : t -> Clock.t
 val kernel : t -> Kernel.t
 val volumes : t -> volume list

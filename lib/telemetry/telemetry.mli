@@ -1,0 +1,104 @@
+(** Unified telemetry for the PASSv2 pipeline.
+
+    Every pipeline layer (observer, analyzer, distributor, Lasagna, Waldo,
+    PA-NFS client/server, simdisk) creates named instruments — counters,
+    gauges, histograms — against a {!registry}.  A registry snapshot is the
+    machine-readable form of the paper's Tables 2–3 accounting: records
+    in/out, duplicates dropped, WAP bytes, RPC latencies, disk seeks.
+
+    Instruments are owned by the layer instance that created them (so the
+    per-layer [stats] views stay exact even when several instances coexist);
+    the registry aggregates same-named instruments at snapshot time, the way
+    a scrape aggregates per-process metrics. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+(** A fresh, empty registry. *)
+
+val default : registry
+(** The process-global registry used when [?registry] is omitted. *)
+
+(** {1 Instrument creation}
+
+    Creating an instrument registers it under [name].  Several instruments
+    may share a name (one per layer instance); snapshots aggregate them. *)
+
+val counter : ?registry:registry -> string -> counter
+val gauge : ?registry:registry -> string -> gauge
+val histogram : ?registry:registry -> string -> histogram
+
+(** {1 Counters} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val observe : histogram -> float -> unit
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float; (* 0. when empty *)
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summary : histogram -> summary
+(** Count and sum are exact; percentiles come from a bounded deterministic
+    sample reservoir (no randomness — runs are reproducible). *)
+
+val with_span : histogram -> now:(unit -> int) -> (unit -> 'a) -> 'a
+(** [with_span h ~now f] runs [f] and observes [now () - now ()] elapsed
+    around it (simulated nanoseconds) into [h], whether [f] returns or
+    raises. *)
+
+(** {1 Snapshots} *)
+
+module Json : sig
+  (** A minimal JSON tree: enough to encode snapshots and to round-trip
+      them in tests without external dependencies. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val to_string : t -> string
+  val of_string : string -> t
+  (** Raises {!Parse_error} on malformed input. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end
+
+val snapshot : registry -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name: summary}}],
+    keys sorted, same-named instruments aggregated (counters summed, gauges
+    last-registered-wins, histograms merged). *)
+
+val to_json : registry -> string
+
+val counter_value : registry -> string -> int option
+(** Aggregated value of every counter registered under this name. *)
+
+val histogram_summary : registry -> string -> summary option
+(** Merged summary of every histogram registered under this name. *)

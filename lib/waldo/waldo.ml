@@ -22,33 +22,57 @@ type stats = {
   mutable txns_orphaned : int;
 }
 
+(* Registry-backed instruments; [stats] is a view built on demand. *)
+type instruments = {
+  logs_processed : Telemetry.counter;
+  frames_ingested : Telemetry.counter;
+  records_ingested : Telemetry.counter;
+  txns_committed : Telemetry.counter;
+  txns_orphaned : Telemetry.counter;
+}
+
 type t = {
   db : Provdb.t;
   lower : Vfs.ops; (* the file system holding the .pass directory *)
   ingest_version : (Pnode.t, int) Hashtbl.t; (* version tracking during ingest *)
   pending_txns : (int, Dpapi.bundle list ref) Hashtbl.t;
-  stats : stats;
+  i : instruments;
 }
 
-let create ~lower () =
+let create ?registry ~lower () =
+  let c name = Telemetry.counter ?registry ("waldo." ^ name) in
   {
     db = Provdb.create ();
     lower;
     ingest_version = Hashtbl.create 1024;
     pending_txns = Hashtbl.create 16;
-    stats =
-      { logs_processed = 0; frames_ingested = 0; records_ingested = 0;
-        txns_committed = 0; txns_orphaned = 0 };
+    i =
+      {
+        logs_processed = c "logs_processed";
+        frames_ingested = c "frames_ingested";
+        records_ingested = c "records_ingested";
+        txns_committed = c "txns_committed";
+        txns_orphaned = c "txns_orphaned";
+      };
   }
 
 let db t = t.db
-let stats t = t.stats
+
+let stats t : stats =
+  let v = Telemetry.value in
+  {
+    logs_processed = v t.i.logs_processed;
+    frames_ingested = v t.i.frames_ingested;
+    records_ingested = v t.i.records_ingested;
+    txns_committed = v t.i.txns_committed;
+    txns_orphaned = v t.i.txns_orphaned;
+  }
 
 let cur_version t pnode =
   Option.value (Hashtbl.find_opt t.ingest_version pnode) ~default:0
 
 let ingest_record t pnode (record : Record.t) =
-  t.stats.records_ingested <- t.stats.records_ingested + 1;
+  Telemetry.incr t.i.records_ingested;
   (* FREEZE records advance the ingest-side version: subsequent records for
      this object belong to the new version.  The freeze's own records (the
      marker and the version edge) are attributed to the new version. *)
@@ -89,7 +113,7 @@ let ingest_frame t = function
       if is_endtxn then begin
         List.iter (ingest_bundle t) (List.rev !pending);
         Hashtbl.remove t.pending_txns id;
-        t.stats.txns_committed <- t.stats.txns_committed + 1
+        Telemetry.incr t.i.txns_committed
       end)
   | Wap_log.Bundle { txn = None; bundle; data } ->
       ingest_bundle t bundle;
@@ -109,11 +133,11 @@ let process_log t ~dir ~name =
   let frames, _consumed = Wap_log.parse_log image in
   List.iter
     (fun f ->
-      t.stats.frames_ingested <- t.stats.frames_ingested + 1;
+      Telemetry.incr t.i.frames_ingested;
       ingest_frame t f)
     frames;
   let* () = t.lower.Vfs.unlink ~dir name in
-  t.stats.logs_processed <- t.stats.logs_processed + 1;
+  Telemetry.incr t.i.logs_processed;
   Ok ()
 
 (* Wire this Waldo to a Lasagna instance: every closed log is processed
@@ -137,11 +161,11 @@ let persist t ~dir =
   let* _ino = Vfs.write_file ~mkparents:true t.lower (dir ^ "/db.dat") image in
   Ok ()
 
-let load ~lower ~dir () =
+let load ?registry ~lower ~dir () =
   let* image = Vfs.read_file lower (dir ^ "/db.dat") in
   match Provdb.deserialize image with
   | db ->
-      let t = create ~lower () in
+      let t = create ?registry ~lower () in
       Provdb.merge_into ~dst:(t.db : Provdb.t) ~src:db;
       Ok t
   | exception Wire.Corrupt _ -> Error Vfs.EIO
@@ -152,6 +176,6 @@ let load ~lower ~dir () =
 let finalize t lasagna =
   Lasagna.flush_log lasagna;
   let orphans = Hashtbl.length t.pending_txns in
-  t.stats.txns_orphaned <- t.stats.txns_orphaned + orphans;
+  Telemetry.add t.i.txns_orphaned orphans;
   Hashtbl.reset t.pending_txns;
   orphans

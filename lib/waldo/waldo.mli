@@ -15,12 +15,15 @@ type stats = {
   mutable txns_orphaned : int;
 }
 
-val create : lower:Vfs.ops -> unit -> t
+val create : ?registry:Telemetry.registry -> lower:Vfs.ops -> unit -> t
 (** [create ~lower ()] builds a Waldo reading logs from the [.pass]
-    directory of [lower] (the file system beneath Lasagna). *)
+    directory of [lower] (the file system beneath Lasagna).  [registry]
+    receives the [waldo.*] instruments (default {!Telemetry.default}). *)
 
 val db : t -> Provdb.t
+
 val stats : t -> stats
+(** A point-in-time view over the [waldo.*] telemetry instruments. *)
 
 val attach : t -> Lasagna.t -> unit
 (** Subscribe to the Lasagna instance's closed-log notifications (the
@@ -32,7 +35,7 @@ val process_log : t -> dir:Vfs.ino -> name:string -> (unit, Vfs.errno) result
 val persist : t -> dir:string -> (unit, Vfs.errno) result
 (** Write the database image to [dir/db.dat] on the lower file system. *)
 
-val load : lower:Vfs.ops -> dir:string -> unit -> (t, Vfs.errno) result
+val load : ?registry:Telemetry.registry -> lower:Vfs.ops -> dir:string -> unit -> (t, Vfs.errno) result
 (** Restart the daemon from a persisted image. *)
 
 val finalize : t -> Lasagna.t -> int

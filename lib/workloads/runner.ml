@@ -59,14 +59,15 @@ let standard ?(scale = 1.0) () =
 
 (* --- configurations -------------------------------------------------------- *)
 
-let local_system mode = System.create ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
+let local_system ?registry mode =
+  System.create ?registry ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
 
 (* A client machine with an NFS mount at vol0.  In PASS mode the client
    keeps a small local scratch volume so the machine has a default PASS
    volume, mirroring the paper's workstation. *)
-let nfs_system mode =
+let nfs_system ?registry mode =
   let sys =
-    System.create ~mode ~machine:1
+    System.create ?registry ~mode ~machine:1
       ~volume_names:(match mode with System.Pass -> [ "scratch" ] | System.Vanilla -> [])
       ()
   in
@@ -74,10 +75,10 @@ let nfs_system mode =
   let server_mode =
     match mode with System.Pass -> Server.Pass_enabled | System.Vanilla -> Server.Plain
   in
-  let server = Server.create ~mode:server_mode ~clock ~machine:2 ~volume:"vol0" () in
+  let server = Server.create ?registry ~mode:server_mode ~clock ~machine:2 ~volume:"vol0" () in
   let net = Proto.net clock in
   let client =
-    Client.create ~net ~handler:(Server.handle server)
+    Client.create ?registry ~net ~handler:(Server.handle server)
       ~ctx:(Kernel.ctx (System.kernel sys))
       ~mount_name:"vol0" ()
   in
@@ -100,28 +101,30 @@ type row = {
 
 let overhead base pass = (pass -. base) /. base *. 100.
 
-let measure_local w =
-  let run mode =
-    let sys = local_system mode in
+(* [registry] collects the telemetry of the PASS-configuration run only,
+   so its counters describe the provenance pipeline, not the baseline. *)
+let measure_local ?registry w =
+  let run ?registry mode =
+    let sys = local_system ?registry mode in
     w.run sys;
     ignore (System.drain sys : int);
     System.elapsed_seconds sys
   in
   let base = run System.Vanilla in
-  let pass = run System.Pass in
+  let pass = run ?registry System.Pass in
   { r_name = w.wl_name; base_seconds = base; pass_seconds = pass;
     overhead_pct = overhead base pass }
 
-let measure_nfs w =
-  let run mode =
-    let sys, server = nfs_system mode in
+let measure_nfs ?registry w =
+  let run ?registry mode =
+    let sys, server = nfs_system ?registry mode in
     w.run sys;
     ignore (System.drain sys : int);
     ignore (Server.drain server : int);
     System.elapsed_seconds sys
   in
   let base = run System.Vanilla in
-  let pass = run System.Pass in
+  let pass = run ?registry System.Pass in
   { r_name = w.wl_name; base_seconds = base; pass_seconds = pass;
     overhead_pct = overhead base pass }
 

@@ -10,8 +10,8 @@ val standard : ?scale:float -> unit -> workload list
 (** The five paper workloads (Linux compile, Postmark, Mercurial, Blast,
     PA-Kepler); [scale] shrinks the op counts for quick runs. *)
 
-val local_system : System.mode -> System.t
-val nfs_system : System.mode -> System.t * Server.t
+val local_system : ?registry:Telemetry.registry -> System.mode -> System.t
+val nfs_system : ?registry:Telemetry.registry -> System.mode -> System.t * Server.t
 
 type row = {
   r_name : string;
@@ -20,11 +20,12 @@ type row = {
   overhead_pct : float;
 }
 
-val measure_local : workload -> row
-(** One Table 2 local row: run on ext3 and on PASSv2, compare clocks. *)
+val measure_local : ?registry:Telemetry.registry -> workload -> row
+(** One Table 2 local row: run on ext3 and on PASSv2, compare clocks.
+    [registry] collects the telemetry of the PASS run only. *)
 
-val measure_nfs : workload -> row
-(** One Table 2 NFS row. *)
+val measure_nfs : ?registry:Telemetry.registry -> workload -> row
+(** One Table 2 NFS row; [registry] as in {!measure_local}. *)
 
 type space_row = {
   s_name : string;

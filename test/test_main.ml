@@ -19,4 +19,5 @@ let () =
       ("layers", Test_layers.suite);
       ("props", Test_props.suite);
       ("provdiff", Test_provdiff.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,177 @@
+(* Telemetry tests: instrument semantics (counters, gauges, histograms,
+   spans), the JSON snapshot encoder and its parser, and an end-to-end
+   check that a small simos workload populates the analyzer.* and wap.*
+   instruments in agreement with the legacy stats views. *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tfloat = Alcotest.float 1e-9
+
+(* --- counters and gauges ----------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let reg = Telemetry.create () in
+  let c = Telemetry.counter ~registry:reg "t.c" in
+  check tint "starts at zero" 0 (Telemetry.value c);
+  Telemetry.incr c;
+  Telemetry.add c 41;
+  check tint "incr + add" 42 (Telemetry.value c);
+  (* same name in the same registry aggregates at snapshot time *)
+  let c2 = Telemetry.counter ~registry:reg "t.c" in
+  Telemetry.add c2 8;
+  check tint "instances stay independent" 42 (Telemetry.value c);
+  check tint "snapshot sums same-named counters" 50
+    (Option.get (Telemetry.counter_value reg "t.c"));
+  (* a different registry is a different world *)
+  let other = Telemetry.create () in
+  check tbool "other registry empty" true
+    (Telemetry.counter_value other "t.c" = None)
+
+let test_gauge_semantics () =
+  let reg = Telemetry.create () in
+  let g = Telemetry.gauge ~registry:reg "t.g" in
+  check tfloat "starts at zero" 0.0 (Telemetry.gauge_value g);
+  Telemetry.set g 2.5;
+  Telemetry.set g 7.25;
+  check tfloat "set overwrites" 7.25 (Telemetry.gauge_value g)
+
+(* --- histograms -------------------------------------------------------------- *)
+
+let test_histogram_summary () =
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram ~registry:reg "t.h" in
+  for i = 1 to 100 do
+    Telemetry.observe h (float_of_int i)
+  done;
+  let s = Telemetry.summary h in
+  check tint "count" 100 s.Telemetry.count;
+  check tfloat "sum" 5050.0 s.Telemetry.sum;
+  check tfloat "min" 1.0 s.Telemetry.min;
+  check tfloat "max" 100.0 s.Telemetry.max;
+  check tbool "p50 near median" true (abs_float (s.Telemetry.p50 -. 50.) <= 2.);
+  check tbool "p95 near tail" true (abs_float (s.Telemetry.p95 -. 95.) <= 2.);
+  check tbool "p99 in tail" true (s.Telemetry.p99 >= s.Telemetry.p95)
+
+let test_histogram_compaction () =
+  (* far more observations than the reservoir holds: exact count/sum/min/max
+     must survive, and quantiles must stay representative *)
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram ~registry:reg "t.big" in
+  let n = 50_000 in
+  for i = 1 to n do
+    Telemetry.observe h (float_of_int i)
+  done;
+  let s = Telemetry.summary h in
+  check tint "exact count" n s.Telemetry.count;
+  check tfloat "exact min" 1.0 s.Telemetry.min;
+  check tfloat "exact max" (float_of_int n) s.Telemetry.max;
+  let mid = float_of_int n /. 2. in
+  check tbool "p50 within 10% of median" true
+    (abs_float (s.Telemetry.p50 -. mid) <= 0.1 *. float_of_int n)
+
+let test_with_span () =
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram ~registry:reg "t.span" in
+  let clock = ref 0 in
+  let now () = !clock in
+  let r = Telemetry.with_span h ~now (fun () -> clock := !clock + 1234; "done") in
+  check tbool "result passes through" true (String.equal r "done");
+  let s = Telemetry.summary h in
+  check tint "one observation" 1 s.Telemetry.count;
+  check tfloat "observed elapsed ns" 1234.0 s.Telemetry.sum;
+  (* exception-safe: the span is recorded even when f raises *)
+  (try
+     Telemetry.with_span h ~now (fun () -> clock := !clock + 10; failwith "boom")
+   with Failure _ -> ());
+  check tint "span recorded on raise" 2 (Telemetry.summary h).Telemetry.count
+
+(* --- JSON -------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("s", Str "a \"quoted\"\nstring");
+        ("i", Int (-42));
+        ("f", Float 2.5);
+        ("b", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Int 2; Obj [ ("x", Bool false) ] ]);
+      ]
+  in
+  let doc' = of_string (to_string doc) in
+  check tbool "round-trips" true (doc = doc');
+  (match member "l" doc' with
+  | Some (List (_ :: _ :: _)) -> ()
+  | _ -> Alcotest.fail "member lookup");
+  (* parser rejects garbage *)
+  check tbool "parse error raised" true
+    (try ignore (of_string "{\"a\":") ; false
+     with Telemetry.Json.Parse_error _ -> true)
+
+let test_snapshot_shape () =
+  let reg = Telemetry.create () in
+  Telemetry.add (Telemetry.counter ~registry:reg "z.c") 3;
+  Telemetry.set (Telemetry.gauge ~registry:reg "a.g") 1.5;
+  Telemetry.observe (Telemetry.histogram ~registry:reg "m.h") 7.0;
+  let json = Telemetry.Json.of_string (Telemetry.to_json reg) in
+  let open Telemetry.Json in
+  (match member "counters" json with
+  | Some (Obj [ ("z.c", Int 3) ]) -> ()
+  | _ -> Alcotest.fail "counters section");
+  (match member "gauges" json with
+  | Some (Obj [ ("a.g", Float f) ]) -> check tfloat "gauge value" 1.5 f
+  | _ -> Alcotest.fail "gauges section");
+  match member "histograms" json with
+  | Some (Obj [ ("m.h", summary) ]) -> (
+      match member "count" summary with
+      | Some (Int 1) -> ()
+      | _ -> Alcotest.fail "histogram summary count")
+  | _ -> Alcotest.fail "histograms section"
+
+(* --- end to end through the pipeline ----------------------------------------- *)
+
+let test_pipeline_instruments () =
+  let registry = Telemetry.create () in
+  let sys =
+    System.create ~registry ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] ()
+  in
+  Kepler_wl.run sys ~parent:Kernel.init_pid;
+  ignore (System.drain sys : int);
+  let stack = Option.get (Kernel.pass_stack (System.kernel sys)) in
+  let an = Pass_core.Analyzer.stats stack.Kernel.analyzer in
+  let vol = List.hd (System.volumes sys) in
+  let las = Lasagna.stats (Option.get vol.System.v_lasagna) in
+  let tv name = Option.get (Telemetry.counter_value registry name) in
+  check tbool "analyzer did work" true (an.Pass_core.Analyzer.records_in > 0);
+  check tint "analyzer.records_in matches stats view"
+    an.Pass_core.Analyzer.records_in (tv "analyzer.records_in");
+  check tint "analyzer.duplicates_dropped matches stats view"
+    an.Pass_core.Analyzer.duplicates_dropped (tv "analyzer.duplicates_dropped");
+  check tbool "wap logged frames" true (las.Lasagna.frames_logged > 0);
+  check tint "wap.frames_written matches stats view"
+    las.Lasagna.frames_logged (tv "wap.frames_written");
+  check tint "wap.bytes_written matches stats view"
+    las.Lasagna.prov_bytes_logged (tv "wap.bytes_written");
+  (* the DPAPI hot-path spans saw every pass_write the observer forwarded *)
+  let ws = Option.get (Telemetry.histogram_summary registry "dpapi.pass_write_ns") in
+  check tbool "pass_write span observed" true (ws.Telemetry.count > 0);
+  let aps = Option.get (Telemetry.histogram_summary registry "wap.append_ns") in
+  check tbool "wap append span observed" true (aps.Telemetry.count > 0);
+  (* and the default registry saw none of it *)
+  check tbool "isolated from default registry" true
+    (Telemetry.counter_value registry "no.such" = None)
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+    Alcotest.test_case "histogram compaction" `Quick test_histogram_compaction;
+    Alcotest.test_case "with_span" `Quick test_with_span;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+    Alcotest.test_case "pipeline instruments" `Quick test_pipeline_instruments;
+  ]
