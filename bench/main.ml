@@ -261,13 +261,80 @@ let ablation_nfs_txn () =
   (match Client.pass_write client h ~off:0 ~data:(Some "payload") [ Dpapi.entry h records ] with
   | Ok _ -> ()
   | Error e -> failwith (Dpapi.error_to_string e));
-  let msgs = net.Proto.messages - before in
+  (* each RPC is two datagrams on the wire (request + response) *)
+  let rpcs = (net.Proto.messages - before) / 2 in
   let prov_bytes = Dpapi.bundle_size [ Dpapi.entry h records ] in
   Printf.printf "  one pass_write with %d bytes of provenance (> 64 KB block size):\n" prov_bytes;
-  Printf.printf "  messages used: %d (OP_BEGINTXN + %d OP_PASSPROV chunks + OP_PASSWRITE)\n"
-    msgs (msgs - 2);
+  Printf.printf "  RPCs used: %d (OP_BEGINTXN + %d OP_PASSPROV chunks + OP_PASSWRITE)\n"
+    rpcs (rpcs - 2);
   Printf.printf "  orphan cleanup: a client crash mid-transaction leaves provenance that\n";
   Printf.printf "  Waldo discards — see test 'client crash orphans are discarded'\n"
+
+(* --- fault injection: overhead when disabled + chaos counters ---------------- *)
+
+(* A short PA-NFS workload shared by the three fault configurations:
+   32 creates + provenance-carrying writes through the client, then drain
+   the write-behind backlog once faults clear.  Returns elapsed simulated
+   nanoseconds. *)
+let fault_workload ~registry ~fault =
+  let clock = Simdisk.Clock.create () in
+  let server =
+    Server.create ~registry ~fault ~mode:Server.Pass_enabled ~clock ~machine:9 ~volume:"nfs0" ()
+  in
+  let net = Proto.net ~fault clock in
+  let ctx = Ctx.create ~machine:8 in
+  let client = Client.create ~registry ~net ~handler:(Server.handle server) ~ctx ~mount_name:"nfs0" () in
+  for i = 0 to 31 do
+    match Vfs.create_path (Client.ops client) (Printf.sprintf "/f%02d" i) Vfs.Regular with
+    | Error _ -> ()
+    | Ok ino -> (
+        match Client.file_handle client ino with
+        | Error _ -> ()
+        | Ok h ->
+            ignore
+              (Client.pass_write client h ~off:0
+                 ~data:(Some (String.make 256 'x'))
+                 [ Dpapi.entry h [ Record.name (Printf.sprintf "f%02d" i) ] ]))
+  done;
+  Fault.deactivate fault;
+  ignore (Client.drain_backlog client);
+  Simdisk.Clock.now clock
+
+let fault_bench () =
+  section "FAULTS: disabled-path overhead + chaos counters";
+  let disabled_ns = fault_workload ~registry:(Telemetry.create ()) ~fault:Fault.none in
+  let quiet_ns =
+    fault_workload ~registry:(Telemetry.create ())
+      ~fault:(Fault.plan ~spec:Fault.quiet ~seed:1 ())
+  in
+  let quiet_free = disabled_ns = quiet_ns in
+  let seed = 11 in
+  let chaos_registry = Telemetry.create () in
+  let chaos = Fault.plan ~registry:chaos_registry ~spec:Fault.default_chaos ~seed () in
+  let chaos_ns = fault_workload ~registry:chaos_registry ~fault:chaos in
+  let tv name = Option.value (Telemetry.counter_value chaos_registry name) ~default:0 in
+  let counter_names =
+    [ "fault.injected.total"; "nfs.retries"; "nfs.drc.hits"; "nfs.drc.misses";
+      "nfs.backpressure"; "nfs.txns_abandoned"; "lasagna.io_retries" ]
+  in
+  Printf.printf "  empty fault plan vs no plan: %d ns vs %d ns  %s\n" quiet_ns disabled_ns
+    (if quiet_free then "(identical — hooks are free when quiet)" else "MISMATCH");
+  Printf.printf "  chaos run (seed %d): %d ns, schedule digest %s\n" seed chaos_ns
+    (Fault.digest chaos);
+  List.iter (fun n -> Printf.printf "  %-24s %6d\n" n (tv n)) counter_names;
+  let json =
+    J.Obj
+      [
+        ("seed", J.Int seed);
+        ("disabled_ns", J.Int disabled_ns);
+        ("quiet_ns", J.Int quiet_ns);
+        ("quiet_equals_disabled", J.Bool quiet_free);
+        ("chaos_ns", J.Int chaos_ns);
+        ("chaos_digest", J.Str (Fault.digest chaos));
+        ("counters", J.Obj (List.map (fun n -> (n, J.Int (tv n))) counter_names));
+      ]
+  in
+  (quiet_free, json)
 
 (* --- Bechamel microbenchmarks ------------------------------------------------- *)
 
@@ -396,7 +463,7 @@ let self_check () =
 
 let results_file = "BENCH_results.json"
 
-let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~micro =
+let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~micro =
   let row_json (r : Runner.row) =
     J.Obj
       [
@@ -441,6 +508,7 @@ let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~micro =
         ("scale", J.Float scale);
         ("workloads", J.List workloads);
         ("self_check", self_check);
+        ("faults", faults);
         ("telemetry", Telemetry.snapshot registry);
         ("micro", micro_json);
       ]
@@ -463,8 +531,9 @@ let () =
   ablation_dedup ();
   ablation_wap ();
   ablation_nfs_txn ();
+  let faults_ok, faults = fault_bench () in
   let micro = microbench () in
   let check_ok, self_check = self_check () in
-  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~micro;
+  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~micro;
   Printf.printf "\ndone.\n";
-  if not check_ok then exit 1
+  if not (check_ok && faults_ok) then exit 1

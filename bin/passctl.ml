@@ -8,7 +8,7 @@
      workload <name> [--mode]  run one Table 2 workload and print timing/space stats
      recordtypes               print the Table 1 record-type registry
      stats                     print a telemetry snapshot of a canned run as JSON
-     recover                   demonstrate WAP crash recovery *)
+     recover [VOLUME] [--json]  crash a volume mid-write and print the recovery report *)
 
 module Record = Pass_core.Record
 module Dpapi = Pass_core.Dpapi
@@ -136,13 +136,15 @@ let cmd_opm () =
   let db = canned_db () in
   print_string (Opm.to_string db)
 
-let cmd_recover () =
+(* Build a canned crashed volume (named [volume]), then run Recovery.scan
+   over its remounted lower file system and print the report. *)
+let cmd_recover volume json =
   let clock = Clock.create () in
   let disk = Disk.create ~clock () in
   let ext3 = Ext3.format disk in
   let ctx = Ctx.create ~machine:1 in
   let lasagna =
-    Lasagna.create ~lower:(Ext3.ops ext3) ~ctx ~volume:"vol0" ~charge:(Clock.advance clock) ()
+    Lasagna.create ~lower:(Ext3.ops ext3) ~ctx ~volume ~charge:(Clock.advance clock) ()
   in
   let ops = Lasagna.ops lasagna in
   let ep = Lasagna.endpoint lasagna in
@@ -153,17 +155,27 @@ let cmd_recover () =
      ep.pass_write h ~off:0 ~data:(Some (String.make 8192 'x'))
        [ Dpapi.entry h [ Record.name "victim" ] ]
    with
-  | Error Dpapi.Ecrashed -> print_endline "crashed mid-write"
-  | _ -> print_endline "unexpected");
+  | Error Dpapi.Ecrashed -> if not json then print_endline "crashed mid-write"
+  | _ -> if not json then print_endline "unexpected");
   Disk.revive disk;
   let remounted = Ext3.mount disk in
   let report = ok (Recovery.scan (Ext3.ops remounted)) in
-  Format.printf "%a@." Recovery.pp_report report;
-  List.iter
-    (fun (i : Recovery.inconsistency) ->
-      Printf.printf "inconsistent: pnode=%d off=%d len=%d (%s)\n"
-        (Pass_core.Pnode.to_int i.i_pnode) i.i_off i.i_len i.reason)
-    report.inconsistent
+  if json then
+    print_endline
+      (Telemetry.Json.to_string
+         (Telemetry.Json.Obj
+            [ ("volume", Telemetry.Json.Str volume);
+              ("report", Recovery.report_to_json report) ]))
+  else begin
+    Printf.printf "volume: %s\n" volume;
+    Format.printf "%a@." Recovery.pp_report report;
+    List.iter
+      (fun (i : Recovery.inconsistency) ->
+        Printf.printf "inconsistent: pnode=%d off=%d len=%d (%s)\n"
+          (Pass_core.Pnode.to_int i.i_pnode) i.i_off i.i_len i.reason)
+      report.inconsistent;
+    List.iter (fun id -> Printf.printf "orphan txn: %d\n" id) report.open_txns
+  end
 
 (* --- cmdliner wiring ----------------------------------------------------------- *)
 
@@ -241,8 +253,16 @@ let stats_cmd =
     Term.(const cmd_stats $ const ())
 
 let recover_cmd =
-  Cmd.v (Cmd.info "recover" ~doc:"Demonstrate WAP crash recovery")
-    Term.(const cmd_recover $ const ())
+  let volume =
+    Arg.(value & pos 0 string "vol0" & info [] ~docv:"VOLUME" ~doc:"Volume name to recover.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the recovery report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Crash a volume mid-write, then run WAP recovery and print the report")
+    Term.(const cmd_recover $ volume $ json)
 
 let () =
   let info =

@@ -15,6 +15,7 @@ type error =
   | Enospc  (* volume out of space *)
   | Eexist  (* object already exists *)
   | Ecrashed  (* machine or volume has crashed *)
+  | Eagain  (* backpressure: retry later (write-behind queue full) *)
   | Emsg of string  (* anything else, with an explanation *)
 
 let error_to_string = function
@@ -26,6 +27,7 @@ let error_to_string = function
   | Enospc -> "ENOSPC"
   | Eexist -> "EEXIST"
   | Ecrashed -> "ECRASHED"
+  | Eagain -> "EAGAIN"
   | Emsg m -> m
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)

@@ -16,6 +16,7 @@ type error =
   | Enospc
   | Eexist
   | Ecrashed
+  | Eagain
   | Emsg of string
 
 val error_to_string : error -> string

@@ -351,7 +351,10 @@ let get_dir t ino =
   let* i = get_inode t ino in
   if i.kind <> Vfs.Directory then Error Vfs.ENOTDIR else Ok i
 
-let guard _t f = try f () with Simdisk.Disk.Crashed -> Error Vfs.ECRASH
+let guard _t f =
+  try f () with
+  | Simdisk.Disk.Crashed -> Error Vfs.ECRASH
+  | Simdisk.Disk.Io_error -> Error Vfs.EIO
 
 let lookup t ~dir name =
   guard t (fun () ->

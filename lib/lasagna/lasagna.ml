@@ -36,6 +36,7 @@ type instruments = {
   rotations : Telemetry.counter; (* wap.rotations *)
   data_bytes : Telemetry.counter; (* lasagna.data_bytes *)
   append_ns : Telemetry.histogram; (* wap.append_ns, simulated span *)
+  io_retries : Telemetry.counter; (* lasagna.io_retries *)
 }
 
 type t = {
@@ -84,6 +85,7 @@ let errno_to_dpapi : Vfs.errno -> Dpapi.error = function
   | Vfs.ESTALE | Vfs.EBADF -> Dpapi.Estale
   | Vfs.ENOSPC -> Dpapi.Enospc
   | Vfs.ECRASH -> Dpapi.Ecrashed
+  | Vfs.EAGAIN -> Dpapi.Eagain
   | Vfs.EIO | Vfs.ENOTDIR | Vfs.EISDIR | Vfs.ENOTEMPTY -> Dpapi.Eio
 
 let lift r = Result.map_error errno_to_dpapi r
@@ -126,6 +128,7 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
           rotations = Telemetry.counter ?registry "wap.rotations";
           data_bytes = Telemetry.counter ?registry "lasagna.data_bytes";
           append_ns = Telemetry.histogram ?registry "wap.append_ns";
+          io_retries = Telemetry.counter ?registry "lasagna.io_retries";
         };
     }
   in
@@ -133,6 +136,22 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
   t
 
 let on_log_closed t f = t.listeners <- f :: t.listeners
+
+(* Transient disk errors (the fault plan's EIO kind) are retried a few
+   times before surfacing; permanent EIO still escapes after the budget.
+   WAP ordering is unaffected: a retried frame or data write lands whole
+   or not at all at this layer. *)
+let io_retry_budget = 4
+
+let with_io_retry t f =
+  let rec go n =
+    match f () with
+    | Error Vfs.EIO when n < io_retry_budget ->
+        Telemetry.incr t.i.io_retries;
+        go (n + 1)
+    | r -> r
+  in
+  go 0
 
 let rotate_log t =
   let closed = log_name t.log_seq in
@@ -156,7 +175,7 @@ let append_frame t frame =
   t.last_append_ns <- now;
   let encoded = Wap_log.encode_frame frame in
   t.charge wap_interference_ns;
-  match t.lower.write t.log_ino ~off:t.log_off encoded with
+  match with_io_retry t (fun () -> t.lower.write t.log_ino ~off:t.log_off encoded) with
   | Error e -> Error e
   | Ok () ->
       t.log_off <- t.log_off + String.length encoded;
@@ -205,7 +224,7 @@ let pass_read t (h : Dpapi.handle) ~off ~len =
         Ok { Dpapi.data = ""; r_pnode = h.pnode; r_version = Ctx.current_version t.ctx h.pnode }
       else Error Dpapi.Enoent
   | Some ino ->
-      let* data = lift (t.lower.read ino ~off ~len) in
+      let* data = lift (with_io_retry t (fun () -> t.lower.read ino ~off ~len)) in
       t.charge (String.length data * double_buffer_ns_per_byte);
       Telemetry.add t.i.data_bytes (String.length data);
       Ok { Dpapi.data; r_pnode = h.pnode; r_version = Ctx.current_version t.ctx h.pnode }
@@ -258,7 +277,7 @@ let pass_write ?txn t (h : Dpapi.handle) ~off ~data bundle =
     | Some d, Some ino ->
         t.charge (String.length d * double_buffer_ns_per_byte);
         Telemetry.add t.i.data_bytes (String.length d);
-        lift (t.lower.write ino ~off d)
+        lift (with_io_retry t (fun () -> t.lower.write ino ~off d))
     | Some _, None ->
         (* data aimed at a virtual object has no backing store *)
         lift (ensure_known t h.pnode)
@@ -331,13 +350,13 @@ let ops t : Vfs.ops =
         lower.rename ~src_dir ~src_name ~dst_dir ~dst_name);
     read =
       (fun ino ~off ~len ->
-        let* data = lower.read ino ~off ~len in
+        let* data = with_io_retry t (fun () -> lower.read ino ~off ~len) in
         t.charge (String.length data * double_buffer_ns_per_byte);
         Ok data);
     write =
       (fun ino ~off data ->
         t.charge (String.length data * double_buffer_ns_per_byte);
-        lower.write ino ~off data);
+        with_io_retry t (fun () -> lower.write ino ~off data));
     truncate = lower.truncate;
     getattr = lower.getattr;
     readdir =

@@ -19,6 +19,7 @@
    regains its identity state. *)
 
 module Pnode = Pass_core.Pnode
+module Record = Pass_core.Record
 
 type inconsistency = {
   i_pnode : Pnode.t;
@@ -36,6 +37,8 @@ type report = {
   inconsistent : inconsistency list;
   files : (Pnode.t * Vfs.ino * string) list; (* rebuilt pnode map *)
   virtuals : Pnode.t list;
+  open_txns : int list; (* PA-NFS transactions begun but never ended:
+                           orphans Waldo will discard *)
 }
 
 let ( let* ) = Result.bind
@@ -51,13 +54,27 @@ let list_logs lower =
   in
   Ok (pass_dir, logs)
 
-let read_whole lower ino =
-  let* st = lower.Vfs.getattr ino in
-  lower.Vfs.read ino ~off:0 ~len:st.Vfs.st_size
+(* Transient read errors (fault-plan EIO) must not abort a recovery
+   scan: retry a few times before giving up. *)
+let io_retry_budget = 4
+
+let with_io_retry retried f =
+  let rec go n =
+    match f () with
+    | Error Vfs.EIO when n < io_retry_budget ->
+        incr retried;
+        go (n + 1)
+    | r -> r
+  in
+  go 0
+
+let read_whole retried lower ino =
+  let* st = with_io_retry retried (fun () -> lower.Vfs.getattr ino) in
+  with_io_retry retried (fun () -> lower.Vfs.read ino ~off:0 ~len:st.Vfs.st_size)
 
 (* Recovery publishes its outcome as [wap.recovery.*] counters so a
    post-crash scan shows up in the same snapshot as the run it repairs. *)
-let record_outcome registry report =
+let record_outcome registry ~io_retries report =
   let c name v =
     Telemetry.add (Telemetry.counter ?registry ("wap.recovery." ^ name)) v
   in
@@ -65,20 +82,34 @@ let record_outcome registry report =
   c "frames_ok" report.frames_ok;
   c "torn_bytes" report.torn_bytes;
   c "data_checked" report.data_checked;
-  c "inconsistent" (List.length report.inconsistent)
+  c "inconsistent" (List.length report.inconsistent);
+  c "open_txns" (List.length report.open_txns);
+  c "io_retries" io_retries
+
+let bundle_has_endtxn bundle =
+  List.exists
+    (fun (e : Pass_core.Dpapi.bundle_entry) ->
+      List.exists
+        (fun (r : Record.t) -> String.equal r.attr Record.Attr.endtxn)
+        e.records)
+    bundle
 
 let scan ?registry lower =
+  let retried = ref 0 in
   let* pass_dir, logs = list_logs lower in
   let frames_ok = ref 0 and torn = ref 0 in
   let files = ref [] and virtuals = ref [] in
   let by_pnode = Hashtbl.create 64 in
   let last_data : (Pnode.t, Wap_log.data_id) Hashtbl.t = Hashtbl.create 64 in
+  (* PA-NFS transactions: [seen] minus [ended] are the orphans a client
+     crash (or an abandoned retransmission) left behind *)
+  let txns_seen = ref [] and txns_ended = ref [] in
   let* () =
     List.fold_left
       (fun acc name ->
         let* () = acc in
-        let* ino = lower.Vfs.lookup ~dir:pass_dir name in
-        let* image = read_whole lower ino in
+        let* ino = with_io_retry retried (fun () -> lower.Vfs.lookup ~dir:pass_dir name) in
+        let* image = read_whole retried lower ino in
         let frames, consumed = Wap_log.parse_log image in
         torn := !torn + (String.length image - consumed);
         List.iter
@@ -89,8 +120,16 @@ let scan ?registry lower =
                 Hashtbl.replace by_pnode pnode ino;
                 files := (pnode, ino, name) :: !files
             | Wap_log.Mkobj { pnode } -> virtuals := pnode :: !virtuals
-            | Wap_log.Bundle { data = None; _ } -> ()
-            | Wap_log.Bundle { data = Some d; _ } -> Hashtbl.replace last_data d.d_pnode d)
+            | Wap_log.Bundle { txn; bundle; data } ->
+                (match txn with
+                | Some id ->
+                    if not (List.mem id !txns_seen) then txns_seen := id :: !txns_seen;
+                    if bundle_has_endtxn bundle && not (List.mem id !txns_ended) then
+                      txns_ended := id :: !txns_ended
+                | None -> ());
+                (match data with
+                | None -> ()
+                | Some d -> Hashtbl.replace last_data d.d_pnode d))
           frames;
         Ok ())
       (Ok ()) logs
@@ -106,7 +145,9 @@ let scan ?registry lower =
               reason = "no inode mapping for data frame" }
             :: !bad
       | Some file_ino -> (
-          match lower.Vfs.read file_ino ~off:d.d_off ~len:d.d_len with
+          match
+            with_io_retry retried (fun () -> lower.Vfs.read file_ino ~off:d.d_off ~len:d.d_len)
+          with
           | Error e ->
               bad :=
                 { i_pnode = pnode; i_ino = Some file_ino; i_off = d.d_off; i_len = d.d_len;
@@ -130,12 +171,42 @@ let scan ?registry lower =
       inconsistent = !bad;
       files = List.rev !files;
       virtuals = List.rev !virtuals;
+      open_txns =
+        List.sort compare (List.filter (fun id -> not (List.mem id !txns_ended)) !txns_seen);
     }
   in
-  record_outcome registry report;
+  record_outcome registry ~io_retries:!retried report;
   Ok report
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>logs=%d frames=%d torn_bytes=%d data_checked=%d inconsistent=%d@]"
+    "@[<v>logs=%d frames=%d torn_bytes=%d data_checked=%d inconsistent=%d open_txns=%d@]"
     r.logs_scanned r.frames_ok r.torn_bytes r.data_checked (List.length r.inconsistent)
+    (List.length r.open_txns)
+
+(* JSON form of the report, for [passctl recover --json] and the chaos
+   telemetry artifacts; uses the telemetry JSON tree so the encoding is
+   shared with registry snapshots. *)
+let report_to_json r : Telemetry.Json.t =
+  let open Telemetry.Json in
+  let inconsistency (i : inconsistency) =
+    Obj
+      [
+        ("pnode", Int (Pnode.to_int i.i_pnode));
+        ("ino", match i.i_ino with None -> Null | Some ino -> Int ino);
+        ("off", Int i.i_off);
+        ("len", Int i.i_len);
+        ("reason", Str i.reason);
+      ]
+  in
+  Obj
+    [
+      ("logs_scanned", Int r.logs_scanned);
+      ("frames_ok", Int r.frames_ok);
+      ("torn_bytes", Int r.torn_bytes);
+      ("data_checked", Int r.data_checked);
+      ("inconsistent", List (List.map inconsistency r.inconsistent));
+      ("files", Int (List.length r.files));
+      ("virtuals", Int (List.length r.virtuals));
+      ("open_txns", List (List.map (fun id -> Int id) r.open_txns));
+    ]

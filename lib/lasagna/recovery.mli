@@ -21,11 +21,19 @@ type report = {
   inconsistent : inconsistency list;
   files : (Pass_core.Pnode.t * Vfs.ino * string) list;
   virtuals : Pass_core.Pnode.t list;
+  open_txns : int list;
+      (** PA-NFS transactions with a BEGINTXN but no ENDTXN in the logs:
+          the orphans Waldo will discard at finalize. *)
 }
 
 val scan : ?registry:Telemetry.registry -> Vfs.ops -> (report, Vfs.errno) result
 (** [scan lower] performs recovery over the [.pass] logs on [lower] and
     publishes the outcome as [wap.recovery.*] counters into [registry]
-    (default {!Telemetry.default}). *)
+    (default {!Telemetry.default}).  Transient read errors are retried
+    ([wap.recovery.io_retries]); silent corruption caught by a WAP data
+    digest is reported in [inconsistent], never raised. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Telemetry.Json.t
+(** The report as a telemetry JSON tree ([passctl recover --json]). *)

@@ -27,6 +27,8 @@ type stats = {
   mutable rpcs : int;
   mutable txns : int;
   mutable inline_writes : int; (* pass_writes that fit in one OP_PASSWRITE *)
+  mutable retries : int; (* retransmissions after a timeout *)
+  mutable backpressure : int; (* EAGAINs returned when the backlog was full *)
 }
 
 (* Registry-backed instruments; [stats] is a view built on demand. *)
@@ -35,15 +37,24 @@ type instruments = {
   txns : Telemetry.counter;
   inline_writes : Telemetry.counter;
   rpc_latency : Telemetry.histogram; (* simulated ns per RPC round trip *)
+  retries : Telemetry.counter; (* nfs.retries *)
+  backpressure : Telemetry.counter; (* nfs.backpressure *)
+  wb_queued : Telemetry.counter; (* nfs.wb_queued *)
+  txns_abandoned : Telemetry.counter; (* nfs.txns_abandoned *)
 }
 
 let instruments registry =
   let c name = Telemetry.counter ?registry ("panfs." ^ name) in
+  let n name = Telemetry.counter ?registry ("nfs." ^ name) in
   {
     rpcs = c "rpcs";
     txns = c "txns";
     inline_writes = c "inline_writes";
     rpc_latency = Telemetry.histogram ?registry "panfs.rpc_latency";
+    retries = n "retries";
+    backpressure = n "backpressure";
+    wb_queued = n "wb_queued";
+    txns_abandoned = n "txns_abandoned";
   }
 
 (* Write-behind buffers: the client coalesces contiguous streaming writes
@@ -60,25 +71,42 @@ type prov_buf = {
   mutable vb_bundle : Dpapi.bundle; (* reversed *)
 }
 
+(* One provenance write waiting out a partition in the write-behind
+   backlog. *)
+type wb_item = {
+  wi_handle : Dpapi.handle;
+  wi_off : int;
+  wi_data : string option;
+  wi_bundle : Dpapi.bundle;
+}
+
 type t = {
   net : Proto.net;
-  handler : Proto.req -> Proto.resp;
+  handler : Proto.call -> Proto.resp;
   ctx : Ctx.t; (* the client machine's context *)
   mount_name : string; (* volume name on the client *)
   pnode_cache : (Vfs.ino, Pnode.t) Hashtbl.t;
   pending_freezes : (Pnode.t, Record.t list) Hashtbl.t;
   i : instruments;
+  client_id : int;
+  mutable seq : int;
+  wb : wb_item Queue.t; (* provenance writes the server couldn't take *)
+  wb_high_water : int;
   mutable crashed : bool;
   mutable plain_pending : plain_buf option;
   mutable prov_pending : prov_buf option;
 }
 
-let create ?registry ~net ~handler ~ctx ~mount_name () =
+let create ?registry ?(wb_high_water = 64) ~net ~handler ~ctx ~mount_name () =
   {
     net; handler; ctx; mount_name;
     pnode_cache = Hashtbl.create 256;
     pending_freezes = Hashtbl.create 16;
     i = instruments registry;
+    client_id = Proto.fresh_client net;
+    seq = 0;
+    wb = Queue.create ();
+    wb_high_water = max 1 wb_high_water;
     crashed = false;
     plain_pending = None;
     prov_pending = None;
@@ -86,20 +114,57 @@ let create ?registry ~net ~handler ~ctx ~mount_name () =
 
 let stats t : stats =
   let v = Telemetry.value in
-  { rpcs = v t.i.rpcs; txns = v t.i.txns; inline_writes = v t.i.inline_writes }
+  {
+    rpcs = v t.i.rpcs;
+    txns = v t.i.txns;
+    inline_writes = v t.i.inline_writes;
+    retries = v t.i.retries;
+    backpressure = v t.i.backpressure;
+  }
 
 (* Simulate the client host dying: every subsequent call fails.  Used by
    the orphaned-transaction tests. *)
 let crash t = t.crashed <- true
 
-let call t req =
-  if t.crashed then Proto.R_err Vfs.ECRASH
+(* Retry policy: capped exponential backoff.  The sequence number stays
+   fixed across retransmissions of one call, so the server's
+   duplicate-request cache replays rather than re-executes.  The backoff
+   budget (~0.8 s of simulated time) comfortably outlives the fault
+   plan's transient partitions but gives up on a long outage, at which
+   point provenance writes fall back to the write-behind backlog. *)
+let initial_backoff_ns = Simdisk.Clock.ns_of_ms 2
+let backoff_cap_ns = Simdisk.Clock.ns_of_ms 50
+let max_attempts = 16
+
+(* [None] = the call timed out [max_attempts] times (server unreachable). *)
+let call_opt t req =
+  if t.crashed then Some (Proto.R_err Vfs.ECRASH)
   else begin
     Telemetry.incr t.i.rpcs;
     Telemetry.with_span t.i.rpc_latency
       ~now:(fun () -> Simdisk.Clock.now t.net.Proto.clock)
-      (fun () -> Proto.rpc t.net t.handler req)
+      (fun () ->
+        let seq = t.seq in
+        t.seq <- seq + 1;
+        let c = { Proto.c_client = t.client_id; c_seq = seq; c_req = req } in
+        let rec attempt n backoff =
+          match Proto.rpc t.net t.handler c with
+          | Ok resp -> Some resp
+          | Error `Timeout ->
+              if n + 1 >= max_attempts then None
+              else begin
+                Telemetry.incr t.i.retries;
+                Simdisk.Clock.advance t.net.Proto.clock backoff;
+                attempt (n + 1) (min (2 * backoff) backoff_cap_ns)
+              end
+        in
+        attempt 0 initial_backoff_ns)
   end
+
+let call t req =
+  match call_opt t req with
+  | Some resp -> resp
+  | None -> Proto.R_err Vfs.EIO
 
 let lift_err = function
   | Vfs.ENOENT -> Dpapi.Enoent
@@ -108,6 +173,7 @@ let lift_err = function
   | Vfs.ESTALE | Vfs.EBADF -> Dpapi.Estale
   | Vfs.ENOSPC -> Dpapi.Enospc
   | Vfs.ECRASH -> Dpapi.Ecrashed
+  | Vfs.EAGAIN -> Dpapi.Eagain
   | Vfs.EIO | Vfs.ENOTDIR | Vfs.EISDIR | Vfs.ENOTEMPTY -> Dpapi.Eio
 
 (* --- write-behind ------------------------------------------------------------ *)
@@ -321,27 +387,120 @@ let attach_pending t (h : Dpapi.handle) bundle =
   let pending = take_pending t h.pnode in
   if pending = [] then bundle else Dpapi.entry h pending :: bundle
 
-let send_passwrite t (h : Dpapi.handle) ~off ~data bundle =
-  let bundle = attach_pending t h bundle in
+(* The actual wire send: one OP_PASSWRITE, or a transaction when the
+   bundle plus data exceed the block size.  [`Timeout] means the server
+   never acknowledged (possibly mid-transaction — the server-side
+   fragment becomes an orphan Waldo discards); the caller may park the
+   write in the backlog and replay it later. *)
+let send_passwrite_now t (h : Dpapi.handle) ~off ~data bundle =
   let total = Dpapi.bundle_size bundle + match data with Some d -> String.length d | None -> 0 in
   if total <= Proto.block_limit then begin
     Telemetry.incr t.i.inline_writes;
-    match call t (Proto.Op_passwrite { pnode = h.pnode; off; data; bundle; txn = None }) with
-    | Proto.R_version v -> Ok v
-    | Proto.R_err e -> Error (lift_err e)
-    | _ -> Error Dpapi.Eio
+    match call_opt t (Proto.Op_passwrite { pnode = h.pnode; off; data; bundle; txn = None }) with
+    | None -> Error `Timeout
+    | Some (Proto.R_version v) -> Ok v
+    | Some (Proto.R_err e) -> Error (`Err (lift_err e))
+    | Some _ -> Error (`Err Dpapi.Eio)
   end
-  else
-    let ( let* ) = Result.bind in
-    let* txn = begin_txn t in
-    let* () =
-      List.fold_left
-        (fun acc chunk ->
-          let* () = acc in
-          send_prov_chunk t ~txn chunk)
-        (Ok ()) (chunk_bundle bundle)
+  else begin
+    let step req ok_of =
+      match call_opt t req with
+      | None -> Error `Timeout
+      | Some resp -> (
+          match ok_of resp with
+          | Some v -> Ok v
+          | None -> (
+              match resp with
+              | Proto.R_err e -> Error (`Err (lift_err e))
+              | _ -> Error (`Err Dpapi.Eio)))
     in
-    end_txn_write t ~txn h ~off ~data
+    let ( let* ) = Result.bind in
+    let abandon r =
+      (* a transaction that dies part-way is abandoned: its server-side
+         fragment is an orphan for Waldo, and the whole write will be
+         replayed under a fresh transaction id *)
+      match r with
+      | Error `Timeout -> Telemetry.incr t.i.txns_abandoned; r
+      | _ -> r
+    in
+    let* txn =
+      step Proto.Op_begintxn (function Proto.R_txn id -> Some id | _ -> None)
+    in
+    Telemetry.incr t.i.txns;
+    abandon
+      (let* () =
+         List.fold_left
+           (fun acc chunk ->
+             let* () = acc in
+             step (Proto.Op_passprov { txn; chunk }) (function
+               | Proto.R_ok -> Some ()
+               | _ -> None))
+           (Ok ()) (chunk_bundle bundle)
+       in
+       step
+         (Proto.Op_passwrite
+            { pnode = h.pnode; off; data;
+              bundle =
+                [ Dpapi.entry h
+                    [ Record.make Record.Attr.endtxn (Pass_core.Pvalue.Int txn) ] ];
+              txn = Some txn })
+         (function Proto.R_version v -> Some v | _ -> None))
+  end
+
+(* --- write-behind backlog (graceful degradation under partition) ------------- *)
+
+let backlog t = Queue.length t.wb
+
+(* Replay queued writes in FIFO order.  [`Blocked] = the server is still
+   unreachable; everything from the head on stays queued. *)
+let drain_backlog_internal t =
+  let rec go () =
+    match Queue.peek_opt t.wb with
+    | None -> Ok ()
+    | Some it -> (
+        match send_passwrite_now t it.wi_handle ~off:it.wi_off ~data:it.wi_data it.wi_bundle with
+        | Ok _ ->
+            ignore (Queue.pop t.wb : wb_item);
+            go ()
+        | Error `Timeout -> Error `Blocked
+        | Error (`Err e) ->
+            (* a hard server error is not transient: surface it rather
+               than wedging the queue behind an unservable item *)
+            ignore (Queue.pop t.wb : wb_item);
+            Error (`Err e))
+  in
+  go ()
+
+let enqueue_wb t (h : Dpapi.handle) ~off ~data bundle =
+  if Queue.length t.wb >= t.wb_high_water then begin
+    Telemetry.incr t.i.backpressure;
+    Error Dpapi.Eagain
+  end
+  else begin
+    Telemetry.incr t.i.wb_queued;
+    Queue.add { wi_handle = h; wi_off = off; wi_data = data; wi_bundle = bundle } t.wb;
+    Ok (Ctx.current_version t.ctx h.pnode)
+  end
+
+let send_passwrite t (h : Dpapi.handle) ~off ~data bundle =
+  let bundle = attach_pending t h bundle in
+  match drain_backlog_internal t with
+  | Error `Blocked ->
+      (* still partitioned: preserve ordering by queueing behind the
+         existing backlog *)
+      enqueue_wb t h ~off ~data bundle
+  | Error (`Err e) -> Error e
+  | Ok () -> (
+      match send_passwrite_now t h ~off ~data bundle with
+      | Ok v -> Ok v
+      | Error (`Err e) -> Error e
+      | Error `Timeout -> enqueue_wb t h ~off ~data bundle)
+
+let drain_backlog t =
+  match drain_backlog_internal t with
+  | Ok () -> Ok ()
+  | Error `Blocked -> Error Dpapi.Eagain
+  | Error (`Err e) -> Error e
 
 (* Flush the DPAPI write-behind buffer: one OP_PASSWRITE (or transaction)
    carrying the coalesced data and every record gathered along the way. *)
@@ -356,6 +515,7 @@ let flush_prov t =
 
 let pass_read t (h : Dpapi.handle) ~off ~len =
   (match flush_prov t with Ok _ -> () | Error _ -> ());
+  (match drain_backlog t with Ok () -> () | Error _ -> ());
   (match flush_plain t with Ok () -> () | Error _ -> ());
   match call t (Proto.Op_passread { pnode = h.pnode; off; len }) with
   | Proto.R_passread { data; pnode; version } ->
@@ -435,9 +595,11 @@ let pass_reviveobj t pnode version =
   | _ -> Error Dpapi.Eio
 
 let pass_sync t (h : Dpapi.handle) =
-  (* flush buffered writes and pending freeze records, then sync *)
+  (* flush buffered writes, the partition backlog and pending freeze
+     records, then sync; EAGAIN while the backlog cannot drain *)
   let ( let*! ) r f = match r with Ok _ -> f () | Error e -> Error e in
   let*! () = flush_prov t in
+  let*! () = drain_backlog t in
   let pending = take_pending t h.pnode in
   let ( let* ) = Result.bind in
   let* () =

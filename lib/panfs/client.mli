@@ -21,20 +21,26 @@ type stats = {
   mutable rpcs : int;
   mutable txns : int;
   mutable inline_writes : int;
+  mutable retries : int;
+  mutable backpressure : int;
 }
 
 val create :
   ?registry:Telemetry.registry ->
+  ?wb_high_water:int ->
   net:Proto.net ->
-  handler:(Proto.req -> Proto.resp) ->
+  handler:(Proto.call -> Proto.resp) ->
   ctx:Ctx.t ->
   mount_name:string ->
   unit ->
   t
 (** [mount_name] is the volume name this client is mounted under on its
     machine; handles it returns carry it.  [registry] receives the
-    [panfs.*] instruments, including the [panfs.rpc_latency] histogram of
-    simulated round-trip nanoseconds (default {!Telemetry.default}). *)
+    [panfs.*] and [nfs.*] instruments, including the [panfs.rpc_latency]
+    histogram of simulated round-trip nanoseconds (default
+    {!Telemetry.default}).  [wb_high_water] (default 64) bounds the
+    write-behind backlog used to ride out partitions: past it,
+    provenance writes fail with [Eagain] (backpressure). *)
 
 val stats : t -> stats
 (** A point-in-time view over the [panfs.*] telemetry counters. *)
@@ -46,6 +52,21 @@ val crash : t -> unit
 val ops : t -> Vfs.ops
 val endpoint : t -> Dpapi.endpoint
 val file_handle : t -> Vfs.ino -> (Dpapi.handle, Vfs.errno) result
+
+(** {1 Degraded mode}
+
+    When the server stops answering (partition, restart), the retry
+    budget is exhausted and provenance writes are parked in a bounded
+    write-behind backlog instead of failing the application; past the
+    high-water mark they fail with [Eagain].  The backlog replays in
+    FIFO order before any new provenance write, read, or sync. *)
+
+val backlog : t -> int
+(** Provenance writes currently parked awaiting the server. *)
+
+val drain_backlog : t -> (unit, Dpapi.error) result
+(** Replay the backlog now; [Error Eagain] if the server is still
+    unreachable (whatever drained stays drained). *)
 
 (** {1 Transaction steps}
 

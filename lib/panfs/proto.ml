@@ -9,9 +9,12 @@
    together with a single ENDTXN record.  The transaction id is what lets
    the server's Waldo identify orphaned provenance after a client crash.
 
-   Messages are fully encodable (the byte size drives the simulated
-   network cost); the simulated transport delivers the structured value
-   in-process rather than re-decoding it. *)
+   Messages are fully encodable and decodable: the transport serialises
+   every request to bytes and the server decodes the datagram, so a
+   duplicated or retransmitted message is a real byte-level replay.
+   Requests travel in a call envelope carrying the client id and a
+   per-client sequence number — the key of the server's NFSv4-style
+   duplicate-request cache. *)
 
 module Dpapi = Pass_core.Dpapi
 module Pnode = Pass_core.Pnode
@@ -113,6 +116,113 @@ let encode_resp buf resp =
   | R_txn id -> put_u8 buf 9; put_i64 buf id
   | R_handle { pnode } -> put_u8 buf 10; put_i64 buf (Pnode.to_int pnode)
 
+let kind_of_tag = function
+  | 0 -> Vfs.Regular
+  | 1 -> Vfs.Directory
+  | t -> Wire.corrupt "panfs: bad kind tag %d" t
+
+let decode_req s pos =
+  let open Wire in
+  match get_u8 s pos with
+  | 1 ->
+      let dir = get_i64 s pos in
+      let name = get_string s pos in
+      Lookup { dir; name }
+  | 2 ->
+      let dir = get_i64 s pos in
+      let name = get_string s pos in
+      let kind = kind_of_tag (get_u8 s pos) in
+      Create { dir; name; kind }
+  | 3 ->
+      let dir = get_i64 s pos in
+      let name = get_string s pos in
+      Remove { dir; name }
+  | 4 ->
+      let src_dir = get_i64 s pos in
+      let src_name = get_string s pos in
+      let dst_dir = get_i64 s pos in
+      let dst_name = get_string s pos in
+      Rename { src_dir; src_name; dst_dir; dst_name }
+  | 5 -> Getattr { ino = get_i64 s pos }
+  | 6 -> Readdir { ino = get_i64 s pos }
+  | 7 ->
+      let ino = get_i64 s pos in
+      let off = get_i64 s pos in
+      let len = get_i64 s pos in
+      Read { ino; off; len }
+  | 8 ->
+      let ino = get_i64 s pos in
+      let off = get_i64 s pos in
+      let data = get_string s pos in
+      Write { ino; off; data }
+  | 9 ->
+      let ino = get_i64 s pos in
+      let size = get_i64 s pos in
+      Truncate { ino; size }
+  | 10 -> Commit { ino = get_i64 s pos }
+  | 20 ->
+      let pnode = Pnode.of_int (get_i64 s pos) in
+      let off = get_i64 s pos in
+      let len = get_i64 s pos in
+      Op_passread { pnode; off; len }
+  | 21 ->
+      let pnode = Pnode.of_int (get_i64 s pos) in
+      let off = get_i64 s pos in
+      let data =
+        match get_u8 s pos with
+        | 0 -> None
+        | 1 -> Some (get_string s pos)
+        | t -> Wire.corrupt "panfs: bad option tag %d" t
+      in
+      let bundle = Dpapi.decode_bundle s pos in
+      let txn =
+        match get_u8 s pos with
+        | 0 -> None
+        | 1 -> Some (get_i64 s pos)
+        | t -> Wire.corrupt "panfs: bad option tag %d" t
+      in
+      Op_passwrite { pnode; off; data; bundle; txn }
+  | 22 -> Op_begintxn
+  | 23 ->
+      let txn = get_i64 s pos in
+      let chunk = Dpapi.decode_bundle s pos in
+      Op_passprov { txn; chunk }
+  | 24 -> Op_passmkobj
+  | 25 ->
+      let pnode = Pnode.of_int (get_i64 s pos) in
+      let version = get_i64 s pos in
+      Op_passreviveobj { pnode; version }
+  | 26 -> Op_passsync { pnode = Pnode.of_int (get_i64 s pos) }
+  | 27 -> Op_pnode { ino = get_i64 s pos }
+  | t -> Wire.corrupt "panfs: bad request tag %d" t
+
+let decode_resp s pos =
+  let open Wire in
+  match get_u8 s pos with
+  | 1 -> (
+      let name = get_string s pos in
+      match Vfs.errno_of_string name with
+      | Some e -> R_err e
+      | None -> Wire.corrupt "panfs: bad errno %S" name)
+  | 2 -> R_ino (get_i64 s pos)
+  | 3 -> R_ok
+  | 4 ->
+      let st_ino = get_i64 s pos in
+      let st_kind = kind_of_tag (get_u8 s pos) in
+      let st_size = get_i64 s pos in
+      R_attr { Vfs.st_ino; st_kind; st_size }
+  | 5 -> R_names (get_list get_string s pos)
+  | 6 -> R_data (get_string s pos)
+  | 7 ->
+      let data = get_string s pos in
+      let pnode = Pnode.of_int (get_i64 s pos) in
+      let version = get_i64 s pos in
+      R_passread { data; pnode; version }
+  | 8 -> R_version (get_i64 s pos)
+  | 9 -> R_txn (get_i64 s pos)
+  | 10 -> R_handle { pnode = Pnode.of_int (get_i64 s pos) }
+  | t -> Wire.corrupt "panfs: bad response tag %d" t
+
 let req_size req =
   let buf = Buffer.create 64 in
   encode_req buf req;
@@ -123,23 +233,120 @@ let resp_size resp =
   encode_resp buf resp;
   Buffer.length buf
 
+(* The call envelope: client id + per-client sequence number, the key of
+   the server's duplicate-request cache.  A retransmission reuses the
+   sequence number so the server replays its cached reply instead of
+   re-executing the operation. *)
+type call = { c_client : int; c_seq : int; c_req : req }
+
+let encode_call buf c =
+  Wire.put_i64 buf c.c_client;
+  Wire.put_i64 buf c.c_seq;
+  encode_req buf c.c_req
+
+let decode_call s pos =
+  let c_client = Wire.get_i64 s pos in
+  let c_seq = Wire.get_i64 s pos in
+  let c_req = decode_req s pos in
+  { c_client; c_seq; c_req }
+
 (* The simulated network: a synchronous RPC charges one round trip of
-   latency plus transfer at the link rate to the shared clock. *)
+   latency plus transfer at the link rate to the shared clock.  A fault
+   plan can drop, delay or duplicate either datagram, or partition the
+   link; the client above retries on [`Timeout]. *)
 type net = {
   clock : Simdisk.Clock.t;
   latency_ns : int; (* one-way *)
   ns_per_byte : int;
+  timeout_ns : int; (* how long the client waits before `Timeout *)
+  fault : Fault.plan;
+  mutable next_client : int;
   mutable messages : int;
   mutable bytes : int;
 }
 
-let net ?(latency_us = 150) ?(ns_per_byte = 8) clock =
-  { clock; latency_ns = Simdisk.Clock.ns_of_us latency_us; ns_per_byte; messages = 0; bytes = 0 }
+let net ?(latency_us = 150) ?(ns_per_byte = 8) ?(timeout_ms = 10) ?(fault = Fault.none) clock =
+  {
+    clock;
+    latency_ns = Simdisk.Clock.ns_of_us latency_us;
+    ns_per_byte;
+    timeout_ns = Simdisk.Clock.ns_of_ms timeout_ms;
+    fault;
+    next_client = 1;
+    messages = 0;
+    bytes = 0;
+  }
 
-let rpc net handler req =
-  let resp = handler req in
-  let bytes = req_size req + resp_size resp in
+(* Client ids are per-net, not global, so repeated in-process runs with
+   the same seed see identical ids (the determinism test depends on it). *)
+let fresh_client net =
+  let id = net.next_client in
+  net.next_client <- id + 1;
+  id
+
+(* One datagram crossing the link.  Counted and charged even when the
+   delivery is subsequently dropped: a lost message still consumed wire
+   time, which is exactly what retransmission overhead measures. *)
+let transmit net nbytes =
   net.messages <- net.messages + 1;
-  net.bytes <- net.bytes + bytes;
-  Simdisk.Clock.advance net.clock ((2 * net.latency_ns) + (bytes * net.ns_per_byte));
-  resp
+  net.bytes <- net.bytes + nbytes;
+  Simdisk.Clock.advance net.clock (net.latency_ns + (nbytes * net.ns_per_byte))
+
+let timed_out net =
+  Simdisk.Clock.advance net.clock net.timeout_ns;
+  Error `Timeout
+
+(* Byte-level delivery: decode the datagram, execute, encode the reply. *)
+let deliver handler wire_req =
+  let resp = handler (decode_call wire_req (ref 0)) in
+  let buf = Buffer.create 64 in
+  encode_resp buf resp;
+  (resp, Buffer.contents buf)
+
+let rpc net handler (c : call) =
+  let buf = Buffer.create 256 in
+  encode_call buf c;
+  let wire_req = Buffer.contents buf in
+  let now = Simdisk.Clock.now net.clock in
+  if Fault.partitioned net.fault ~now then begin
+    transmit net (String.length wire_req);
+    timed_out net
+  end
+  else
+    match Fault.next_net_fault net.fault ~now with
+    | Some Fault.Drop_request ->
+        transmit net (String.length wire_req);
+        timed_out net
+    | Some (Fault.Partition_ns _) | Some (Fault.Server_restart_ns _) ->
+        (* the draw opened the partition window and this datagram is
+           already inside it *)
+        transmit net (String.length wire_req);
+        timed_out net
+    | Some Fault.Drop_response ->
+        (* the server executes and replies, but the reply is lost: the
+           case the duplicate-request cache exists for *)
+        transmit net (String.length wire_req);
+        let _resp, wire_resp = deliver handler wire_req in
+        transmit net (String.length wire_resp);
+        timed_out net
+    | Some Fault.Duplicate ->
+        (* the request datagram is delivered twice; the second execution
+           must hit the server's duplicate-request cache *)
+        transmit net (String.length wire_req);
+        let resp, wire_resp = deliver handler wire_req in
+        transmit net (String.length wire_resp);
+        transmit net (String.length wire_req);
+        let _resp2, wire_resp2 = deliver handler wire_req in
+        transmit net (String.length wire_resp2);
+        Ok resp
+    | Some (Fault.Delay_ns d) ->
+        Simdisk.Clock.advance net.clock d;
+        transmit net (String.length wire_req);
+        let resp, wire_resp = deliver handler wire_req in
+        transmit net (String.length wire_resp);
+        Ok resp
+    | None ->
+        transmit net (String.length wire_req);
+        let resp, wire_resp = deliver handler wire_req in
+        transmit net (String.length wire_resp);
+        Ok resp

@@ -51,22 +51,57 @@ type resp =
 val block_limit : int
 (** 64 KB: the client block size that triggers transactions. *)
 
+val encode_req : Buffer.t -> req -> unit
+val decode_req : string -> int ref -> req
+val encode_resp : Buffer.t -> resp -> unit
+val decode_resp : string -> int ref -> resp
+(** Wire codecs; decoders raise {!Wire.Corrupt} on malformed input.
+    Exposed so tests can round-trip every constructor — the transport
+    decodes each delivered datagram, so replays are byte-level replays. *)
+
 val req_size : req -> int
 (** Encoded size in bytes (drives the simulated network cost). *)
 
 val resp_size : resp -> int
 
+(** {1 Call envelope}
+
+    Client id + per-client sequence number: the key of the server's
+    NFSv4-style duplicate-request cache.  Retransmissions reuse the
+    sequence number so the server replays rather than re-executes. *)
+
+type call = { c_client : int; c_seq : int; c_req : req }
+
+val encode_call : Buffer.t -> call -> unit
+val decode_call : string -> int ref -> call
+
 type net = {
   clock : Simdisk.Clock.t;
   latency_ns : int;
   ns_per_byte : int;
+  timeout_ns : int;
+  fault : Fault.plan;
+  mutable next_client : int;
   mutable messages : int;
   mutable bytes : int;
 }
 
-val net : ?latency_us:int -> ?ns_per_byte:int -> Simdisk.Clock.t -> net
-(** A simulated LAN link; defaults approximate 2009-era gigabit. *)
+val net :
+  ?latency_us:int -> ?ns_per_byte:int -> ?timeout_ms:int -> ?fault:Fault.plan ->
+  Simdisk.Clock.t -> net
+(** A simulated LAN link; defaults approximate 2009-era gigabit.
+    [timeout_ms] (default 10) is how long a client waits for a reply
+    before [`Timeout]; [fault] (default {!Fault.none}) injects drops,
+    delays, duplicates, partitions and restarts per its schedule. *)
 
-val rpc : net -> (req -> resp) -> req -> resp
-(** Synchronous RPC: invokes the handler and charges one round trip of
-    latency plus transfer to the shared clock. *)
+val fresh_client : net -> int
+(** Allocate a client id on this link (per-net, so same-seed runs are
+    reproducible). *)
+
+val rpc : net -> (call -> resp) -> call -> (resp, [ `Timeout ]) result
+(** Synchronous RPC: encodes the call, charges each datagram's latency
+    plus transfer to the shared clock ([messages]/[bytes] count every
+    transmitted copy, including dropped and duplicated ones), and hands
+    the decoded bytes to the handler.  Returns [`Timeout] when the fault
+    plan loses either datagram or the link is partitioned; the caller
+    retries with the same sequence number. *)

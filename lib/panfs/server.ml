@@ -28,12 +28,16 @@ type mode = Plain | Pass_enabled
 type instruments = {
   requests : Telemetry.counter;
   txns_opened : Telemetry.counter;
+  drc_hits : Telemetry.counter;
+  drc_misses : Telemetry.counter;
 }
 
 let instruments registry =
   {
     requests = Telemetry.counter ?registry "panfs.server.requests";
     txns_opened = Telemetry.counter ?registry "panfs.server.txns_opened";
+    drc_hits = Telemetry.counter ?registry "nfs.drc.hits";
+    drc_misses = Telemetry.counter ?registry "nfs.drc.misses";
   }
 
 type t = {
@@ -50,11 +54,18 @@ type t = {
   i : instruments;
   mutable next_txn : int;
   mutable open_txns : int list;
+  (* NFSv4-style duplicate-request cache: a retransmission (same client
+     id + sequence number) replays the cached reply instead of
+     re-executing the operation, which is what keeps non-idempotent ops
+     (Create, Remove, Op_passwrite) exactly-once under retry *)
+  drc : (int * int, Proto.resp) Hashtbl.t;
+  drc_order : (int * int) Queue.t;
+  drc_capacity : int;
 }
 
-let create ?registry ~mode ~clock ~machine ~volume () =
+let create ?registry ?fault ~mode ~clock ~machine ~volume () =
   let i = instruments registry in
-  let disk = Disk.create ?registry ~clock () in
+  let disk = Disk.create ?registry ?fault ~clock () in
   let ext3 = Ext3.format disk in
   let ctx = Ctx.create ~machine in
   match mode with
@@ -62,6 +73,7 @@ let create ?registry ~mode ~clock ~machine ~volume () =
       {
         mode; clock; disk; ext3; export = Ext3.ops ext3; lasagna = None;
         analyzer = None; waldo = None; ctx; volume; i; next_txn = 1; open_txns = [];
+        drc = Hashtbl.create 1024; drc_order = Queue.create (); drc_capacity = 512;
       }
   | Pass_enabled ->
       Ext3.set_cache_capacity ext3 2048;
@@ -79,6 +91,7 @@ let create ?registry ~mode ~clock ~machine ~volume () =
         mode; clock; disk; ext3; export = Lasagna.ops lasagna; lasagna = Some lasagna;
         analyzer = Some analyzer; waldo = Some waldo; ctx; volume; i; next_txn = 1;
         open_txns = [];
+        drc = Hashtbl.create 1024; drc_order = Queue.create (); drc_capacity = 512;
       }
 
 let ctx t = t.ctx
@@ -106,6 +119,7 @@ let dpapi_err (e : Dpapi.error) =
     | Dpapi.Enospc -> Vfs.ENOSPC
     | Dpapi.Ecrashed -> Vfs.ECRASH
     | Dpapi.Ebadf -> Vfs.EBADF
+    | Dpapi.Eagain -> Vfs.EAGAIN
     | Dpapi.Eio | Dpapi.Emsg _ -> Vfs.EIO)
 
 (* Client-side freezes arrive as FREEZE records (§6.1.2: freeze is a
@@ -137,7 +151,7 @@ let localize_bundle t bundle =
    than the local ones for metadata-heavy workloads. *)
 let stable_metadata_ns = 2_800_000
 
-let handle t (req : Proto.req) : Proto.resp =
+let handle_req t (req : Proto.req) : Proto.resp =
   Telemetry.incr t.i.requests;
   (match req with
   | Proto.Create _ | Proto.Remove _ | Proto.Rename _ | Proto.Truncate _ ->
@@ -250,6 +264,21 @@ let handle t (req : Proto.req) : Proto.resp =
           match Lasagna.file_handle l ino with
           | Ok h -> R_handle { pnode = h.Dpapi.pnode }
           | Error e -> err e))
+
+let handle t (c : Proto.call) : Proto.resp =
+  let key = (c.Proto.c_client, c.Proto.c_seq) in
+  match Hashtbl.find_opt t.drc key with
+  | Some resp ->
+      Telemetry.incr t.i.drc_hits;
+      resp
+  | None ->
+      Telemetry.incr t.i.drc_misses;
+      let resp = handle_req t c.Proto.c_req in
+      Hashtbl.replace t.drc key resp;
+      Queue.add key t.drc_order;
+      if Queue.length t.drc_order > t.drc_capacity then
+        Hashtbl.remove t.drc (Queue.pop t.drc_order);
+      resp
 
 (* pnode of a file by inode, for the client's handle cache *)
 let pnode_of_ino t ino =

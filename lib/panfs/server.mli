@@ -17,6 +17,7 @@ type t
 
 val create :
   ?registry:Telemetry.registry ->
+  ?fault:Fault.plan ->
   mode:mode ->
   clock:Clock.t ->
   machine:int ->
@@ -24,13 +25,18 @@ val create :
   unit ->
   t
 (** [clock] is shared with the clients so server disk time appears as
-    client-visible latency.  [registry] receives the [panfs.server.*]
-    counters, plus the instruments of the embedded disk and — in
-    [Pass_enabled] mode — Lasagna, analyzer and Waldo (default
-    {!Telemetry.default}). *)
+    client-visible latency.  [registry] receives the [panfs.server.*] and
+    [nfs.drc.*] counters, plus the instruments of the embedded disk and —
+    in [Pass_enabled] mode — Lasagna, analyzer and Waldo (default
+    {!Telemetry.default}).  [fault] is forwarded to the server's disk. *)
 
-val handle : t -> Proto.req -> Proto.resp
-(** Serve one request (the simulated transport calls this). *)
+val handle : t -> Proto.call -> Proto.resp
+(** Serve one call (the simulated transport calls this).  A call whose
+    (client id, sequence number) is in the duplicate-request cache is
+    answered from the cache — replayed, not re-executed — which is what
+    makes retransmitted non-idempotent operations safe.  The cache
+    persists across simulated server restarts, as NFSv4.1's persistent
+    reply cache does. *)
 
 val ctx : t -> Ctx.t
 val waldo : t -> Waldo.t option

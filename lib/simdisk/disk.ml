@@ -51,6 +51,7 @@ let instruments registry =
   }
 
 exception Crashed
+exception Io_error
 
 (* One sequential stream the elevator is maintaining: its current head
    position and the logical time of its last use (for LRU eviction). *)
@@ -64,6 +65,7 @@ type t = {
   mutable use_counter : int;
   mutable crashed : bool;
   mutable crash_after_writes : int option;
+  mutable fault : Fault.plan;
   i : instruments;
   (* cost knobs, ns *)
   full_seek_ns : int;
@@ -73,7 +75,8 @@ type t = {
   per_block_transfer_ns : int;
 }
 
-let create ?registry ?(total_blocks = 20_000_000) ?(stream_slots = 5) ~clock () =
+let create ?registry ?(total_blocks = 20_000_000) ?(stream_slots = 5) ?(fault = Fault.none)
+    ~clock () =
   {
     clock;
     blocks = Hashtbl.create 65536;
@@ -82,6 +85,7 @@ let create ?registry ?(total_blocks = 20_000_000) ?(stream_slots = 5) ~clock () 
     use_counter = 0;
     crashed = false;
     crash_after_writes = None;
+    fault;
     i = instruments registry;
     full_seek_ns = Clock.ns_of_ms 17;      (* full-stroke seek *)
     min_seek_ns = Clock.ns_of_us 800;      (* track-to-track *)
@@ -103,6 +107,7 @@ let stats t : stats =
   }
 let clock t = t.clock
 let is_crashed t = t.crashed
+let set_fault t plan = t.fault <- plan
 
 let schedule_crash t ~after_writes =
   if after_writes < 0 then invalid_arg "Disk.schedule_crash";
@@ -182,11 +187,23 @@ let check_block t blk =
 let read_block t blk =
   check_alive t;
   check_block t blk;
+  (match Fault.next_disk_fault t.fault ~now:(Clock.now t.clock) ~write:false with
+  | Some Fault.Read_error ->
+      (* the failed request still costs a rotation before the drive
+         reports the error *)
+      Clock.advance t.clock t.rotation_ns;
+      raise Io_error
+  | Some _ | None -> ());
   charge_position t blk;
   Telemetry.incr t.i.reads;
   Telemetry.add t.i.bytes_read block_size;
   match Hashtbl.find_opt t.blocks blk with
   | Some b -> Bytes.copy b
+  | None -> Bytes.make block_size '\000'
+
+let stored_block t blk =
+  match Hashtbl.find_opt t.blocks blk with
+  | Some old -> Bytes.copy old
   | None -> Bytes.make block_size '\000'
 
 let write_block t blk data =
@@ -199,10 +216,29 @@ let write_block t blk data =
       raise Crashed
   | Some n -> t.crash_after_writes <- Some (n - 1)
   | None -> ());
+  let fault = Fault.next_disk_fault t.fault ~now:(Clock.now t.clock) ~write:true in
+  (match fault with
+  | Some Fault.Write_error ->
+      Clock.advance t.clock t.rotation_ns;
+      raise Io_error
+  | Some _ | None -> ());
   charge_position t blk;
   Telemetry.incr t.i.writes;
   Telemetry.add t.i.bytes_written block_size;
-  Hashtbl.replace t.blocks blk (Bytes.copy data)
+  match fault with
+  | Some Fault.Torn_write ->
+      (* only a prefix reaches the medium, yet the drive reports success
+         — the latent fault WAP digests exist to catch *)
+      let b = stored_block t blk in
+      Bytes.blit data 0 b 0 (block_size / 2);
+      Hashtbl.replace t.blocks blk b
+  | Some Fault.Corrupt_sector ->
+      let b = Bytes.copy data in
+      let pos = block_size / 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+      Hashtbl.replace t.blocks blk b
+  | Some Fault.Write_error | Some Fault.Read_error | None ->
+      Hashtbl.replace t.blocks blk (Bytes.copy data)
 
 (* Convenience used by the file systems: read/write [len] bytes at an
    arbitrary byte offset, spanning blocks as needed. *)

@@ -23,16 +23,26 @@ type stats = {
 exception Crashed
 (** Raised by any access to a crashed device. *)
 
+exception Io_error
+(** Raised when the fault plan injects a transient EIO on a block access
+    (the file system above maps it to [Vfs.EIO]; a retry may succeed). *)
+
 val create :
   ?registry:Telemetry.registry ->
   ?total_blocks:int ->
   ?stream_slots:int ->
+  ?fault:Fault.plan ->
   clock:Clock.t ->
   unit ->
   t
 (** [stream_slots] (default 5) is the number of concurrent sequential
     streams the simulated elevator can keep cheap; [registry] receives the
-    [disk.*] instruments (default {!Telemetry.default}). *)
+    [disk.*] instruments (default {!Telemetry.default}).  [fault] (default
+    {!Fault.none}) injects transient errors, torn writes and silent
+    corruption per its seeded schedule. *)
+
+val set_fault : t -> Fault.plan -> unit
+(** Swap the fault plan on a live device. *)
 
 val stats : t -> stats
 (** A point-in-time view over the [disk.*] telemetry instruments. *)

@@ -126,6 +126,7 @@ let lift_dpapi : ('a, Dpapi.error) result -> ('a, errno) result = function
         | Dpapi.Enospc -> Vfs.ENOSPC
         | Dpapi.Ecrashed -> Vfs.ECRASH
         | Dpapi.Ebadf -> Vfs.EBADF
+        | Dpapi.Eagain -> Vfs.EAGAIN
         | Dpapi.Eio | Dpapi.Emsg _ -> Vfs.EIO)
 
 (* --- path resolution ----------------------------------------------------- *)

@@ -93,13 +93,13 @@ let router t : Dpapi.endpoint =
         ep.pass_sync h);
   }
 
-let create ?(registry = Telemetry.default) ~mode ~machine ~volume_names () =
+let create ?(registry = Telemetry.default) ?fault ~mode ~machine ~volume_names () =
   let clock = Clock.create () in
   let kernel = Kernel.create ~clock ~machine () in
   let t = { mode; clock; kernel; registry; volumes = []; router_table = [] } in
   let charge = Clock.advance clock in
   let make_volume name =
-    let disk = Disk.create ~registry ~clock () in
+    let disk = Disk.create ~registry ?fault ~clock () in
     let ext3 = Ext3.format disk in
     match mode with
     | Vanilla ->

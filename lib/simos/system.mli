@@ -23,6 +23,7 @@ type t
 
 val create :
   ?registry:Telemetry.registry ->
+  ?fault:Fault.plan ->
   mode:mode ->
   machine:int ->
   volume_names:string list ->
@@ -32,7 +33,8 @@ val create :
     every layer of this machine — [disk.*], [wap.*], [waldo.*],
     [distributor.*], [analyzer.*], [observer.*] — plus the DPAPI hot-path
     span histograms [dpapi.pass_write_ns] / [dpapi.pass_freeze_ns]
-    (simulated nanoseconds, [Pass] mode only). *)
+    (simulated nanoseconds, [Pass] mode only).  [fault] (default
+    {!Fault.none}) is shared by every volume's disk. *)
 
 val mode : t -> mode
 

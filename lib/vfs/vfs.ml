@@ -15,6 +15,7 @@ type errno =
   | EBADF
   | ESTALE
   | ECRASH
+  | EAGAIN
 
 let errno_to_string = function
   | ENOENT -> "ENOENT"
@@ -28,6 +29,22 @@ let errno_to_string = function
   | EBADF -> "EBADF"
   | ESTALE -> "ESTALE"
   | ECRASH -> "ECRASH"
+  | EAGAIN -> "EAGAIN"
+
+let errno_of_string = function
+  | "ENOENT" -> Some ENOENT
+  | "EEXIST" -> Some EEXIST
+  | "ENOTDIR" -> Some ENOTDIR
+  | "EISDIR" -> Some EISDIR
+  | "ENOTEMPTY" -> Some ENOTEMPTY
+  | "EINVAL" -> Some EINVAL
+  | "EIO" -> Some EIO
+  | "ENOSPC" -> Some ENOSPC
+  | "EBADF" -> Some EBADF
+  | "ESTALE" -> Some ESTALE
+  | "ECRASH" -> Some ECRASH
+  | "EAGAIN" -> Some EAGAIN
+  | _ -> None
 
 let pp_errno ppf e = Format.pp_print_string ppf (errno_to_string e)
 

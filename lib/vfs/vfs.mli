@@ -17,8 +17,14 @@ type errno =
   | EBADF
   | ESTALE
   | ECRASH
+  | EAGAIN
 
 val errno_to_string : errno -> string
+
+val errno_of_string : string -> errno option
+(** Inverse of {!errno_to_string}; [None] for unknown names.  Used by the
+    PA-NFS wire decoder. *)
+
 val pp_errno : Format.formatter -> errno -> unit
 
 type ino = int

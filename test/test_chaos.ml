@@ -1,0 +1,411 @@
+(* Chaos harness: postmark/blast-style workloads under seeded fault plans
+   (ISSUE: robustness).  The invariants asserted are the paper's:
+
+   - every write acknowledged to the application has consistent provenance
+     after recovery (WAP, §5.6 — zero digest mismatches once faults clear);
+   - orphaned transactions are exactly those of crashed or timed-out
+     clients (§6.1.2 — Waldo discards them, nothing else);
+   - duplicate delivery and retransmission never double-apply an
+     operation (the server's duplicate-request cache replays, §6.1);
+   - the system converges once faults clear (the write-behind backlog
+     drains and reads observe the last acknowledged contents).
+
+   Runs standalone (dune exec test/test_chaos.exe); the CI chaos-smoke job
+   pins seeds via PASS_CHAOS_SEEDS and archives CHAOS_telemetry.json. *)
+
+open Pass_core
+module Clock = Simdisk.Clock
+module Disk = Simdisk.Disk
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "dpapi error: %s" (Dpapi.error_to_string e)
+
+let ok_fs = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "fs error: %s" (Vfs.errno_to_string e)
+
+let tv registry name = Option.value (Telemetry.counter_value registry name) ~default:0
+
+let pinned_seeds =
+  match Sys.getenv_opt "PASS_CHAOS_SEEDS" with
+  | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  | None -> [ 11; 23; 47 ]
+
+(* One PA server + one PA-NFS client sharing a clock, with [plan] wired
+   into both the transport and the server's disk. *)
+type rig = {
+  registry : Telemetry.registry;
+  clock : Clock.t;
+  plan : Fault.plan;
+  net : Proto.net;
+  server : Server.t;
+  client : Client.t;
+}
+
+let rig ?(spec = Fault.default_chaos) ?wb_high_water ~seed () =
+  let registry = Telemetry.create () in
+  let clock = Clock.create () in
+  let plan = Fault.plan ~registry ~spec ~seed () in
+  let server =
+    Server.create ~registry ~fault:plan ~mode:Server.Pass_enabled ~clock ~machine:2
+      ~volume:"nfs0" ()
+  in
+  let net = Proto.net ~fault:plan clock in
+  let client =
+    Client.create ~registry ?wb_high_water ~net ~handler:(Server.handle server)
+      ~ctx:(Ctx.create ~machine:1) ~mount_name:"nfs0" ()
+  in
+  { registry; clock; plan; net; server; client }
+
+let count_params db pnode =
+  List.length
+    (List.filter (fun (q : Provdb.quad) -> q.q_attr = "PARAMS") (Provdb.records_all db pnode))
+
+(* --- postmark under chaos ---------------------------------------------------- *)
+
+type outcome = { o_registry : Telemetry.registry; o_digest : string; o_clock : int }
+
+(* A postmark-style mix of creates, (re)writes and reads under a seeded
+   fault plan.  The model records only acknowledged writes; after faults
+   clear, every modelled file must read back its last acked contents, and
+   recovery over the server's volume must find zero inconsistencies. *)
+let postmark ~seed () =
+  let r = rig ~seed () in
+  let ops = Client.ops r.client in
+  (* path -> (handle, last acked content, acked provenance writes) *)
+  let model : (string, Dpapi.handle * string * int) Hashtbl.t = Hashtbl.create 64 in
+  let acked path h data =
+    let n = match Hashtbl.find_opt model path with Some (_, _, n) -> n | None -> 0 in
+    Hashtbl.replace model path (h, data, n + 1)
+  in
+  let write path h k data =
+    (* unique record values: the analyzer must not elide them, so the db
+       count below is an exact no-double-apply check *)
+    let bundle =
+      [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str (Printf.sprintf "%s#%d" path k)) ] ]
+    in
+    match Client.pass_write r.client h ~off:0 ~data:(Some data) bundle with
+    | Ok _ -> acked path h data
+    | Error _ -> () (* not acked: the model owes nothing for it *)
+  in
+  for i = 0 to 39 do
+    let path = Printf.sprintf "/p%03d" i in
+    match Vfs.create_path ops path Vfs.Regular with
+    | Error _ -> () (* create lost to the fault plan; the name is never reused *)
+    | Ok ino -> (
+        match Client.file_handle r.client ino with
+        | Error _ -> ()
+        | Ok h ->
+            let body =
+              String.make (64 + (i * 37 mod 512)) (Char.chr (97 + (i mod 26)))
+            in
+            write path h 0 (Printf.sprintf "%s:%s" path body);
+            if i mod 5 = 0 then write path h 1 (Printf.sprintf "%s:v2:%s" path body);
+            (* reads exercise the path under faults; no assertions here *)
+            if i mod 3 = 0 then ignore (Client.pass_read r.client h ~off:0 ~len:8))
+  done;
+  (* faults clear: the system must converge *)
+  Fault.deactivate r.plan;
+  (match Client.drain_backlog r.client with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "backlog did not drain: %s" (Dpapi.error_to_string e));
+  check tint "backlog empty once faults clear" 0 (Client.backlog r.client);
+  (* a second client begins a transaction and dies: its transaction must
+     be the only orphan *)
+  let victim =
+    (* shares the rig's net: client ids are per-net, and the server's DRC
+       keys on (client id, seq) *)
+    Client.create ~registry:r.registry ~net:r.net ~handler:(Server.handle r.server)
+      ~ctx:(Ctx.create ~machine:3) ~mount_name:"nfs0" ()
+  in
+  let vic_ino = ok_fs (Vfs.create_path (Client.ops victim) "/victim" Vfs.Regular) in
+  let vh = ok_fs (Client.file_handle victim vic_ino) in
+  let txn = ok (Client.begin_txn victim) in
+  ok
+    (Client.send_prov_chunk victim ~txn
+       [ Dpapi.entry vh [ Record.make "PARAMS" (Pvalue.Str "never-committed") ] ]);
+  Client.crash victim;
+  (* every acked write reads back its last acked contents *)
+  Hashtbl.iter
+    (fun path (h, data, _) ->
+      match Client.pass_read r.client h ~off:0 ~len:(String.length data) with
+      | Ok rr -> check tstr (path ^ " readback") data rr.Dpapi.data
+      | Error e ->
+          Alcotest.failf "%s unreadable after faults cleared: %s" path
+            (Dpapi.error_to_string e))
+    model;
+  (* recovery over the server volume, before Waldo consumes the logs *)
+  let report = ok_fs (Recovery.scan ~registry:r.registry (Ext3.ops (Server.ext3 r.server))) in
+  check tint "zero acked writes with inconsistent provenance" 0
+    (List.length report.Recovery.inconsistent);
+  check (Alcotest.list tint) "open txns are exactly the crashed client's" [ txn ]
+    report.Recovery.open_txns;
+  let orphans = Server.drain r.server in
+  check tint "orphans = crashed + abandoned txns"
+    (1 + tv r.registry "nfs.txns_abandoned")
+    orphans;
+  (* no double-applies: each file holds exactly one record per acked write *)
+  let db = Option.get (Server.db r.server) in
+  Hashtbl.iter
+    (fun path (h, _, n) ->
+      check tint (path ^ " applied exactly once per ack") n (count_params db h.Dpapi.pnode))
+    model;
+  check tbool "faults actually injected" true (tv r.registry "fault.injected.total" > 0);
+  check tbool "client retried" true (tv r.registry "nfs.retries" > 0);
+  check tbool "retransmissions replayed from the DRC" true (tv r.registry "nfs.drc.hits" > 0);
+  { o_registry = r.registry; o_digest = Fault.digest r.plan; o_clock = Clock.now r.clock }
+
+let test_postmark_under_chaos () =
+  let last =
+    List.fold_left (fun _ seed -> Some (postmark ~seed ())) None pinned_seeds
+  in
+  (* snapshot for the CI chaos-smoke artifact *)
+  match last with
+  | None -> Alcotest.fail "no seeds"
+  | Some o ->
+      let oc = open_out "CHAOS_telemetry.json" in
+      output_string oc (Telemetry.to_json o.o_registry);
+      output_char oc '\n';
+      close_out oc
+
+(* --- determinism ------------------------------------------------------------- *)
+
+let compared_counters =
+  [ "fault.injected.total"; "nfs.retries"; "nfs.drc.hits"; "nfs.drc.misses";
+    "nfs.backpressure"; "nfs.txns_abandoned"; "lasagna.io_retries" ]
+
+let test_same_seed_identical () =
+  let seed = List.hd pinned_seeds in
+  let a = postmark ~seed () in
+  let b = postmark ~seed () in
+  check tstr "byte-identical fault schedule" a.o_digest b.o_digest;
+  check tint "identical simulated elapsed time" a.o_clock b.o_clock;
+  List.iter
+    (fun name -> check tint name (tv a.o_registry name) (tv b.o_registry name))
+    compared_counters
+
+(* --- blast: >64 KB transactional writes under long partitions ---------------- *)
+
+(* Partitions longer than the client's whole retry budget (~0.8 s of
+   simulated time) force transaction abandonment and write-behind
+   parking; the replay after faults clear must commit each blast exactly
+   once, and Waldo must discard exactly the abandoned fragments. *)
+let blast_spec =
+  {
+    Fault.default_chaos with
+    Fault.partition = 25;
+    partition_ns = (900_000_000, 1_600_000_000);
+    server_restart = 5;
+    restart_ns = (900_000_000, 1_200_000_000);
+  }
+
+let test_blast_no_double_apply () =
+  let seed = List.hd pinned_seeds in
+  let r = rig ~spec:blast_spec ~seed () in
+  let ops = Client.ops r.client in
+  let acked = ref [] in
+  for i = 0 to 7 do
+    let path = Printf.sprintf "/blast%d" i in
+    match Vfs.create_path ops path Vfs.Regular with
+    | Error _ -> ()
+    | Ok ino -> (
+        match Client.file_handle r.client ino with
+        | Error _ -> ()
+        | Ok h ->
+            let records =
+              List.init 3000 (fun j ->
+                  Record.make "PARAMS" (Pvalue.Str (Printf.sprintf "b%d-%06d" i j)))
+            in
+            let bundle = [ Dpapi.entry h records ] in
+            assert (Dpapi.bundle_size bundle > Proto.block_limit);
+            (match Client.pass_write r.client h ~off:0 ~data:(Some "payload") bundle with
+            | Ok _ -> acked := (path, h) :: !acked
+            | Error _ -> ()))
+  done;
+  Fault.deactivate r.plan;
+  (match Client.drain_backlog r.client with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "backlog did not drain: %s" (Dpapi.error_to_string e));
+  check tbool "some blasts were acknowledged" true (!acked <> []);
+  check tbool "the transaction path was exercised" true ((Client.stats r.client).txns > 0);
+  let orphans = Server.drain r.server in
+  check tint "orphans are exactly the abandoned txns"
+    (tv r.registry "nfs.txns_abandoned")
+    orphans;
+  let db = Option.get (Server.db r.server) in
+  List.iter
+    (fun (path, (h : Dpapi.handle)) ->
+      check tint (path ^ " committed exactly once") 3000 (count_params db h.Dpapi.pnode))
+    !acked
+
+(* --- backpressure during a long partition ------------------------------------ *)
+
+let test_backpressure_bounds_backlog () =
+  let seed = 101 in
+  (* phase 1: under a quiet plan, count the RPCs the setup needs, so the
+     real run's fault window opens exactly after setup *)
+  let setup r =
+    let ino = ok_fs (Vfs.create_path (Client.ops r.client) "/bp" Vfs.Regular) in
+    ok_fs (Client.file_handle r.client ino)
+  in
+  let probe = rig ~spec:Fault.quiet ~seed () in
+  ignore (setup probe);
+  let setup_rpcs = (Client.stats probe.client).rpcs in
+  (* phase 2: everything after setup hits a partition far longer than the
+     retry budget *)
+  let hour = 3_600_000_000_000 in
+  let spec =
+    {
+      Fault.quiet with
+      Fault.partition = 1000;
+      partition_ns = (hour, hour);
+      net_after_op = setup_rpcs;
+    }
+  in
+  let r = rig ~spec ~wb_high_water:8 ~seed () in
+  let h = setup r in
+  let wrote = ref 0 and eagain = ref 0 in
+  for k = 1 to 12 do
+    let bundle =
+      [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str (Printf.sprintf "bp#%02d" k)) ] ]
+    in
+    match Client.pass_write r.client h ~off:0 ~data:None bundle with
+    | Ok _ -> incr wrote
+    | Error Dpapi.Eagain -> incr eagain
+    | Error e -> Alcotest.failf "unexpected error: %s" (Dpapi.error_to_string e)
+  done;
+  check tint "backlog capped at the high-water mark" 8 (Client.backlog r.client);
+  check tint "writes past the mark fail with EAGAIN" 4 !eagain;
+  check tbool "backpressure counted" true (tv r.registry "nfs.backpressure" > 0);
+  (match Client.drain_backlog r.client with
+  | Error Dpapi.Eagain -> ()
+  | _ -> Alcotest.fail "drain must refuse while partitioned");
+  Fault.deactivate r.plan;
+  ok (Client.drain_backlog r.client);
+  check tint "backlog empty once the partition heals" 0 (Client.backlog r.client);
+  ignore (Server.drain r.server : int);
+  let db = Option.get (Server.db r.server) in
+  check tint "every parked write reached the server exactly once" !wrote
+    (count_params db h.Dpapi.pnode)
+
+(* --- disk faults against a local Lasagna ------------------------------------- *)
+
+let local_rig ~registry () =
+  let clock = Clock.create () in
+  let disk = Disk.create ~registry ~clock () in
+  let ext3 = Ext3.format disk in
+  let lasagna =
+    Lasagna.create ~registry ~lower:(Ext3.ops ext3) ~ctx:(Ctx.create ~machine:1)
+      ~volume:"vol0" ~charge:(Clock.advance clock) ()
+  in
+  (disk, ext3, lasagna)
+
+let test_transient_io_retried () =
+  let registry = Telemetry.create () in
+  let disk, _ext3, lasagna = local_rig ~registry () in
+  let ops = Lasagna.ops lasagna in
+  (* create the tree first: only the read/write paths carry the retry *)
+  let inos =
+    List.init 20 (fun i -> ok_fs (Vfs.create_path ops (Printf.sprintf "/t%02d" i) Vfs.Regular))
+  in
+  Disk.set_fault disk
+    (Fault.plan ~registry
+       ~spec:{ Fault.quiet with Fault.disk_read_error = 80; disk_write_error = 80 }
+       ~seed:7 ());
+  let payload i = Printf.sprintf "transient-%02d:%s" i (String.make 200 't') in
+  List.iteri (fun i ino -> ok_fs (ops.Vfs.write ino ~off:0 (payload i))) inos;
+  List.iteri
+    (fun i ino ->
+      let want = payload i in
+      check tstr
+        (Printf.sprintf "/t%02d survives transient EIO" i)
+        want
+        (ok_fs (ops.Vfs.read ino ~off:0 ~len:(String.length want))))
+    inos;
+  check tbool "transient errors were retried" true (tv registry "lasagna.io_retries" > 0)
+
+let corruption_case name spec_of_quiet =
+  let registry = Telemetry.create () in
+  let disk, ext3, lasagna = local_rig ~registry () in
+  let ops = Lasagna.ops lasagna in
+  let ep = Lasagna.endpoint lasagna in
+  let ino = ok_fs (Vfs.create_path ops "/victim" Vfs.Regular) in
+  let h = ok_fs (Lasagna.file_handle lasagna ino) in
+  ignore
+    (ok
+       (ep.Dpapi.pass_write h ~off:0
+          ~data:(Some (String.make 4096 'a'))
+          [ Dpapi.entry h [ Record.name "victim" ] ]));
+  (* the next write is silently damaged on the medium *)
+  Disk.set_fault disk (Fault.plan ~registry ~spec:(spec_of_quiet Fault.quiet) ~seed:7 ());
+  ignore
+    (ep.Dpapi.pass_write h ~off:0
+       ~data:(Some (String.make 4096 'b'))
+       [ Dpapi.entry h [ Record.name "victim" ] ]);
+  Disk.set_fault disk Fault.none;
+  ignore ext3;
+  (* a fresh mount, so recovery reads the damaged medium rather than the
+     page cache; it must report the damage as an inconsistency, never raise *)
+  let remounted = Ext3.mount disk in
+  let report = ok_fs (Recovery.scan ~registry (Ext3.ops remounted)) in
+  check tbool (name ^ " detected by the WAP digests") true
+    (report.Recovery.inconsistent <> [] || report.Recovery.torn_bytes > 0)
+
+let test_latent_corruption_reported () =
+  corruption_case "corrupt sector" (fun q -> { q with Fault.corrupt_sector = 1000 });
+  corruption_case "torn write" (fun q -> { q with Fault.torn_write = 1000 })
+
+(* --- the hooks are free when no fault fires ---------------------------------- *)
+
+let mini_run fault =
+  let registry = Telemetry.create () in
+  let clock = Clock.create () in
+  let server =
+    Server.create ~registry ~fault ~mode:Server.Pass_enabled ~clock ~machine:2 ~volume:"nfs0" ()
+  in
+  let net = Proto.net ~fault clock in
+  let client =
+    Client.create ~registry ~net ~handler:(Server.handle server)
+      ~ctx:(Ctx.create ~machine:1) ~mount_name:"nfs0" ()
+  in
+  for i = 0 to 9 do
+    let path = Printf.sprintf "/q%d" i in
+    let ino = ok_fs (Vfs.create_path (Client.ops client) path Vfs.Regular) in
+    let h = ok_fs (Client.file_handle client ino) in
+    ignore
+      (ok
+         (Client.pass_write client h ~off:0 ~data:(Some path)
+            [ Dpapi.entry h [ Record.name path ] ]))
+  done;
+  Clock.now clock
+
+let test_quiet_plan_is_free () =
+  let disabled = mini_run Fault.none in
+  let quiet = mini_run (Fault.plan ~registry:(Telemetry.create ()) ~spec:Fault.quiet ~seed:5 ()) in
+  check tint "an empty plan charges no simulated time" disabled quiet
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "postmark converges under every pinned seed" `Quick
+            test_postmark_under_chaos;
+          Alcotest.test_case "same seed, byte-identical schedule and counters" `Quick
+            test_same_seed_identical;
+          Alcotest.test_case "blast txns never double-apply" `Quick test_blast_no_double_apply;
+          Alcotest.test_case "backpressure bounds the write-behind backlog" `Quick
+            test_backpressure_bounds_backlog;
+          Alcotest.test_case "transient disk errors are retried" `Quick
+            test_transient_io_retried;
+          Alcotest.test_case "latent corruption is reported, not raised" `Quick
+            test_latent_corruption_reported;
+          Alcotest.test_case "an empty fault plan costs nothing" `Quick test_quiet_plan_is_free;
+        ] );
+    ]

@@ -301,6 +301,181 @@ let test_chunk_bundle () =
   check tint "no record lost" (List.length records) (List.length flattened);
   check tbool "order preserved" true (List.for_all2 Record.equal records flattened)
 
+(* --- wire codec round trips -------------------------------------------------- *)
+
+(* encode -> decode -> re-encode must be byte-identical and consume the
+   whole buffer: the transport decodes every delivered datagram, so a
+   replayed response is a byte-level replay. *)
+let rt_req (r : Proto.req) =
+  let b = Buffer.create 64 in
+  Proto.encode_req b r;
+  let s = Buffer.contents b in
+  let pos = ref 0 in
+  let r' = Proto.decode_req s pos in
+  let b2 = Buffer.create 64 in
+  Proto.encode_req b2 r';
+  !pos = String.length s && String.equal s (Buffer.contents b2)
+
+let rt_resp (r : Proto.resp) =
+  let b = Buffer.create 64 in
+  Proto.encode_resp b r;
+  let s = Buffer.contents b in
+  let pos = ref 0 in
+  let r' = Proto.decode_resp s pos in
+  let b2 = Buffer.create 64 in
+  Proto.encode_resp b2 r';
+  !pos = String.length s && String.equal s (Buffer.contents b2)
+
+let test_proto_roundtrip_exhaustive () =
+  let p = Pnode.of_int 77 in
+  let h = Dpapi.handle ~volume:"nfs0" p in
+  let bundle = [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str "x"); Record.name "f" ] ] in
+  let reqs : Proto.req list =
+    [
+      Lookup { dir = 1; name = "a" };
+      Create { dir = 1; name = "b"; kind = Vfs.Regular };
+      Create { dir = 1; name = "d"; kind = Vfs.Directory };
+      Remove { dir = 2; name = "c" };
+      Rename { src_dir = 1; src_name = "a"; dst_dir = 2; dst_name = "b" };
+      Getattr { ino = 3 };
+      Readdir { ino = 1 };
+      Read { ino = 3; off = 5; len = 9 };
+      Write { ino = 3; off = 0; data = "payload" };
+      Truncate { ino = 3; size = 42 };
+      Commit { ino = 3 };
+      Op_passread { pnode = p; off = 1; len = 2 };
+      Op_passwrite { pnode = p; off = 0; data = Some "d"; bundle; txn = Some 7 };
+      Op_passwrite { pnode = p; off = 8; data = None; bundle = []; txn = None };
+      Op_begintxn;
+      Op_passprov { txn = 9; chunk = bundle };
+      Op_passmkobj;
+      Op_passreviveobj { pnode = p; version = 4 };
+      Op_passsync { pnode = p };
+      Op_pnode { ino = 6 };
+    ]
+  in
+  let resps : Proto.resp list =
+    [
+      R_err Vfs.ENOENT;
+      R_err Vfs.EAGAIN;
+      R_err Vfs.ECRASH;
+      R_ino 12;
+      R_ok;
+      R_attr { Vfs.st_ino = 3; st_kind = Vfs.Regular; st_size = 100 };
+      R_names [ "a"; "b"; "c" ];
+      R_names [];
+      R_data "bytes";
+      R_passread { data = "d"; pnode = p; version = 2 };
+      R_version 5;
+      R_txn 8;
+      R_handle { pnode = p };
+    ]
+  in
+  List.iteri (fun i r -> check tbool (Printf.sprintf "req #%d" i) true (rt_req r)) reqs;
+  List.iteri (fun i r -> check tbool (Printf.sprintf "resp #%d" i) true (rt_resp r)) resps;
+  (* the call envelope too *)
+  let call = { Proto.c_client = 3; c_seq = 41; c_req = Getattr { ino = 3 } } in
+  let b = Buffer.create 64 in
+  Proto.encode_call b call;
+  let s = Buffer.contents b in
+  let c' = Proto.decode_call s (ref 0) in
+  let b2 = Buffer.create 64 in
+  Proto.encode_call b2 c';
+  check tstr "call envelope round trip" s (Buffer.contents b2)
+
+let prop_proto_roundtrip =
+  let open QCheck2.Gen in
+  let name = string_size ~gen:printable (int_range 1 24) in
+  let payload = string_size ~gen:char (int_range 0 200) in
+  let ino = int_range 0 10_000 in
+  let off = int_range 0 1_000_000 in
+  let pnode = map Pnode.of_int (int_range 1 1_000_000) in
+  let bundle =
+    let record = map2 (fun a v -> Record.make a (Pvalue.Str v)) name payload in
+    let entry =
+      map2 (fun p rs -> Dpapi.entry (Dpapi.handle ~volume:"v" p) rs)
+        pnode
+        (list_size (int_range 0 5) record)
+    in
+    list_size (int_range 0 3) entry
+  in
+  let gen_req =
+    oneof
+      [
+        map2 (fun d n -> Proto.Lookup { dir = d; name = n }) ino name;
+        map3
+          (fun d n k ->
+            Proto.Create { dir = d; name = n; kind = (if k then Vfs.Regular else Vfs.Directory) })
+          ino name bool;
+        map2 (fun d n -> Proto.Remove { dir = d; name = n }) ino name;
+        map
+          (fun (((sd, sn), dd), dn) ->
+            Proto.Rename { src_dir = sd; src_name = sn; dst_dir = dd; dst_name = dn })
+          (pair (pair (pair ino name) ino) name);
+        map (fun i -> Proto.Getattr { ino = i }) ino;
+        map (fun i -> Proto.Readdir { ino = i }) ino;
+        map3 (fun i o l -> Proto.Read { ino = i; off = o; len = l }) ino off small_nat;
+        map3 (fun i o d -> Proto.Write { ino = i; off = o; data = d }) ino off payload;
+        map2 (fun i s -> Proto.Truncate { ino = i; size = s }) ino off;
+        map (fun i -> Proto.Commit { ino = i }) ino;
+        map3 (fun p o l -> Proto.Op_passread { pnode = p; off = o; len = l }) pnode off small_nat;
+        map
+          (fun (((p, o), d), (b, t)) -> Proto.Op_passwrite { pnode = p; off = o; data = d; bundle = b; txn = t })
+          (pair (pair (pair pnode off) (option payload)) (pair bundle (option small_nat)));
+        pure Proto.Op_begintxn;
+        map2 (fun t c -> Proto.Op_passprov { txn = t; chunk = c }) small_nat bundle;
+        pure Proto.Op_passmkobj;
+        map2 (fun p v -> Proto.Op_passreviveobj { pnode = p; version = v }) pnode small_nat;
+        map (fun p -> Proto.Op_passsync { pnode = p }) pnode;
+        map (fun i -> Proto.Op_pnode { ino = i }) ino;
+      ]
+  in
+  QCheck2.Test.make ~name:"proto: every req round-trips the wire" ~count:300 gen_req rt_req
+
+(* --- recovery after a server crash mid-transaction (ISSUE satellite) --------- *)
+
+let test_server_crash_mid_txn () =
+  let sys, server, client, _net = pa_setup () in
+  let k = System.kernel sys in
+  let pid = Kernel.fork k ~parent:Kernel.init_pid in
+  write_via_kernel sys ~pid ~path:"/nfs0/obj" ~data:"seed";
+  let h = ok_fs (Kernel.handle_of_path k "/nfs0/obj") in
+  let txn = ok (Client.begin_txn client) in
+  ok
+    (Client.send_prov_chunk client ~txn
+       [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str "in-flight") ] ]);
+  (* the server host dies before the terminating OP_PASSWRITE *)
+  Simdisk.Disk.crash (Server.disk server);
+  (match Client.end_txn_write client ~txn h ~off:0 ~data:(Some "final") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write must not complete on a dead server");
+  Simdisk.Disk.revive (Server.disk server);
+  (* recovery over the revived medium sees the half-finished transaction *)
+  let remounted = Ext3.mount (Server.disk server) in
+  let report = ok_fs (Recovery.scan (Ext3.ops remounted)) in
+  check tbool "recovery reports the open txn" true (List.mem txn report.Recovery.open_txns);
+  (* Waldo's orphan count matches the recovery report exactly *)
+  let orphans = Server.drain server in
+  check tint "Waldo orphans = recovery's open txns" (List.length report.Recovery.open_txns)
+    orphans;
+  let db = Option.get (Server.db server) in
+  let leaked =
+    List.exists
+      (fun (q : Provdb.quad) -> q.q_value = Pvalue.Str "in-flight")
+      (Provdb.records_all db h.Dpapi.pnode)
+  in
+  check tbool "orphaned provenance never ingested" false leaked;
+  (* the revived service accepts new work: the client re-creates the object *)
+  let ino2 =
+    match (Client.ops client).Vfs.create ~dir:Ext3.root_ino "obj.new" Vfs.Regular with
+    | Ok ino -> ino
+    | Error e -> Alcotest.failf "re-create after revival: %s" (Vfs.errno_to_string e)
+  in
+  let h2 = ok_fs (Client.file_handle client ino2) in
+  let _ = ok (Client.pass_write client h2 ~off:0 ~data:(Some "recreated") []) in
+  let r = ok (Client.pass_read client h2 ~off:0 ~len:9) in
+  check tstr "recreated object readable" "recreated" r.Dpapi.data
+
 let test_proto_sizes () =
   let big = Proto.Write { ino = 3; off = 0; data = String.make 10_000 'x' } in
   let small = Proto.Getattr { ino = 3 } in
@@ -322,4 +497,9 @@ let suite =
     Alcotest.test_case "server disk crash + recovery" `Quick test_server_disk_crash;
     Alcotest.test_case "bundle chunking" `Quick test_chunk_bundle;
     Alcotest.test_case "protocol message sizes" `Quick test_proto_sizes;
+    Alcotest.test_case "wire codec round trips (all constructors)" `Quick
+      test_proto_roundtrip_exhaustive;
+    QCheck_alcotest.to_alcotest prop_proto_roundtrip;
+    Alcotest.test_case "server crash mid-transaction + recovery" `Quick
+      test_server_crash_mid_txn;
   ]
