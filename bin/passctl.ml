@@ -51,7 +51,8 @@ let cmd_demo () =
   Challenge.prepare_inputs ~input_dir:"/nfsA/inputs" io;
   ignore
     (Kepler_run.run sys ~pid:engine
-       (Challenge.workflow ~input_dir:"/nfsA/inputs" ~output_dir:"/nfsB/results"));
+       (Challenge.workflow ~input_dir:"/nfsA/inputs" ~output_dir:"/nfsB/results")
+      : Director.result);
   ignore (System.drain sys : int);
   ignore (Server.drain server_a : int);
   ignore (Server.drain server_b : int);
@@ -177,6 +178,66 @@ let cmd_recover volume json =
     List.iter (fun id -> Printf.printf "orphan txn: %d\n" id) report.open_txns
   end
 
+(* Offline verification.  Without --corrupt: build a canned volume whose
+   Waldo database has been persisted and whose last transaction is still
+   sitting in a live WAP log, then run the offline verifier over the
+   lower file system — the real fsck path (load db image, replay logs,
+   cross-check orphans against Recovery).  With --corrupt CLASS: seed one
+   corruption into a canned graph and show the verifier flagging it. *)
+let cmd_fsck volume json corrupt =
+  let print_report report =
+    if json then
+      print_endline (Telemetry.Json.to_string (Pvcheck.report_to_json report))
+    else Format.printf "%a@." Pvcheck.pp_report report;
+    if Pvcheck.clean report then 0 else 1
+  in
+  let status =
+    match corrupt with
+    | Some cname -> (
+        match Pvmutate.of_name cname with
+        | None ->
+            Printf.eprintf "unknown corruption class %S (one of: %s)\n" cname
+              (String.concat ", " (List.map Pvmutate.name Pvmutate.all));
+            2
+        | Some clazz ->
+            let db = canned_db () in
+            let desc = Pvmutate.inject db clazz in
+            if not json then Printf.printf "seeded: %s\n" desc;
+            print_report (Pvcheck.check_db ~volume db))
+    | None ->
+        let clock = Clock.create () in
+        let disk = Disk.create ~clock () in
+        let ext3 = Ext3.format disk in
+        let lower = Ext3.ops ext3 in
+        let ctx = Ctx.create ~machine:1 in
+        let lasagna = Lasagna.create ~lower ~ctx ~volume ~charge:(Clock.advance clock) () in
+        let waldo = Waldo.create ~lower () in
+        Waldo.attach waldo lasagna;
+        let ops = Lasagna.ops lasagna in
+        let ep = Lasagna.endpoint lasagna in
+        let ino = ok (Vfs.create_path ops "/report.dat" Vfs.Regular) in
+        let h = ok (Lasagna.file_handle lasagna ino) in
+        (match
+           ep.pass_write h ~off:0 ~data:(Some (String.make 4096 'r'))
+             [ Dpapi.entry h [ Record.name "report.dat" ] ]
+         with
+        | Ok _ -> ()
+        | Error e -> failwith (Dpapi.error_to_string e));
+        ignore (Waldo.finalize waldo lasagna : int);
+        (match Waldo.persist waldo ~dir:"/.waldo" with
+        | Ok () -> ()
+        | Error e -> failwith (Vfs.errno_to_string e));
+        (* one transaction still in a live log when the verifier runs *)
+        (match
+           Lasagna.write_txn_bundle ~txn:11 lasagna h ~off:0 ~data:None
+             [ Dpapi.entry h [ Record.make "PARAMS" (Pass_core.Pvalue.Str "in-flight") ] ]
+         with
+        | Ok _ -> ()
+        | Error e -> failwith (Dpapi.error_to_string e));
+        print_report (ok (Pvcheck.fsck ~lower ~volume ()))
+  in
+  exit status
+
 (* --- cmdliner wiring ----------------------------------------------------------- *)
 
 open Cmdliner
@@ -264,9 +325,25 @@ let recover_cmd =
        ~doc:"Crash a volume mid-write, then run WAP recovery and print the report")
     Term.(const cmd_recover $ volume $ json)
 
+let fsck_cmd =
+  let volume =
+    Arg.(value & pos 0 string "vol0" & info [] ~docv:"VOLUME" ~doc:"Volume name to verify.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let corrupt =
+    Arg.(value & opt (some string) None
+         & info [ "corrupt" ] ~docv:"CLASS"
+             ~doc:"Seed one corruption class first (cycle, dangling-ancestor, \
+                   duplicate-record, broken-version-chain, dangling-xref).")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify a volume's stored provenance graph offline (exit 1 on findings)")
+    Term.(const cmd_fsck $ volume $ json $ corrupt)
+
 let () =
   let info =
     Cmd.info "passctl" ~version:"1.0"
       ~doc:"PASSv2 reproduction: layered provenance collection and query"
   in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd; fsck_cmd ]))

@@ -1,0 +1,31 @@
+(** Corruption seeding for the pvcheck mutation harness.
+
+    Each injector plants exactly one corruption class into an otherwise
+    clean database, constructed so that exactly one {!Pvcheck} pass
+    fires.  Used by the property tests (clean volume ⇒ no findings;
+    seeded volume ⇒ findings only from the expected pass) and by
+    [passctl fsck --corrupt] for demonstration. *)
+
+type clazz =
+  | Cycle  (** reverse an ancestry edge into a 2-cycle *)
+  | Dangling_ancestor  (** reference a declared object at a phantom version *)
+  | Duplicate_record  (** repeat a record under the analyzer's dedup key *)
+  | Broken_version_chain  (** freeze marker disagreeing with its version *)
+  | Dangling_xref  (** reference an identity no layer ever declared *)
+
+val all : clazz list
+
+val name : clazz -> string
+val of_name : string -> clazz option
+
+val flagged_by : clazz -> string
+(** The {!Pvcheck.pass_names} entry this class must trip. *)
+
+exception No_target of string
+(** Raised when the database is too small to host the corruption (e.g. no
+    cross-node ancestry edge to reverse). *)
+
+val inject : Provdb.t -> clazz -> string
+(** [inject db c] mutates [db] in place and returns a description of the
+    seeded corruption.  Deterministic: targets are chosen lowest-pnode
+    first.  @raise No_target if the database cannot host class [c]. *)

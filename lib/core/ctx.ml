@@ -43,7 +43,7 @@ let state t pnode =
 
 let fresh t =
   let pnode = Pnode.fresh t.alloc in
-  ignore (state t pnode);
+  let _ : obj_state = state t pnode in
   pnode
 
 let adopt t pnode ~version =

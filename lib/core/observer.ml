@@ -60,9 +60,10 @@ let proc_state t pid =
       in
       let p = { handle; alive = true } in
       Hashtbl.add t.procs pid p;
-      ignore
-        (emit t handle
-           [ Record.typ "PROCESS"; Record.make Record.Attr.pid (Pvalue.Int pid) ]);
+      let _ : (unit, Dpapi.error) result =
+        emit t handle
+          [ Record.typ "PROCESS"; Record.make Record.Attr.pid (Pvalue.Int pid) ]
+      in
       p
 
 let proc_handle t pid = (proc_state t pid).handle
@@ -138,7 +139,7 @@ let pipe_create t ~pid ~pipe_id =
   let* h = t.lower.pass_mkobj ~volume:None in
   Hashtbl.replace t.pipes pipe_id h;
   let* () = emit t h [ Record.typ "PIPE" ] in
-  ignore (proc_state t pid);
+  let _ : proc = proc_state t pid in
   Ok ()
 
 let pipe_handle t pipe_id =

@@ -9,7 +9,11 @@ type t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Explicit structural hash, stable across OCaml versions (it feeds
+    dedup tables; the runtime's [Hashtbl.hash] algorithm is not part of
+    any compatibility contract). *)
 
 val to_int : t -> int
 (** [to_int t] exposes the raw integer, e.g. for serialization. *)

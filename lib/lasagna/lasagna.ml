@@ -99,19 +99,38 @@ let stats t : stats =
   }
 let volume t = t.volume
 
+(* Transient disk errors (the fault plan's EIO kind) are retried a few
+   times before surfacing; permanent EIO still escapes after the budget.
+   WAP ordering is unaffected: a retried frame or data write lands whole
+   or not at all at this layer. *)
+let io_retry_budget = 4
+
+let with_io_retry t f =
+  let rec go n =
+    match f () with
+    | Error Vfs.EIO when n < io_retry_budget ->
+        Telemetry.incr t.i.io_retries;
+        go (n + 1)
+    | r -> r
+  in
+  go 0
+
 let fresh_log t =
-  match t.lower.create ~dir:t.pass_dir (log_name t.log_seq) Vfs.Regular with
+  match
+    with_io_retry t (fun () ->
+        t.lower.create ~dir:t.pass_dir (log_name t.log_seq) Vfs.Regular)
+  with
   | Ok ino ->
       t.log_ino <- ino;
       t.log_off <- 0
-  | Error e -> failwith ("lasagna: cannot create log: " ^ Vfs.errno_to_string e)
+  | Error e -> Vfs.fatal "lasagna: cannot create log" e
 
 let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fun () -> 0)
     ~lower ~ctx ~volume ~charge () =
   let pass_dir =
     match Vfs.mkdir_p lower ("/" ^ pass_dirname) with
     | Ok ino -> ino
-    | Error e -> failwith ("lasagna: cannot make .pass: " ^ Vfs.errno_to_string e)
+    | Error e -> Vfs.fatal "lasagna: cannot make .pass" e
   in
   let t =
     {
@@ -136,22 +155,6 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
   t
 
 let on_log_closed t f = t.listeners <- f :: t.listeners
-
-(* Transient disk errors (the fault plan's EIO kind) are retried a few
-   times before surfacing; permanent EIO still escapes after the budget.
-   WAP ordering is unaffected: a retried frame or data write lands whole
-   or not at all at this layer. *)
-let io_retry_budget = 4
-
-let with_io_retry t f =
-  let rec go n =
-    match f () with
-    | Error Vfs.EIO when n < io_retry_budget ->
-        Telemetry.incr t.i.io_retries;
-        go (n + 1)
-    | r -> r
-  in
-  go 0
 
 let rotate_log t =
   let closed = log_name t.log_seq in

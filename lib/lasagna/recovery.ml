@@ -50,7 +50,7 @@ let list_logs lower =
     List.filter (fun n -> String.length n > 4 && String.sub n 0 4 = "log.") names
     |> List.sort (fun a b ->
            let seq n = int_of_string_opt (String.sub n 4 (String.length n - 4)) in
-           compare (seq a) (seq b))
+           Option.compare Int.compare (seq a) (seq b))
   in
   Ok (pass_dir, logs)
 
@@ -172,7 +172,8 @@ let scan ?registry lower =
       files = List.rev !files;
       virtuals = List.rev !virtuals;
       open_txns =
-        List.sort compare (List.filter (fun id -> not (List.mem id !txns_ended)) !txns_seen);
+        List.sort Int.compare
+          (List.filter (fun id -> not (List.mem id !txns_ended)) !txns_seen);
     }
   in
   record_outcome registry ~io_retries:!retried report;

@@ -145,7 +145,9 @@ let save_sessions t ~path =
       | Some lp -> List.iter (fun s -> Libpass.sync lp s.handle) t.sessions
       | None -> ());
       match Kernel.write k ~pid:t.pid ~fd ~data:(Buffer.contents buf) with
-      | Ok () -> ignore (Kernel.close k ~pid:t.pid ~fd)
+      | Ok () ->
+          let _ : (unit, Vfs.errno) result = Kernel.close k ~pid:t.pid ~fd in
+          ()
       | Error e -> raise (Browser_error (Vfs.errno_to_string e)))
 
 (* Restore sessions after a restart: revive each object so further
@@ -158,7 +160,7 @@ let restore_sessions t ~path =
     | Ok fd -> (
         match Kernel.read k ~pid:t.pid ~fd ~len:1_000_000 with
         | Ok d ->
-            ignore (Kernel.close k ~pid:t.pid ~fd);
+            let _ : (unit, Vfs.errno) result = Kernel.close k ~pid:t.pid ~fd in
             d
         | Error e -> raise (Browser_error (Vfs.errno_to_string e)))
   in

@@ -205,7 +205,7 @@ let compare_values op (a : item) (b : item) =
   | Lt | Le | Gt | Ge -> (
       let cmp c = match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0 | _ -> false in
       match (num a, num b) with
-      | Some x, Some y -> cmp (compare x y)
+      | Some x, Some y -> cmp (Int.compare x y)
       | _ -> (
           match (str a, str b) with
           | Some x, Some y -> cmp (String.compare x y)
@@ -351,9 +351,18 @@ and eval_rows db outer (q : query) =
                       ~default:(string_of_int (Pnode.to_int p)))
             | _ -> `I 0
           in
+          let cmp_repr r r' =
+            (* equal ranks imply same constructor; the cross-kind arms
+               only keep the comparator total *)
+            match (r, r') with
+            | `I a, `I b -> Int.compare a b
+            | `S a, `S b -> String.compare a b
+            | `I _, `S _ -> -1
+            | `S _, `I _ -> 1
+          in
           let cmp (ka, _) (kb, _) =
-            let c = compare (rank ka) (rank kb) in
-            let c = if c <> 0 then c else compare (key_repr ka) (key_repr kb) in
+            let c = Int.compare (rank ka) (rank kb) in
+            let c = if c <> 0 then c else cmp_repr (key_repr ka) (key_repr kb) in
             if descending then -c else c
           in
           List.stable_sort cmp keyed_rows

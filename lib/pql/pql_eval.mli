@@ -1,0 +1,22 @@
+(** PQL evaluator: path matching as graph reachability over the Provdb,
+    conditions and aggregates over the resulting bindings. *)
+
+exception Error of string
+
+(** A result cell: a graph node at a version, or a scalar value. *)
+type item = Node of Pass_core.Pnode.t * int | Value of Pass_core.Pvalue.t
+
+val item_equal : item -> item -> bool
+
+type env = (string * item) list
+(** The FROM clause binds variables to items; WHERE filters environments. *)
+
+val is_process : Provdb.t -> Pass_core.Pnode.t -> bool
+(** A node is a process if some version carries a TYPE=PROCESS record. *)
+
+val glob_match : string -> string -> bool
+(** The [~] operator: [*] and [?] wildcards, anchored at both ends. *)
+
+val run : Provdb.t -> Pql_ast.query -> item list list
+(** Evaluate a parsed query; rows in deterministic order.
+    @raise Error on unbound variables or type mismatches. *)

@@ -1,0 +1,55 @@
+(** PQL tokenizer.  Keywords are case-insensitive; identifiers may
+    contain dashes (attribute names like [file-url]). *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | AS
+  | AND
+  | OR
+  | NOT
+  | EXISTS
+  | IN
+  | DISTINCT
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | LIMIT
+  | COUNT
+  | SUM
+  | MIN
+  | MAX
+  | AVG
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | DOT
+  | COMMA
+  | STAR
+  | PLUS
+  | QMARK
+  | PIPE
+  | CARET
+  | UNDERSCORE
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | TILDE
+  | EOF
+
+exception Error of string * int
+(** Message and byte position. *)
+
+val tokenize : string -> token list
+(** @raise Error on malformed input (unterminated string, stray byte). *)
+
+val token_to_string : token -> string

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for PQL over [Pql_lexer] tokens. *)
+
+exception Error of string
+
+val parse : string -> Pql_ast.query
+(** @raise Error on syntax errors, [Pql_lexer.Error] on lexing errors. *)

@@ -1,0 +1,4 @@
+(** Pretty-printer for PQL queries — the inverse of [Pql_parser.parse],
+    used by the parser round-trip property tests. *)
+
+val to_string : Pql_ast.query -> string

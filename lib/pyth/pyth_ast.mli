@@ -1,0 +1,47 @@
+(** Abstract syntax of Pyth, the small Python-like language the PA-Pyth
+    interpreter executes (indentation blocks, first-class functions,
+    imports, lists/dicts). *)
+
+type expr =
+  | Enone
+  | Ebool of bool
+  | Eint of int
+  | Efloat of float
+  | Estr of string
+  | Eident of string
+  | Elist of expr list
+  | Edict of (expr * expr) list
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Ecall of expr * expr list
+  | Eindex of expr * expr
+  | Eattr of expr * string  (** module.name or value.method *)
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | In
+
+and unop = Neg | Not
+
+type stmt =
+  | Sexpr of expr
+  | Sassign of target * expr
+  | Sif of (expr * block) list * block option  (** if/elif chains, else *)
+  | Swhile of expr * block
+  | Sfor of string * expr * block
+  | Sdef of string * string list * block
+  | Sreturn of expr option
+  | Simport of string
+  | Spass
+  | Sbreak
+  | Scontinue
+
+and target =
+  | Tident of string
+  | Tindex of expr * expr  (** [container[key] = ...] *)
+
+and block = stmt list
+
+type program = block

@@ -80,7 +80,7 @@ let install_globals (host : Pyth_interp.host) env =
              (fun a b ->
                match (a.V.data, b.V.data) with
                | V.Str x, V.Str y -> String.compare x y
-               | _ -> compare (V.as_float a) (V.as_float b))
+               | _ -> Float.compare (V.as_float a) (V.as_float b))
              !cell;
          V.none));
   def "keys"

@@ -1,0 +1,8 @@
+(** The Pyth standard library: global builtins (print, len, range,
+    readfile/writefile, ...) plus the xml / plot / math modules the
+    Kepler-style scripts import. *)
+
+val install_globals : Pyth_interp.host -> Pyth_value.env -> unit
+
+val install_modules : Pyth_interp.t -> unit
+(** Register the importable modules on an interpreter instance. *)

@@ -119,7 +119,7 @@ and binop op a b =
       let c = String.compare x y in
       bool_ (match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | _ -> c >= 0)
   | (Lt | Le | Gt | Ge), (Int _ | Float _), (Int _ | Float _) ->
-      let c = compare (as_float a) (as_float b) in
+      let c = Float.compare (as_float a) (as_float b) in
       bool_ (match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | _ -> c >= 0)
   | In, _, List l -> bool_ (List.exists (equal a) !l)
   | In, _, Dict d -> bool_ (V.assoc_opt a !d <> None)

@@ -1,0 +1,22 @@
+(** Pyth tokenizer: indentation-sensitive, emitting INDENT/DEDENT pairs
+    the way CPython's tokenizer does. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string  (** if elif else while for in def return import ... *)
+  | OP of string  (** + - * / % == != < <= > >= = ( ) [ ] { } , : . *)
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+exception Error of string * int
+(** Message and line number. *)
+
+val tokenize : string -> token list
+(** @raise Error on bad indentation or unterminated strings. *)
+
+val to_string : token -> string

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for Pyth over [Pyth_lexer] tokens. *)
+
+exception Error of string
+
+val parse : string -> Pyth_ast.program
+(** @raise Error on syntax errors, [Pyth_lexer.Error] on lexing errors. *)

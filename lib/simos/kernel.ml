@@ -151,10 +151,14 @@ let fork t ~parent =
   enter t;
   let child = t.next_pid in
   t.next_pid <- child + 1;
-  ignore (proc t parent);
-  ignore (proc t child);
+  let _ : process = proc t parent in
+  let _ : process = proc t child in
   (match t.pass with
-  | Some s -> ignore (Observer.fork s.observer ~parent ~child)
+  | Some s ->
+      let _ : (unit, Dpapi.error) result =
+        Observer.fork s.observer ~parent ~child
+      in
+      ()
   | None -> ());
   child
 
@@ -175,7 +179,11 @@ let exit t ~pid =
   let p = proc t pid in
   p.alive <- false;
   Hashtbl.reset p.fds;
-  (match t.pass with Some s -> ignore (Observer.exit s.observer ~pid) | None -> ());
+  (match t.pass with
+  | Some s ->
+      let _ : (unit, Dpapi.error) result = Observer.exit s.observer ~pid in
+      ()
+  | None -> ());
   Ok ()
 
 (* --- file I/O ------------------------------------------------------------ *)
@@ -255,7 +263,11 @@ let pipe t ~pid =
   t.next_pipe <- id + 1;
   Hashtbl.replace t.pipes id { pipe_id = id; buffer = [] };
   (match t.pass with
-  | Some s -> ignore (Observer.pipe_create s.observer ~pid ~pipe_id:id)
+  | Some s ->
+      let _ : (unit, Dpapi.error) result =
+        Observer.pipe_create s.observer ~pid ~pipe_id:id
+      in
+      ()
   | None -> ());
   id
 
@@ -297,7 +309,11 @@ let unlink t ~pid:_ ~path =
   (match (t.pass, Vfs.lookup_path m.m_ops rel) with
   | Some s, Ok ino -> (
       match file_handle_of m ino with
-      | Some h -> ignore (Observer.drop_inode s.observer ~file:h)
+      | Some h ->
+          let _ : (unit, Dpapi.error) result =
+            Observer.drop_inode s.observer ~file:h
+          in
+          ()
       | None -> ())
   | _ -> ());
   Vfs.remove_path m.m_ops rel

@@ -115,7 +115,7 @@ let summary_of_samples ~count ~sum ~mn ~mx samples =
   if count = 0 then empty_summary
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     { count; sum; min = mn; max = mx;
       p50 = percentile sorted 0.50;
       p95 = percentile sorted 0.95;
@@ -413,7 +413,7 @@ let histogram_summary t name =
 
 let snapshot t =
   let groups = grouped t in
-  let by_name cmp = List.sort (fun (a, _) (b, _) -> compare a b) cmp in
+  let by_name cmp = List.sort (fun (a, _) (b, _) -> String.compare a b) cmp in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter
     (fun (name, instruments) ->

@@ -48,6 +48,13 @@ let errno_of_string = function
 
 let pp_errno ppf e = Format.pp_print_string ppf (errno_to_string e)
 
+(* Volume-fatal conditions hit on paths that cannot return a [result]
+   (mounting a layer, allocating a fresh WAP log).  Typed so handlers can
+   match on the errno instead of parsing a failwith string. *)
+exception Fatal of string * errno
+
+let fatal what e = raise (Fatal (what, e))
+
 type ino = int
 type kind = Regular | Directory
 

@@ -27,6 +27,15 @@ val errno_of_string : string -> errno option
 
 val pp_errno : Format.formatter -> errno -> unit
 
+exception Fatal of string * errno
+(** A volume-fatal condition hit on a path that cannot return a result
+    (mounting a layer, allocating a fresh WAP log).  Carries the errno so
+    handlers and logs stay typed; the passlint [bare-failwith] rule bans
+    stringly [failwith] on the storage hot paths in favour of this. *)
+
+val fatal : string -> errno -> 'a
+(** [fatal what e] raises {!Fatal}. *)
+
 type ino = int
 type kind = Regular | Directory
 type stat = { st_ino : ino; st_kind : kind; st_size : int }

@@ -25,6 +25,12 @@ type node = {
   mutable kind : node_kind;
   mutable node_name : string option;
   mutable max_version : int;
+  mutable declared : bool;
+      (* true when some layer announced the object (a Map or Mkobj frame,
+         via set_file/declare_virtual); false for nodes that exist only
+         because an ancestry record referenced them.  pvcheck's
+         cross-layer pass keys on this: a referenced-but-never-declared
+         object is a dangling identity. *)
 }
 
 type quad = { q_pnode : Pnode.t; q_version : int; q_attr : string; q_value : Pvalue.t }
@@ -63,7 +69,7 @@ let node t pnode =
   match Hashtbl.find_opt t.nodes pnode with
   | Some n -> n
   | None ->
-      let n = { pnode; kind = Virtual; node_name = None; max_version = 0 } in
+      let n = { pnode; kind = Virtual; node_name = None; max_version = 0; declared = false } in
       Hashtbl.add t.nodes pnode n;
       t.db_bytes <- t.db_bytes + 24;
       n
@@ -71,6 +77,7 @@ let node t pnode =
 let set_file t pnode ~name =
   let n = node t pnode in
   n.kind <- File;
+  n.declared <- true;
   if name <> "" then begin
     (match n.node_name with
     | Some old when old <> name -> ()
@@ -81,7 +88,9 @@ let set_file t pnode ~name =
     t.db_bytes <- t.db_bytes + String.length name
   end
 
-let declare_virtual t pnode = ignore (node t pnode)
+let declare_virtual t pnode =
+  let n = node t pnode in
+  n.declared <- true
 
 let encoded_record_size record =
   let buf = Buffer.create 32 in
@@ -103,7 +112,7 @@ let add_record t pnode ~version (record : Record.t) =
   | Pvalue.Xref x when Record.is_ancestry record ->
       multi_add t.fwd (pnode, version) (record.attr, x);
       multi_add t.rev x.pnode (pnode, version, record.attr, x.version);
-      ignore (node t x.pnode);
+      let _ : node = node t x.pnode in
       t.index_bytes <- t.index_bytes + 40 (* fwd + rev entries *)
   | Pvalue.Str s when String.equal record.attr Record.Attr.name ->
       let n = node t pnode in
@@ -123,7 +132,14 @@ let quad_count t = t.quad_count
 let all_nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
 
 let find_by_name t name =
-  match Hashtbl.find_opt t.names name with Some l -> List.sort_uniq compare !l | None -> []
+  match Hashtbl.find_opt t.names name with
+  | Some l -> List.sort_uniq Pnode.compare !l
+  | None -> []
+
+(* Typed order on (pnode, version) keys — the attr index and pvcheck sort
+   with this instead of polymorphic compare. *)
+let compare_pv (p, v) (p', v') =
+  match Pnode.compare p p' with 0 -> Int.compare v v' | c -> c
 
 let name_of t pnode = Option.bind (find_node t pnode) (fun n -> n.node_name)
 
@@ -153,7 +169,7 @@ let in_edges t pnode =
 
 let with_attr t attr =
   match Hashtbl.find_opt t.attr_index attr with
-  | Some l -> List.sort_uniq compare !l
+  | Some l -> List.sort_uniq compare_pv !l
   | None -> []
 
 let attr_value t pnode ~version attr =
@@ -171,9 +187,14 @@ let total_bytes t = t.db_bytes + t.index_bytes
 let merge_into ~dst ~src =
   Hashtbl.iter
     (fun _ (n : node) ->
-      (match n.kind with
-      | File -> set_file dst n.pnode ~name:(Option.value n.node_name ~default:"")
-      | Virtual -> declare_virtual dst n.pnode);
+      (match (n.kind, n.declared) with
+      | File, _ -> set_file dst n.pnode ~name:(Option.value n.node_name ~default:"")
+      | Virtual, true -> declare_virtual dst n.pnode
+      | Virtual, false ->
+          (* an undeclared stub stays a stub: merging must not launder a
+             dangling reference into a declared identity *)
+          let _ : node = node dst n.pnode in
+          ());
       match n.node_name with
       | Some nm when n.kind = Virtual ->
           (* preserve names of virtual objects too *)
@@ -198,13 +219,17 @@ let merge_into ~dst ~src =
    are stable. *)
 let serialize t =
   let buf = Buffer.create 65536 in
-  Wire.put_string buf "PROVDB1";
+  Wire.put_string buf "PROVDB2";
   let nodes = List.sort (fun a b -> Pnode.compare a.pnode b.pnode) (all_nodes t) in
   Wire.put_u32 buf (List.length nodes);
   List.iter
     (fun n ->
       Wire.put_i64 buf (Pnode.to_int n.pnode);
-      Wire.put_u8 buf (match n.kind with File -> 1 | Virtual -> 0);
+      (* kind byte: 1 = file, 2 = declared virtual, 0 = undeclared stub *)
+      Wire.put_u8 buf (match (n.kind, n.declared) with
+        | File, _ -> 1
+        | Virtual, true -> 2
+        | Virtual, false -> 0);
       Wire.put_string buf (Option.value n.node_name ~default:"");
       Wire.put_i64 buf n.max_version)
     nodes;
@@ -225,7 +250,7 @@ let serialize t =
 
 let deserialize image =
   let pos = ref 0 in
-  if not (String.equal (Wire.get_string image pos) "PROVDB1") then
+  if not (String.equal (Wire.get_string image pos) "PROVDB2") then
     Wire.corrupt "provdb: bad magic";
   let t = create () in
   let n_nodes = Wire.get_u32 image pos in
@@ -234,7 +259,21 @@ let deserialize image =
     let kind = Wire.get_u8 image pos in
     let name = Wire.get_string image pos in
     let _maxv = Wire.get_i64 image pos in
-    if kind = 1 then set_file t pnode ~name else declare_virtual t pnode
+    (match kind with
+    | 1 -> set_file t pnode ~name
+    | 2 ->
+        declare_virtual t pnode;
+        (* virtual objects can carry names too (merge gives them one) *)
+        if name <> "" then begin
+          let n = node t pnode in
+          if n.node_name = None then begin
+            n.node_name <- Some name;
+            multi_add t.names name pnode
+          end
+        end
+    | _ ->
+        let _ : node = node t pnode in
+        ())
   done;
   let n_quads = Wire.get_u32 image pos in
   for _ = 1 to n_quads do

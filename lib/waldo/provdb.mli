@@ -16,6 +16,10 @@ type node = {
   mutable kind : node_kind;
   mutable node_name : string option;
   mutable max_version : int;
+  mutable declared : bool;
+      (** Whether some layer announced the object (a Map or Mkobj frame);
+          [false] for nodes that exist only because an ancestry record
+          referenced them.  The pvcheck cross-layer pass keys on this. *)
 }
 
 type quad = { q_pnode : Pnode.t; q_version : int; q_attr : string; q_value : Pvalue.t }
@@ -36,6 +40,9 @@ val find_node : t -> Pnode.t -> node option
 val node_count : t -> int
 val quad_count : t -> int
 val all_nodes : t -> node list
+
+val compare_pv : Pnode.t * int -> Pnode.t * int -> int
+(** Typed order on (pnode, version) keys (no polymorphic compare). *)
 
 val find_by_name : t -> string -> Pnode.t list
 val name_of : t -> Pnode.t -> string option

@@ -61,8 +61,8 @@ let diff db ~a ~b =
     {
       e_pnode = p;
       e_name = Provdb.name_of db p;
-      versions_a = List.sort_uniq compare va;
-      versions_b = List.sort_uniq compare vb;
+      versions_a = List.sort_uniq Int.compare va;
+      versions_b = List.sort_uniq Int.compare vb;
     }
   in
   let only_a = ref [] and only_b = ref [] and changed = ref [] and common = ref 0 in
@@ -77,7 +77,7 @@ let diff db ~a ~b =
   Hashtbl.iter
     (fun p vb -> if not (Hashtbl.mem ta p) then only_b := entry p [] !vb :: !only_b)
     tb;
-  let by_name e e' = compare e.e_name e'.e_name in
+  let by_name e e' = Option.compare String.compare e.e_name e'.e_name in
   {
     only_a = List.sort by_name !only_a;
     only_b = List.sort by_name !only_b;

@@ -123,6 +123,20 @@ let ingest_frame t = function
             (Record.make Record.Attr.data_md5 (Pvalue.Bytes d.d_md5))
       | None -> ())
 
+(* Offline replay: ingest a list of already-parsed frames through the same
+   production path `attach` uses.  pvcheck replays an unprocessed active
+   log through this so the checker cannot diverge from the ingester. *)
+let replay_frames t frames =
+  List.iter
+    (fun f ->
+      Telemetry.incr t.i.frames_ingested;
+      ingest_frame t f)
+    frames
+
+let pending_txns t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun id _ acc -> id :: acc) t.pending_txns [])
+
 let ( let* ) = Result.bind
 
 (* Process one closed log: read it, ingest every frame, remove the file. *)
@@ -146,7 +160,7 @@ let attach t lasagna =
   let dir =
     match Vfs.lookup_path t.lower "/.pass" with
     | Ok ino -> ino
-    | Error e -> failwith ("waldo: no .pass dir: " ^ Vfs.errno_to_string e)
+    | Error e -> Vfs.fatal "waldo: no .pass dir" e
   in
   Lasagna.on_log_closed lasagna (fun name _ino ->
       match process_log t ~dir ~name with
@@ -167,6 +181,15 @@ let load ?registry ~lower ~dir () =
   | db ->
       let t = create ?registry ~lower () in
       Provdb.merge_into ~dst:(t.db : Provdb.t) ~src:db;
+      (* Re-seed the ingest-side version map from the stored graph: the
+         latest frozen version of each object is its max attributed
+         version.  Without this, records arriving after a daemon restart
+         would be attributed to version 0. *)
+      List.iter
+        (fun (n : Provdb.node) ->
+          if n.max_version > 0 then
+            Hashtbl.replace t.ingest_version n.pnode n.max_version)
+        (Provdb.all_nodes t.db);
       Ok t
   | exception Wire.Corrupt _ -> Error Vfs.EIO
 

@@ -32,6 +32,15 @@ val attach : t -> Lasagna.t -> unit
 val process_log : t -> dir:Vfs.ino -> name:string -> (unit, Vfs.errno) result
 (** Ingest one closed log file and remove it. *)
 
+val replay_frames : t -> Wap_log.frame list -> unit
+(** Ingest already-parsed frames through the same path {!attach} uses —
+    offline fsck replays the unprocessed active log with this so the
+    checker cannot diverge from the ingester. *)
+
+val pending_txns : t -> int list
+(** Transaction ids buffered but not yet ENDTXN-committed, sorted.  After
+    a full replay these are the orphaned transactions. *)
+
 val persist : t -> dir:string -> (unit, Vfs.errno) result
 (** Write the database image to [dir/db.dat] on the lower file system. *)
 

@@ -138,12 +138,16 @@ let test_dedup_capacity_epoch () =
     ((Analyzer.stats an).duplicates_dropped > before)
 
 (* Drive both the analyzer and the PASSv1 global detector with the same
-   random stream of read/write events and verify both end acyclic. *)
+   random stream of read/write events and verify both end acyclic.  Uses
+   the workloads' seeded LCG so the stream is identical on every OCaml
+   version (Stdlib.Random changed algorithms in 5.0). *)
 let random_events n seed =
-  let st = Random.State.make [| seed |] in
+  let st = Wk.rng seed in
   List.init n (fun _ ->
-      let p = Random.State.int st 5 and f = Random.State.int st 5 in
-      (Random.State.bool st, p, f))
+      let is_read = Wk.rand st 2 = 1 in
+      let p = Wk.rand st 5 in
+      let f = Wk.rand st 5 in
+      (is_read, p, f))
 
 let prop_analyzer_acyclic =
   QCheck2.Test.make ~name:"analyzer: random workloads stay acyclic" ~count:60
@@ -162,11 +166,13 @@ let prop_analyzer_acyclic =
             (* process reads file *)
             ignore
               (Dpapi.disclose ep p
-                 [ Record.input_of f.pnode (Ctx.current_version ctx f.pnode) ])
+                 [ Record.input_of f.pnode (Ctx.current_version ctx f.pnode) ]
+                : (unit, Dpapi.error) result)
           else
             ignore
               (Dpapi.disclose ep f
-                 [ Record.input_of p.pnode (Ctx.current_version ctx p.pnode) ]))
+                 [ Record.input_of p.pnode (Ctx.current_version ctx p.pnode) ]
+                : (unit, Dpapi.error) result))
         (random_events n seed);
       (* Reconstruct record versions exactly the way Waldo does (FREEZE
          records advance the version), then DFS for cycles. *)

@@ -108,7 +108,10 @@ let postmark ~seed () =
             write path h 0 (Printf.sprintf "%s:%s" path body);
             if i mod 5 = 0 then write path h 1 (Printf.sprintf "%s:v2:%s" path body);
             (* reads exercise the path under faults; no assertions here *)
-            if i mod 3 = 0 then ignore (Client.pass_read r.client h ~off:0 ~len:8))
+            if i mod 3 = 0 then
+              ignore
+                (Client.pass_read r.client h ~off:0 ~len:8
+                  : (Dpapi.read_result, Dpapi.error) result))
   done;
   (* faults clear: the system must converge *)
   Fault.deactivate r.plan;
@@ -156,6 +159,10 @@ let postmark ~seed () =
     (fun path (h, _, n) ->
       check tint (path ^ " applied exactly once per ack") n (count_params db h.Dpapi.pnode))
     model;
+  (* the surviving graph passes offline verification *)
+  let vreport = Pvcheck.check_db ~volume:"nfs0" db in
+  if not (Pvcheck.clean vreport) then
+    Alcotest.failf "pvcheck after chaos run:@ %a" Pvcheck.pp_report vreport;
   check tbool "faults actually injected" true (tv r.registry "fault.injected.total" > 0);
   check tbool "client retried" true (tv r.registry "nfs.retries" > 0);
   check tbool "retransmissions replayed from the DRC" true (tv r.registry "nfs.drc.hits" > 0);
@@ -255,7 +262,7 @@ let test_backpressure_bounds_backlog () =
     ok_fs (Client.file_handle r.client ino)
   in
   let probe = rig ~spec:Fault.quiet ~seed () in
-  ignore (setup probe);
+  ignore (setup probe : Dpapi.handle);
   let setup_rpcs = (Client.stats probe.client).rpcs in
   (* phase 2: everything after setup hits a partition far longer than the
      retry budget *)
@@ -341,15 +348,17 @@ let corruption_case name spec_of_quiet =
     (ok
        (ep.Dpapi.pass_write h ~off:0
           ~data:(Some (String.make 4096 'a'))
-          [ Dpapi.entry h [ Record.name "victim" ] ]));
+          [ Dpapi.entry h [ Record.name "victim" ] ])
+      : int);
   (* the next write is silently damaged on the medium *)
   Disk.set_fault disk (Fault.plan ~registry ~spec:(spec_of_quiet Fault.quiet) ~seed:7 ());
   ignore
     (ep.Dpapi.pass_write h ~off:0
        ~data:(Some (String.make 4096 'b'))
-       [ Dpapi.entry h [ Record.name "victim" ] ]);
+       [ Dpapi.entry h [ Record.name "victim" ] ]
+      : (int, Dpapi.error) result);
   Disk.set_fault disk Fault.none;
-  ignore ext3;
+  ignore (ext3 : Ext3.t);
   (* a fresh mount, so recovery reads the damaged medium rather than the
      page cache; it must report the damage as an inconsistency, never raise *)
   let remounted = Ext3.mount disk in
@@ -381,7 +390,8 @@ let mini_run fault =
     ignore
       (ok
          (Client.pass_write client h ~off:0 ~data:(Some path)
-            [ Dpapi.entry h [ Record.name path ] ]))
+            [ Dpapi.entry h [ Record.name path ] ])
+        : int)
   done;
   Clock.now clock
 

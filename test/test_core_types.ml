@@ -34,7 +34,7 @@ let test_pnode_roundtrip () =
 
 let test_pnode_bad_machine () =
   Alcotest.check_raises "negative machine" (Invalid_argument "Pnode.allocator")
-    (fun () -> ignore (Pnode.allocator ~machine:(-1)))
+    (fun () -> ignore (Pnode.allocator ~machine:(-1) : Pnode.allocator))
 
 (* --- values -------------------------------------------------------------- *)
 
@@ -68,11 +68,11 @@ let test_value_truncated () =
   let s = Buffer.contents buf in
   let truncated = String.sub s 0 (String.length s - 3) in
   Alcotest.check_raises "truncated" (Pvalue.Corrupt "truncated string (11 bytes)")
-    (fun () -> ignore (Pvalue.decode truncated (ref 0)))
+    (fun () -> ignore (Pvalue.decode truncated (ref 0) : Pvalue.t))
 
 let test_value_bad_tag () =
   Alcotest.check_raises "bad tag" (Pvalue.Corrupt "bad value tag 99") (fun () ->
-      ignore (Pvalue.decode (String.make 4 (Char.chr 99)) (ref 0)))
+      ignore (Pvalue.decode (String.make 4 (Char.chr 99)) (ref 0) : Pvalue.t))
 
 (* --- records ------------------------------------------------------------- *)
 
@@ -198,10 +198,10 @@ let test_libpass_raises () =
     | exception Libpass.Pass_error _ -> ()
     | _ -> Alcotest.fail "expected Pass_error"
   in
-  expect_err (fun () -> ignore (Libpass.mkobj lp));
-  expect_err (fun () -> ignore (Libpass.reviveobj lp (Pnode.of_int 1) 0));
+  expect_err (fun () -> ignore (Libpass.mkobj lp : Dpapi.handle));
+  expect_err (fun () -> ignore (Libpass.reviveobj lp (Pnode.of_int 1) 0 : Dpapi.handle));
   expect_err (fun () ->
-      ignore (Libpass.read lp (Dpapi.handle (Pnode.of_int 1)) ~off:0 ~len:1))
+      ignore (Libpass.read lp (Dpapi.handle (Pnode.of_int 1)) ~off:0 ~len:1 : Dpapi.read_result))
 
 (* --- qcheck properties --------------------------------------------------- *)
 

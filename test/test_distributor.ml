@@ -86,7 +86,7 @@ let test_post_flush_records_forwarded () =
   let before = List.length (Helpers.all_records s) in
   Helpers.ok (Dpapi.disclose ep obj [ Record.name "late-arrival" ]);
   check tbool "late record forwarded" true (List.length (Helpers.all_records s) > before);
-  ignore ctx
+  ignore (ctx : Ctx.t)
 
 let test_revive_cached_object () =
   let _ctx, _s, _d, ep = setup () in

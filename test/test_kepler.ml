@@ -67,7 +67,9 @@ let test_outputs_deterministic_and_input_sensitive () =
     let io = Kepler_run.io_of_system sys ~pid in
     Challenge.prepare_inputs ~input_dir:"/vol0/in" ~tweak io;
     let wf = Challenge.workflow ~input_dir:"/vol0/in" ~output_dir:"/vol0/out" in
-    ignore (Kepler_run.run ~recording:Kepler_run.No_recording sys ~pid wf);
+    ignore
+      (Kepler_run.run ~recording:Kepler_run.No_recording sys ~pid wf
+        : Director.result);
     io.Actor.read_file "/vol0/out/atlas-x.gif"
   in
   check tbool "same inputs, same output" true (String.equal (run "") (run ""));
@@ -75,7 +77,8 @@ let test_outputs_deterministic_and_input_sensitive () =
 
 let test_text_recorder () =
   let sys, pid = setup () in
-  ignore (run_challenge sys pid (Kepler_run.Text_file "/vol0/kepler.log"));
+  ignore
+    (run_challenge sys pid (Kepler_run.Text_file "/vol0/kepler.log") : Director.result);
   let io = Kepler_run.io_of_system sys ~pid in
   let log = io.Actor.read_file "/vol0/kepler.log" in
   check tbool "operators logged" true
@@ -90,14 +93,14 @@ let test_relational_recorder () =
   let io = Kepler_run.io_of_system sys ~pid in
   Challenge.prepare_inputs ~input_dir:"/vol0/in" io;
   let wf = Challenge.workflow ~input_dir:"/vol0/in" ~output_dir:"/vol0/out" in
-  ignore (Director.run ~recorder wf io);
+  ignore (Director.run ~recorder wf io : Director.result);
   check tint "18 operator rows" 18 (List.length tables.Recorder.operators);
   check tbool "transfer rows" true (List.length tables.Recorder.transfers >= 14);
   check tbool "file events" true (List.length tables.Recorder.file_events >= 11)
 
 let test_dpapi_recorder_links_layers () =
   let sys, pid = setup () in
-  ignore (run_challenge sys pid Kepler_run.Dpapi);
+  ignore (run_challenge sys pid Kepler_run.Dpapi : Director.result);
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   check tbool "db acyclic" true (Provdb.is_acyclic db);
@@ -129,13 +132,13 @@ let test_anomaly_scenario () =
   let io = Kepler_run.io_of_system sys ~pid in
   Challenge.prepare_inputs ~input_dir:"/vol0/in" io;
   let wf = Challenge.workflow ~input_dir:"/vol0/in" ~output_dir:"/vol0/out" in
-  ignore (Kepler_run.run sys ~pid wf);
+  ignore (Kepler_run.run sys ~pid wf : Director.result);
   let first = io.Actor.read_file "/vol0/out/atlas-x.gif" in
   (* the colleague's silent modification, by another process *)
   let colleague = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
   let cio = Kepler_run.io_of_system sys ~pid:colleague in
   cio.Actor.write_file "/vol0/in/anatomy2.img" "anatomy-image-2-MODIFIED";
-  ignore (Kepler_run.run sys ~pid wf);
+  ignore (Kepler_run.run sys ~pid wf : Director.result);
   let second = io.Actor.read_file "/vol0/out/atlas-x.gif" in
   check tbool "outputs differ" false (String.equal first second);
   ignore (System.drain sys : int);

@@ -20,4 +20,5 @@ let () =
       ("props", Test_props.suite);
       ("provdiff", Test_provdiff.suite);
       ("telemetry", Test_telemetry.suite);
+      ("pvcheck", Test_pvcheck.suite);
     ]

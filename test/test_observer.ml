@@ -147,7 +147,8 @@ let test_event_counting () =
   let ctx, _s, obs = setup () in
   let f = Dpapi.handle ~volume:"v" (Ctx.fresh ctx) in
   Helpers.ok (Observer.fork obs ~parent:1 ~child:2);
-  ignore (Helpers.ok (Observer.read obs ~pid:2 ~file:f ~off:0 ~len:1));
+  ignore
+    (Helpers.ok (Observer.read obs ~pid:2 ~file:f ~off:0 ~len:1) : Dpapi.read_result);
   Helpers.ok (Observer.exit obs ~pid:2);
   check tint "events counted" 3 (Observer.stats obs).events
 

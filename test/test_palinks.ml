@@ -60,8 +60,8 @@ let drain_db sys =
 let test_download_records () =
   let sys, _pid, _web, browser = setup () in
   let s = Browser.new_session browser in
-  ignore (Browser.visit browser s (Web.site_url 0 0));
-  ignore (Browser.visit browser s (Web.site_url 0 1));
+  ignore (Browser.visit browser s (Web.site_url 0 0) : Web.resource);
+  ignore (Browser.visit browser s (Web.site_url 0 1) : Web.resource);
   let url = Web.download_url 0 "doc2.pdf" in
   let _final = Browser.download browser s ~url ~dest:"/vol0/downloads/doc2.pdf" in
   let db = drain_db sys in
@@ -94,9 +94,9 @@ let test_attribution_survives_rename () =
      loses the link, PASS keeps it *)
   let sys, pid, _web, browser = setup () in
   let s = Browser.new_session browser in
-  ignore (Browser.visit browser s (Web.site_url 1 0));
+  ignore (Browser.visit browser s (Web.site_url 1 0) : Web.resource);
   let url = Web.download_url 1 "doc0.pdf" in
-  ignore (Browser.download browser s ~url ~dest:"/vol0/downloads/graph.pdf");
+  ignore (Browser.download browser s ~url ~dest:"/vol0/downloads/graph.pdf" : string);
   (* move it into the presentation directory *)
   Helpers.ok_fs (Kernel.mkdir_p (System.kernel sys) ~path:"/vol0/talk");
   Helpers.ok_fs
@@ -119,8 +119,8 @@ let test_malware_scenario () =
   let codec_url = Web.download_url 2 "doc1.pdf" in
   Web.compromise web ~url:codec_url ~payload:"codec-with-malware";
   let s = Browser.new_session browser in
-  ignore (Browser.visit browser s (Web.site_url 2 0));
-  ignore (Browser.download browser s ~url:codec_url ~dest:"/vol0/bin/codec");
+  ignore (Browser.visit browser s (Web.site_url 2 0) : Web.resource);
+  ignore (Browser.download browser s ~url:codec_url ~dest:"/vol0/bin/codec" : string);
   (* Alice runs the codec; it corrupts files *)
   let k = System.kernel sys in
   let mal = Kernel.fork k ~parent:Kernel.init_pid in
@@ -152,9 +152,10 @@ let test_plain_browser_loses_provenance () =
   let browser = Browser.create ~web ~sys ~pid in
   check tbool "not provenance-aware on vanilla kernel" false (Browser.provenance_aware browser);
   let s = Browser.new_session browser in
-  ignore (Browser.visit browser s (Web.site_url 0 0));
+  ignore (Browser.visit browser s (Web.site_url 0 0) : Web.resource);
   ignore
-    (Browser.download browser s ~url:(Web.download_url 0 "doc0.pdf") ~dest:"/vol0/d.pdf");
+    (Browser.download browser s ~url:(Web.download_url 0 "doc0.pdf") ~dest:"/vol0/d.pdf"
+      : string);
   (* the data arrives, but nothing remembers where from *)
   let io = Kepler_run.io_of_system sys ~pid in
   check tbool "data written" true (String.length (io.Actor.read_file "/vol0/d.pdf") > 0)
@@ -164,7 +165,7 @@ let test_session_revival () =
      recording onto the same session object *)
   let sys, pid, web, browser = setup () in
   let s = Browser.new_session browser in
-  ignore (Browser.visit browser s (Web.site_url 0 0));
+  ignore (Browser.visit browser s (Web.site_url 0 0) : Web.resource);
   Browser.save_sessions browser ~path:"/vol0/.browser-state";
   (* "restart": a new browser instance on the same machine *)
   let browser2 = Browser.create ~web ~sys ~pid in
@@ -174,10 +175,11 @@ let test_session_revival () =
       check tbool "same pnode revived" true
         (Pnode.equal revived.Browser.handle.Dpapi.pnode s.Browser.handle.Dpapi.pnode);
       (* continue the session: download lands on the revived object *)
-      ignore (Browser.visit browser2 revived (Web.site_url 0 2));
+      ignore (Browser.visit browser2 revived (Web.site_url 0 2) : Web.resource);
       ignore
         (Browser.download browser2 revived ~url:(Web.download_url 0 "doc1.pdf")
-           ~dest:"/vol0/later.pdf");
+           ~dest:"/vol0/later.pdf"
+          : string);
       let db = drain_db sys in
       let names =
         Pql.names db

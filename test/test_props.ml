@@ -53,7 +53,9 @@ let gen_xml_tree =
   let attrs = list_size (int_bound 3) (pair attr_name text) in
   (* dedup attribute names: XML forbids duplicates, our printer would
      produce them *)
-  let attrs = map (fun l -> List.sort_uniq (fun (a, _) (b, _) -> compare a b) l) attrs in
+  let attrs =
+    map (fun l -> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) l) attrs
+  in
   fix
     (fun self depth ->
       if depth = 0 then
@@ -156,7 +158,9 @@ let prop_distributor_invariant =
               match (get a, get b) with
               | Some x, Some y when not (Pnode.equal x.Dpapi.pnode y.Dpapi.pnode) ->
                   (* y depends on x; if y is (or becomes) persisted, x is too *)
-                  ignore (Dpapi.disclose ep y [ Record.input_of x.Dpapi.pnode 0 ]);
+                  ignore
+                    (Dpapi.disclose ep y [ Record.input_of x.Dpapi.pnode 0 ]
+                      : (unit, Dpapi.error) result);
                   if Hashtbl.mem persisted_expected (Pnode.to_int y.Dpapi.pnode) then
                     Hashtbl.replace persisted_expected (Pnode.to_int x.Dpapi.pnode) ()
               | _ -> ())
@@ -166,7 +170,9 @@ let prop_distributor_invariant =
                   (* a persistent file depends on x: x and its cached
                      ancestry become persistent *)
                   let f = Dpapi.handle ~volume:"v" (Ctx.fresh ctx) in
-                  ignore (Dpapi.disclose ep f [ Record.input_of x.Dpapi.pnode 0 ]);
+                  ignore
+                    (Dpapi.disclose ep f [ Record.input_of x.Dpapi.pnode 0 ]
+                      : (unit, Dpapi.error) result);
                   (* mark x and transitively everything x's cached records
                      reference; approximate by marking x only and letting
                      Disclose propagate forward — the check below is
@@ -176,7 +182,7 @@ let prop_distributor_invariant =
           | Sync a -> (
               match get a with
               | Some x ->
-                  ignore (ep.pass_sync x);
+                  ignore (ep.pass_sync x : (unit, Dpapi.error) result);
                   Hashtbl.replace persisted_expected (Pnode.to_int x.Dpapi.pnode) ()
               | None -> ()))
         dops;

@@ -168,7 +168,7 @@ let test_file_io_via_kernel () =
 print(readfile("/vol0/note.txt"))
 |};
   check tstr "file io" "written by pyth\n" (Pyth.output s);
-  ignore sys
+  ignore (sys : System.t)
 
 let test_import_module_from_disk () =
   let sys, pid, s = fresh () in
@@ -322,7 +322,7 @@ let test_invocation_counts () =
   (match s.Pyth.wrappers with
   | Some w -> check tbool "invocations recorded" true (Provwrap.invocation_count w > 10)
   | None -> Alcotest.fail "wrappers expected");
-  ignore sys
+  ignore (sys : System.t)
 
 let suite =
   [

@@ -213,7 +213,7 @@ let test_pass_slower_than_vanilla () =
       write_file sys ~pid
         ~path:(Printf.sprintf "/vol0/d%d/f%d" (i mod 4) i)
         ~data:(Helpers.payload ~seed:i ~len:12_000);
-      ignore (read_file sys ~pid ~path:(Printf.sprintf "/vol0/d%d/f%d" (i mod 4) i))
+      ignore (read_file sys ~pid ~path:(Printf.sprintf "/vol0/d%d/f%d" (i mod 4) i) : string)
     done;
     System.elapsed_seconds sys
   in

@@ -255,7 +255,7 @@ let test_lasagna_wap_ordering () =
   | Error Dpapi.Ecrashed -> ()
   | Error e -> Alcotest.failf "unexpected error %s" (Dpapi.error_to_string e));
   Disk.revive disk;
-  ignore ext3;
+  ignore (ext3 : Ext3.t);
   let remounted = Ext3.mount disk in
   let report = Helpers.ok_fs (Recovery.scan (Ext3.ops remounted)) in
   check tbool "recovery found the in-flight write" true (List.length report.inconsistent >= 1);
@@ -275,7 +275,13 @@ let test_lasagna_recovery_clean () =
   let remounted = Ext3.mount disk in
   let report = Helpers.ok_fs (Recovery.scan (Ext3.ops remounted)) in
   check tint "nothing inconsistent" 0 (List.length report.inconsistent);
-  check tbool "frames were scanned" true (report.frames_ok > 0)
+  check tbool "frames were scanned" true (report.frames_ok > 0);
+  (* the same volume passes the offline graph verifier, replaying the
+     still-unconsumed WAP log through the production ingest path *)
+  let vreport = Helpers.ok_fs (Pvcheck.fsck ~lower:(Ext3.ops remounted) ~volume:"vol0" ()) in
+  check tbool "orphan-agreement ran" true (List.mem "orphan-agreement" vreport.Pvcheck.r_passes);
+  if not (Pvcheck.clean vreport) then
+    Alcotest.failf "pvcheck after clean recovery:@ %a" Pvcheck.pp_report vreport
 
 let test_lasagna_overwrite_recovery_clean () =
   (* regression: overwriting already-digested data in the same version

@@ -108,7 +108,7 @@ let test_json_roundtrip () =
   | _ -> Alcotest.fail "member lookup");
   (* parser rejects garbage *)
   check tbool "parse error raised" true
-    (try ignore (of_string "{\"a\":") ; false
+    (try ignore (of_string "{\"a\":" : t) ; false
      with Telemetry.Json.Parse_error _ -> true)
 
 let test_snapshot_shape () =

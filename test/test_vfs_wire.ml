@@ -99,7 +99,10 @@ let prop_ext3_matches_model =
       let _disk, fs = Helpers.fresh_ext3 () in
       let ops = Ext3.ops fs in
       (* pre-create the directories so rename targets always resolve *)
-      List.iter (fun d -> ignore (Vfs.mkdir_p ops (Printf.sprintf "/d%d" d))) [ 0; 1; 2 ];
+      List.iter
+        (fun d ->
+          ignore (Vfs.mkdir_p ops (Printf.sprintf "/d%d" d) : (Vfs.ino, Vfs.errno) result))
+        [ 0; 1; 2 ];
       let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
       let ok = ref true in
       List.iter

@@ -37,7 +37,7 @@ let test_ingestion_fidelity () =
   check tbool "content preserved" true
     (List.exists (fun (q : Provdb.quad) -> q.q_value = Pvalue.Str "the-widget") quads);
   check tint "stats count" 3 (Waldo.stats waldo).records_ingested;
-  ignore ctx
+  ignore (ctx : Ctx.t)
 
 let test_freeze_version_attribution () =
   let ctx, _ext3, lasagna, waldo = fresh () in
@@ -56,7 +56,7 @@ let test_freeze_version_attribution () =
     (List.exists (fun (q : Provdb.quad) -> q.q_attr = Record.Attr.freeze) v1);
   check tbool "post-freeze record at v1" true
     (List.exists (fun (q : Provdb.quad) -> q.q_value = Pvalue.Str "after") v1);
-  ignore ctx
+  ignore (ctx : Ctx.t)
 
 let test_logs_removed_after_processing () =
   let _ctx, ext3, lasagna, waldo = fresh () in
@@ -82,15 +82,18 @@ let test_txn_commit () =
   ignore
     (Helpers.ok
        (Lasagna.write_txn_bundle ~txn:7 lasagna h ~off:0 ~data:None
-          (chunk [ Record.make "PARAMS" (Pvalue.Str "one") ])));
+          (chunk [ Record.make "PARAMS" (Pvalue.Str "one") ]))
+      : int);
   ignore
     (Helpers.ok
        (Lasagna.write_txn_bundle ~txn:7 lasagna h ~off:0 ~data:None
-          (chunk [ Record.make "PARAMS" (Pvalue.Str "two") ])));
+          (chunk [ Record.make "PARAMS" (Pvalue.Str "two") ]))
+      : int);
   ignore
     (Helpers.ok
        (Lasagna.write_txn_bundle ~txn:7 lasagna h ~off:0 ~data:None
-          (chunk [ Record.make Record.Attr.endtxn (Pvalue.Int 7) ])));
+          (chunk [ Record.make Record.Attr.endtxn (Pvalue.Int 7) ]))
+      : int);
   let orphans = Waldo.finalize waldo lasagna in
   check tint "no orphans" 0 orphans;
   check tint "txn committed" 1 (Waldo.stats waldo).txns_committed;
@@ -106,7 +109,8 @@ let test_txn_orphan () =
   ignore
     (Helpers.ok
        (Lasagna.write_txn_bundle ~txn:9 lasagna h ~off:0 ~data:None
-          [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str "never") ] ]));
+          [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str "never") ] ])
+      : int);
   let orphans = Waldo.finalize waldo lasagna in
   check tint "one orphan" 1 orphans;
   let quads = Provdb.records_all (Waldo.db waldo) h.Dpapi.pnode in
@@ -122,7 +126,8 @@ let test_interleaved_txns () =
     ignore
       (Helpers.ok
          (Lasagna.write_txn_bundle ~txn lasagna h ~off:0 ~data:None
-            [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str tag) ] ]))
+            [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str tag) ] ])
+        : int)
   in
   send 1 "a1";
   send 2 "b1";
@@ -130,7 +135,8 @@ let test_interleaved_txns () =
   ignore
     (Helpers.ok
        (Lasagna.write_txn_bundle ~txn:1 lasagna h ~off:0 ~data:None
-          [ Dpapi.entry h [ Record.make Record.Attr.endtxn (Pvalue.Int 1) ] ]));
+          [ Dpapi.entry h [ Record.make Record.Attr.endtxn (Pvalue.Int 1) ] ])
+      : int);
   let orphans = Waldo.finalize waldo lasagna in
   check tint "txn 2 orphaned" 1 orphans;
   let quads = Provdb.records_all (Waldo.db waldo) h.Dpapi.pnode in
@@ -237,7 +243,7 @@ let test_opm_export () =
   (* the export is well-formed XML: parse it back *)
   let reparsed = Sxml.parse (Opm.to_string db) in
   check Alcotest.string "reparses" "opmGraph" reparsed.Sxml.tag;
-  ignore (in1, proc, out)
+  ignore (in1, proc, out : Pnode.t * Pnode.t * Pnode.t)
 
 let suite =
   [
