@@ -348,6 +348,88 @@ let fault_bench () =
   in
   (quiet_free, json)
 
+(* --- tracing: artifact + disabled-overhead gate ------------------------------ *)
+
+let trace_file = "TRACE_events.json"
+
+(* Run the scaled Postmark workload through the PA-NFS configuration with
+   tracing off and on.  Gates: the disabled tracer records nothing; the
+   enabled run finishes at the same simulated instant (recording charges
+   no simulated time); it records spans; every surviving parent resolves;
+   every panfs.server span parents onto a panfs.client span; and a second
+   identical run exports byte-identical Chrome JSON.  The enabled run's
+   flight recorder is written out as the trace artifact CI uploads. *)
+let trace_bench ~scale =
+  section "TRACE: pvtrace artifact + disabled-overhead gate";
+  let w =
+    List.find (fun w -> w.Runner.wl_name = "Postmark") (Runner.standard ~scale ())
+  in
+  let run tracer =
+    let sys, server = Runner.nfs_system ~tracer System.Pass in
+    w.Runner.run sys;
+    ignore (System.drain sys : int);
+    ignore (Server.drain server : int);
+    Simdisk.Clock.now (System.clock sys)
+  in
+  let off_ns = run Pvtrace.disabled in
+  let tracer = Pvtrace.create () in
+  let on_ns = run tracer in
+  let chrome = Pvtrace.to_chrome tracer in
+  let tracer2 = Pvtrace.create () in
+  let _ : int = run tracer2 in
+  let deterministic = String.equal chrome (Pvtrace.to_chrome tracer2) in
+  let spans = Pvtrace.spans tracer in
+  let by_id = Hashtbl.create 4096 in
+  List.iter (fun (sp : Pvtrace.span) -> Hashtbl.replace by_id sp.Pvtrace.sp_id sp) spans;
+  let parents_resolve =
+    List.for_all
+      (fun (sp : Pvtrace.span) ->
+        sp.Pvtrace.sp_parent = 0 || Hashtbl.mem by_id sp.Pvtrace.sp_parent)
+      spans
+  in
+  let server_parents_ok =
+    List.for_all
+      (fun (sp : Pvtrace.span) ->
+        sp.Pvtrace.sp_layer <> "panfs.server"
+        ||
+        match Hashtbl.find_opt by_id sp.Pvtrace.sp_parent with
+        | Some p -> String.equal p.Pvtrace.sp_layer "panfs.client"
+        | None -> false)
+      spans
+  in
+  let zero_overhead = off_ns = on_ns && Pvtrace.total Pvtrace.disabled = 0 in
+  let count = Pvtrace.total tracer in
+  let ok = zero_overhead && count > 0 && parents_resolve && server_parents_ok && deterministic in
+  let oc = open_out trace_file in
+  output_string oc chrome;
+  output_char oc '\n';
+  close_out oc;
+  let flag b = if b then "ok" else "FAILED" in
+  Printf.printf "  postmark via PA-NFS, tracing off vs on: %d ns vs %d ns  %s\n" off_ns on_ns
+    (if off_ns = on_ns then "(identical — recording charges no simulated time)"
+     else "MISMATCH");
+  Printf.printf "  spans recorded: %d (%d evicted by the ring)\n" count (Pvtrace.dropped tracer);
+  Printf.printf "  every surviving parent resolves: %s\n" (flag parents_resolve);
+  Printf.printf "  server spans parent onto client RPC spans: %s\n" (flag server_parents_ok);
+  Printf.printf "  byte-identical export across identical runs: %s\n" (flag deterministic);
+  Printf.printf "  wrote %s\n" trace_file;
+  let json =
+    J.Obj
+      [
+        ("workload", J.Str "Postmark");
+        ("off_ns", J.Int off_ns);
+        ("on_ns", J.Int on_ns);
+        ("zero_overhead", J.Bool zero_overhead);
+        ("spans", J.Int count);
+        ("dropped", J.Int (Pvtrace.dropped tracer));
+        ("parents_resolve", J.Bool parents_resolve);
+        ("server_parents_on_client", J.Bool server_parents_ok);
+        ("deterministic", J.Bool deterministic);
+        ("artifact", J.Str trace_file);
+      ]
+  in
+  (ok, json)
+
 (* --- Bechamel microbenchmarks ------------------------------------------------- *)
 
 let microbench () =
@@ -478,7 +560,7 @@ let self_check () =
 
 let results_file = "BENCH_results.json"
 
-let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~micro =
+let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~micro =
   let row_json (r : Runner.row) =
     J.Obj
       [
@@ -524,6 +606,7 @@ let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~micro
         ("workloads", J.List workloads);
         ("self_check", self_check);
         ("faults", faults);
+        ("trace", trace);
         ("telemetry", Telemetry.snapshot registry);
         ("micro", micro_json);
       ]
@@ -547,8 +630,9 @@ let () =
   ablation_wap ();
   ablation_nfs_txn ();
   let faults_ok, faults = fault_bench () in
+  let trace_ok, trace = trace_bench ~scale in
   let micro = microbench () in
   let check_ok, self_check = self_check () in
-  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~micro;
+  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~micro;
   Printf.printf "\ndone.\n";
-  if not (check_ok && faults_ok) then exit 1
+  if not (check_ok && faults_ok && trace_ok) then exit 1

@@ -7,7 +7,8 @@
      query  <pql>              run a PQL query against a canned challenge-workflow run
      workload <name> [--mode]  run one Table 2 workload and print timing/space stats
      recordtypes               print the Table 1 record-type registry
-     stats                     print a telemetry snapshot of a canned run as JSON
+     stats [--filter PREFIX]   print a telemetry snapshot of a canned run as JSON
+     trace <name> [--json]     run one workload traced and print the span recording
      recover [VOLUME] [--json]  crash a volume mid-write and print the recovery report *)
 
 module Record = Pass_core.Record
@@ -291,8 +292,10 @@ let opm_cmd =
 
 (* Run the canned challenge workflow against a fresh registry and print the
    full telemetry snapshot as JSON — every layer's named instruments plus
-   the DPAPI hot-path span histograms. *)
-let cmd_stats () =
+   the DPAPI hot-path span histograms.  [filter] restricts the snapshot to
+   instruments under a dotted-name prefix (see Telemetry.name_under); trace
+   shares the same prefix semantics for span names. *)
+let cmd_stats filter =
   let registry = Telemetry.create () in
   let sys =
     System.create ~registry ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] ()
@@ -305,13 +308,67 @@ let cmd_stats () =
        (Challenge.workflow ~input_dir:"/vol0/inputs" ~output_dir:"/vol0/results")
       : Director.result);
   ignore (System.drain sys : int);
-  print_endline (Telemetry.to_json registry)
+  print_endline (Telemetry.to_json ?filter registry)
+
+let filter_arg ~what =
+  Arg.(value & opt (some string) None
+       & info [ "filter" ] ~docv:"PREFIX"
+           ~doc:(Printf.sprintf
+                   "Keep only %s under this dotted-name prefix (e.g. \
+                    \"analyzer\" or \"panfs.client\")." what))
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run the canned challenge workflow and print its telemetry snapshot as JSON")
-    Term.(const cmd_stats $ const ())
+    Term.(const cmd_stats $ filter_arg ~what:"instruments")
+
+(* Run one workload under an enabled tracer and export the flight
+   recorder.  Local PASS configuration by default; --nfs swaps in the
+   PA-NFS client/server pair, whose server spans parent onto client RPC
+   spans across the simulated wire. *)
+let cmd_trace name nfs json filter =
+  let wls = Runner.standard () in
+  match List.find_opt (fun w -> String.lowercase_ascii w.Runner.wl_name = name) wls with
+  | None ->
+      Printf.eprintf "unknown workload %S; try: %s\n" name
+        (String.concat ", " (List.map (fun w -> String.lowercase_ascii w.Runner.wl_name) wls));
+      exit 1
+  | Some w ->
+      let tracer = Pvtrace.create () in
+      if nfs then begin
+        let sys, server = Runner.nfs_system ~tracer System.Pass in
+        w.Runner.run sys;
+        ignore (System.drain sys : int);
+        ignore (Server.drain server : int)
+      end
+      else begin
+        let sys = Runner.local_system ~tracer System.Pass in
+        w.Runner.run sys;
+        ignore (System.drain sys : int)
+      end;
+      if json then
+        print_endline (Telemetry.Json.to_string (Pvtrace.to_json ?filter tracer))
+      else print_endline (Pvtrace.to_chrome ?filter tracer)
+
+let trace_cmd =
+  let wl_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Workload name (linux compile, postmark, mercurial activity, blast, pa-kepler)")
+  in
+  let nfs =
+    Arg.(value & flag & info [ "nfs" ] ~doc:"Trace the PA-NFS configuration instead")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit pvtrace/v1 JSON instead of Chrome trace-event format")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one workload with tracing on and print the span flight recorder \
+             (Chrome trace-event JSON by default; load it in Perfetto)")
+    Term.(const cmd_trace $ wl_name $ nfs $ json $ filter_arg ~what:"spans")
 
 let recover_cmd =
   let volume =
@@ -346,4 +403,8 @@ let () =
     Cmd.info "passctl" ~version:"1.0"
       ~doc:"PASSv2 reproduction: layered provenance collection and query"
   in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd; fsck_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; trace_cmd;
+            diff_cmd; export_cmd; opm_cmd; recover_cmd; fsck_cmd ]))

@@ -63,6 +63,7 @@ type t = {
   i : instruments;
   charge : int -> unit; (* simulated CPU nanoseconds per unit of work *)
   dedup_enabled : bool;
+  tracer : Pvtrace.t;
 }
 
 (* Rough CPU costs, in simulated nanoseconds, charged per record examined
@@ -71,9 +72,9 @@ let cost_per_record = 180
 let cost_per_freeze = 450
 
 let create ?registry ?(charge = fun _ -> ()) ?(dedup = true) ?(dedup_capacity = 1 lsl 18)
-    ~ctx ~lower () =
+    ?(tracer = Pvtrace.disabled) ~ctx ~lower () =
   { ctx; lower; seen = Hashtbl.create 4096; dedup_capacity; i = instruments registry; charge;
-    dedup_enabled = dedup }
+    dedup_enabled = dedup; tracer }
 
 let stats t : stats =
   let v = Telemetry.value in
@@ -116,6 +117,8 @@ let do_freeze t (target : Dpapi.handle) =
   let old_version = Ctx.current_version t.ctx target.pnode in
   let new_version = Ctx.freeze t.ctx target.pnode in
   Telemetry.incr t.i.freezes;
+  Pvtrace.event t.tracer ~layer:"analyzer" ~op:"freeze"
+    ~pnode:(Pnode.to_int target.pnode) ~outcome:"cycle_broken" ();
   t.charge cost_per_freeze;
   let records = freeze_records old_version new_version target in
   List.iter (remember t target.pnode new_version) records;
@@ -149,6 +152,8 @@ let process_entry t (e : Dpapi.bundle_entry) =
                freezing the source (this is what keeps a long-lived
                process cheap as it reads files younger than itself) *)
             Telemetry.incr t.i.adoptions;
+            Pvtrace.event t.tracer ~layer:"analyzer" ~op:"adopt"
+              ~pnode:(Pnode.to_int y) ~outcome:"adopted" ();
             Ctx.lower_birth t.ctx y ~version:vy ~below:birth_x
           end
           else begin
@@ -158,8 +163,11 @@ let process_entry t (e : Dpapi.bundle_entry) =
         Ctx.mark_out t.ctx x ~version:(Ctx.current_version t.ctx x)
     | Some _ | None -> ());
     let version = Ctx.current_version t.ctx target.pnode in
-    if t.dedup_enabled && duplicate t target.pnode version record then
-      Telemetry.incr t.i.duplicates_dropped
+    if t.dedup_enabled && duplicate t target.pnode version record then begin
+      Telemetry.incr t.i.duplicates_dropped;
+      Pvtrace.event t.tracer ~layer:"analyzer" ~op:"dedup"
+        ~pnode:(Pnode.to_int target.pnode) ~outcome:"deduped" ()
+    end
     else begin
       remember t target.pnode version record;
       out := record :: !out
@@ -175,6 +183,7 @@ let pass_write t handle ~off ~data bundle =
   match (data, bundle') with
   | None, [] ->
       Telemetry.incr t.i.writes_elided;
+      Pvtrace.set_outcome t.tracer "elided";
       Ok (Ctx.current_version t.ctx handle.Dpapi.pnode)
   | _ -> t.lower.pass_write handle ~off ~data bundle'
 

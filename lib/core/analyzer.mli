@@ -26,6 +26,7 @@ val create :
   ?charge:(int -> unit) ->
   ?dedup:bool ->
   ?dedup_capacity:int ->
+  ?tracer:Pvtrace.t ->
   ctx:Ctx.t ->
   lower:Dpapi.endpoint ->
   unit ->
@@ -36,7 +37,9 @@ val create :
     work is performed; [dedup] (default true) can be disabled for the
     ablation benchmark; [dedup_capacity] bounds the duplicate-detection
     table (epoch reset when full — duplicates may then be re-admitted,
-    first occurrences are never lost). *)
+    first occurrences are never lost); [tracer] (default
+    {!Pvtrace.disabled}) records deduped / cycle-broken / adopted events
+    and marks fully-absorbed writes "elided". *)
 
 val endpoint : t -> Dpapi.endpoint
 (** The DPAPI face of this analyzer, to be handed to the layer above. *)

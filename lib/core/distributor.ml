@@ -35,15 +35,17 @@ type t = {
   lower : Dpapi.endpoint;
   default_volume : string;
   cache : (Pnode.t, ventry) Hashtbl.t;
+  tracer : Pvtrace.t;
   i : instruments;
 }
 
-let create ?registry ~ctx ~lower ~default_volume () =
+let create ?registry ?(tracer = Pvtrace.disabled) ~ctx ~lower ~default_volume () =
   {
     ctx;
     lower;
     default_volume;
     cache = Hashtbl.create 256;
+    tracer;
     i =
       {
         cached_records = Telemetry.counter ?registry "distributor.cached_records";
@@ -82,6 +84,10 @@ let rec flush t pnode volume =
       v.records <- [];
       Telemetry.incr t.i.flushes;
       Telemetry.add t.i.flushed_records (List.length records);
+      Pvtrace.span t.tracer ~layer:"distributor" ~op:"flush"
+        ~pnode:(Pnode.to_int pnode)
+      @@ fun () ->
+      Pvtrace.set_outcome t.tracer "flushed";
       let handle = Dpapi.handle ~volume pnode in
       let* _version =
         t.lower.pass_write handle ~off:0 ~data:None [ Dpapi.entry handle records ]
@@ -107,6 +113,8 @@ let route_entry t volume_of_write (e : Dpapi.bundle_entry) =
       (* still virtual: cache, and remember references among virtuals *)
       v.records <- List.rev_append e.records v.records;
       Telemetry.add t.i.cached_records (List.length e.records);
+      Pvtrace.event t.tracer ~layer:"distributor" ~op:"absorb"
+        ~pnode:(Pnode.to_int pnode) ~outcome:"cached" ();
       Ok None
   | None, Some v ->
       (* previously anchored: forward to its assigned volume *)
@@ -120,6 +128,8 @@ let route_entry t volume_of_write (e : Dpapi.bundle_entry) =
       let v = { records = List.rev e.records; hint = None; assigned = None } in
       Hashtbl.replace t.cache pnode v;
       Telemetry.add t.i.cached_records (List.length e.records);
+      Pvtrace.event t.tracer ~layer:"distributor" ~op:"absorb"
+        ~pnode:(Pnode.to_int pnode) ~outcome:"cached" ();
       Ok None
   | Some volume, _ ->
       let* () = flush_ancestors_of t e.records (Option.value volume_of_write ~default:volume) in

@@ -17,11 +17,14 @@ type stats = {
 
 val create :
   ?registry:Telemetry.registry ->
+  ?tracer:Pvtrace.t ->
   ctx:Ctx.t -> lower:Dpapi.endpoint -> default_volume:string -> unit -> t
 (** [create ~ctx ~lower ~default_volume ()] builds a distributor stage.
     [default_volume] receives the provenance of [pass_sync]ed objects that
     were created without a volume hint; [registry] receives the
-    [distributor.*] instruments (default {!Telemetry.default}). *)
+    [distributor.*] instruments (default {!Telemetry.default}); [tracer]
+    (default {!Pvtrace.disabled}) records "cached" absorb events and
+    "flushed" flush spans. *)
 
 val endpoint : t -> Dpapi.endpoint
 

@@ -77,6 +77,46 @@ let disclose ep target records =
   let* _version = ep.pass_write target ~off:0 ~data:None [ entry target records ] in
   Ok ()
 
+(* Trace instrumentation: wrap an endpoint so each of the six operations
+   runs inside a pvtrace span named "<layer>.<op>".  Errors become the
+   span outcome (lowercased errno).  Identity when the tracer is
+   disabled, so uninstrumented assemblies pay nothing. *)
+let traced ~tracer ~layer ep =
+  if not (Pvtrace.enabled tracer) then ep
+  else begin
+    let outcome r =
+      (match r with
+      | Ok _ -> ()
+      | Error e ->
+          Pvtrace.set_outcome tracer
+            (String.lowercase_ascii (error_to_string e)));
+      r
+    in
+    let wrap op ?(pnode = 0) f =
+      Pvtrace.span tracer ~layer ~op ~pnode (fun () -> outcome (f ()))
+    in
+    let pn h = Pnode.to_int h.pnode in
+    {
+      pass_read =
+        (fun h ~off ~len ->
+          wrap "pass_read" ~pnode:(pn h) (fun () -> ep.pass_read h ~off ~len));
+      pass_write =
+        (fun h ~off ~data bundle ->
+          wrap "pass_write" ~pnode:(pn h) (fun () ->
+              ep.pass_write h ~off ~data bundle));
+      pass_freeze =
+        (fun h -> wrap "pass_freeze" ~pnode:(pn h) (fun () -> ep.pass_freeze h));
+      pass_mkobj =
+        (fun ~volume -> wrap "pass_mkobj" (fun () -> ep.pass_mkobj ~volume));
+      pass_reviveobj =
+        (fun pnode version ->
+          wrap "pass_reviveobj" ~pnode:(Pnode.to_int pnode) (fun () ->
+              ep.pass_reviveobj pnode version));
+      pass_sync =
+        (fun h -> wrap "pass_sync" ~pnode:(pn h) (fun () -> ep.pass_sync h));
+    }
+  end
+
 (* Wire form of bundles, shared by the WAP log and PA-NFS. *)
 let encode_entry buf { target; records } =
   Buffer.add_int64_le buf (Int64.of_int (Pnode.to_int target.pnode));

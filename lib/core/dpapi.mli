@@ -55,6 +55,12 @@ type endpoint = {
 val disclose : endpoint -> handle -> Record.t list -> (unit, error) result
 (** [disclose ep target records] sends a provenance-only [pass_write]. *)
 
+val traced : tracer:Pvtrace.t -> layer:string -> endpoint -> endpoint
+(** [traced ~tracer ~layer ep] wraps each of the six operations in a
+    pvtrace span named ["<layer>.<op>"] carrying the subject pnode; an
+    [Error e] sets the span outcome to the lowercased errno.  Returns
+    [ep] unchanged when [tracer] is disabled. *)
+
 val encode_bundle : Buffer.t -> bundle -> unit
 val decode_bundle : string -> int ref -> bundle
 

@@ -30,11 +30,12 @@ type t = {
   lower : Dpapi.endpoint; (* the analyzer *)
   procs : (int, proc) Hashtbl.t; (* pid -> process object *)
   pipes : (int, Dpapi.handle) Hashtbl.t; (* pipe id -> pipe object *)
+  tracer : Pvtrace.t;
   i : instruments;
 }
 
-let create ?registry ~ctx ~lower () =
-  { ctx; lower; procs = Hashtbl.create 64; pipes = Hashtbl.create 16;
+let create ?registry ?(tracer = Pvtrace.disabled) ~ctx ~lower () =
+  { ctx; lower; procs = Hashtbl.create 64; pipes = Hashtbl.create 16; tracer;
     i = { events = Telemetry.counter ?registry "observer.events";
           records_emitted = Telemetry.counter ?registry "observer.records_emitted" } }
 
@@ -45,6 +46,8 @@ let ( let* ) = Result.bind
 
 let emit t target records =
   Telemetry.add t.i.records_emitted (List.length records);
+  Pvtrace.event t.tracer ~layer:"observer" ~op:"emit"
+    ~pnode:(Pnode.to_int target.Dpapi.pnode) ~outcome:"emitted" ();
   Dpapi.disclose t.lower target records
 
 let proc_state t pid =
@@ -125,6 +128,8 @@ let write t ~pid ~file ~off ~data =
   Telemetry.incr t.i.events;
   let record = Record.input (proc_xref t pid) in
   Telemetry.incr t.i.records_emitted;
+  Pvtrace.event t.tracer ~layer:"observer" ~op:"emit"
+    ~pnode:(Pnode.to_int file.Dpapi.pnode) ~outcome:"emitted" ();
   t.lower.pass_write file ~off ~data:(Some data) [ Dpapi.entry file [ record ] ]
 
 let mmap t ~pid ~file ~writable =

@@ -10,10 +10,18 @@ type t
 
 type stats = { mutable events : int; mutable records_emitted : int }
 
-val create : ?registry:Telemetry.registry -> ctx:Ctx.t -> lower:Dpapi.endpoint -> unit -> t
+val create :
+  ?registry:Telemetry.registry ->
+  ?tracer:Pvtrace.t ->
+  ctx:Ctx.t ->
+  lower:Dpapi.endpoint ->
+  unit ->
+  t
 (** [create ~ctx ~lower ()] builds an observer whose lower layer is
     normally the analyzer.  [registry] receives the [observer.*]
-    instruments (default {!Telemetry.default}). *)
+    instruments (default {!Telemetry.default}); [tracer] (default
+    {!Pvtrace.disabled}) records an "observer.emit" event per disclosed
+    record batch. *)
 
 val stats : t -> stats
 (** A point-in-time view over the [observer.*] telemetry instruments. *)

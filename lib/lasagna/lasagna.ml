@@ -44,6 +44,7 @@ type t = {
   ctx : Ctx.t;
   volume : string;
   charge : int -> unit;
+  tracer : Pvtrace.t;
   log_max : int;
   idle_ns : int; (* dormancy threshold for closing the active log *)
   now : unit -> int; (* the machine clock, for dormancy *)
@@ -126,7 +127,7 @@ let fresh_log t =
   | Error e -> Vfs.fatal "lasagna: cannot create log" e
 
 let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fun () -> 0)
-    ~lower ~ctx ~volume ~charge () =
+    ?(tracer = Pvtrace.disabled) ~lower ~ctx ~volume ~charge () =
   let pass_dir =
     match Vfs.mkdir_p lower ("/" ^ pass_dirname) with
     | Ok ino -> ino
@@ -134,7 +135,7 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
   in
   let t =
     {
-      lower; ctx; volume; charge; log_max; idle_ns; now; last_append_ns = 0; pass_dir;
+      lower; ctx; volume; charge; tracer; log_max; idle_ns; now; last_append_ns = 0; pass_dir;
       log_seq = 0; log_ino = -1; log_off = 0; listeners = [];
       by_pnode = Hashtbl.create 1024;
       by_ino = Hashtbl.create 1024;
@@ -161,6 +162,7 @@ let rotate_log t =
   let closed_ino = t.log_ino in
   t.log_seq <- t.log_seq + 1;
   Telemetry.incr t.i.rotations;
+  Pvtrace.event t.tracer ~layer:"lasagna" ~op:"log_rotate" ~outcome:"flushed" ();
   fresh_log t;
   List.iter (fun f -> f closed closed_ino) t.listeners
 

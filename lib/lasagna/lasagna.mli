@@ -20,6 +20,7 @@ val create :
   ?log_max:int ->
   ?idle_ns:int ->
   ?now:(unit -> int) ->
+  ?tracer:Pvtrace.t ->
   lower:Vfs.ops ->
   ctx:Pass_core.Ctx.t ->
   volume:string ->

@@ -87,6 +87,7 @@ type t = {
   mount_name : string; (* volume name on the client *)
   pnode_cache : (Vfs.ino, Pnode.t) Hashtbl.t;
   pending_freezes : (Pnode.t, Record.t list) Hashtbl.t;
+  tracer : Pvtrace.t;
   i : instruments;
   client_id : int;
   mutable seq : int;
@@ -97,11 +98,13 @@ type t = {
   mutable prov_pending : prov_buf option;
 }
 
-let create ?registry ?(wb_high_water = 64) ~net ~handler ~ctx ~mount_name () =
+let create ?registry ?(wb_high_water = 64) ?(tracer = Pvtrace.disabled)
+    ~net ~handler ~ctx ~mount_name () =
   {
     net; handler; ctx; mount_name;
     pnode_cache = Hashtbl.create 256;
     pending_freezes = Hashtbl.create 16;
+    tracer;
     i = instruments registry;
     client_id = Proto.fresh_client net;
     seq = 0;
@@ -144,9 +147,18 @@ let call_opt t req =
     Telemetry.with_span t.i.rpc_latency
       ~now:(fun () -> Simdisk.Clock.now t.net.Proto.clock)
       (fun () ->
+        Pvtrace.span t.tracer ~layer:"panfs.client" ~op:(Proto.req_name req)
+        @@ fun () ->
         let seq = t.seq in
         t.seq <- seq + 1;
-        let c = { Proto.c_client = t.client_id; c_seq = seq; c_req = req } in
+        (* The RPC span is the wire context.  The envelope — context
+           included — is built once per logical call, so every
+           retransmission carries the same trace and span ids, and the
+           server parents the retried work onto the original span. *)
+        let c_trace, c_span =
+          match Pvtrace.current t.tracer with Some c -> c | None -> (0, 0)
+        in
+        let c = { Proto.c_client = t.client_id; c_seq = seq; c_trace; c_span; c_req = req } in
         let rec attempt n backoff =
           match Proto.rpc t.net t.handler c with
           | Ok resp -> Some resp
@@ -158,7 +170,11 @@ let call_opt t req =
                 attempt (n + 1) (min (2 * backoff) backoff_cap_ns)
               end
         in
-        attempt 0 initial_backoff_ns)
+        match attempt 0 initial_backoff_ns with
+        | Some _ as r -> r
+        | None ->
+            Pvtrace.set_outcome t.tracer "unreachable";
+            None)
   end
 
 let call t req =

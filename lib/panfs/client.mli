@@ -28,6 +28,7 @@ type stats = {
 val create :
   ?registry:Telemetry.registry ->
   ?wb_high_water:int ->
+  ?tracer:Pvtrace.t ->
   net:Proto.net ->
   handler:(Proto.call -> Proto.resp) ->
   ctx:Ctx.t ->

@@ -236,19 +236,57 @@ let resp_size resp =
 (* The call envelope: client id + per-client sequence number, the key of
    the server's duplicate-request cache.  A retransmission reuses the
    sequence number so the server replays its cached reply instead of
-   re-executing the operation. *)
-type call = { c_client : int; c_seq : int; c_req : req }
+   re-executing the operation.
+
+   The envelope also carries the client's pvtrace context (both ids 0
+   when the client is untraced): the server parents its spans onto
+   [c_span] within [c_trace].  The envelope is built once per logical
+   call, so retransmissions and duplicate deliveries reuse the original
+   context just as they reuse the sequence number. *)
+type call = {
+  c_client : int;
+  c_seq : int;
+  c_trace : int;
+  c_span : int;
+  c_req : req;
+}
 
 let encode_call buf c =
   Wire.put_i64 buf c.c_client;
   Wire.put_i64 buf c.c_seq;
+  Wire.put_i64 buf c.c_trace;
+  Wire.put_i64 buf c.c_span;
   encode_req buf c.c_req
 
 let decode_call s pos =
   let c_client = Wire.get_i64 s pos in
   let c_seq = Wire.get_i64 s pos in
+  let c_trace = Wire.get_i64 s pos in
+  let c_span = Wire.get_i64 s pos in
   let c_req = decode_req s pos in
-  { c_client; c_seq; c_req }
+  { c_client; c_seq; c_trace; c_span; c_req }
+
+(* Span-name component for an RPC request, used by client and server
+   tracing ("panfs.client"/"rpc.write", "panfs.server"/"rpc.write"). *)
+let req_name = function
+  | Lookup _ -> "rpc.lookup"
+  | Create _ -> "rpc.create"
+  | Remove _ -> "rpc.remove"
+  | Rename _ -> "rpc.rename"
+  | Getattr _ -> "rpc.getattr"
+  | Readdir _ -> "rpc.readdir"
+  | Read _ -> "rpc.read"
+  | Write _ -> "rpc.write"
+  | Truncate _ -> "rpc.truncate"
+  | Commit _ -> "rpc.commit"
+  | Op_passread _ -> "rpc.passread"
+  | Op_passwrite _ -> "rpc.passwrite"
+  | Op_begintxn -> "rpc.begintxn"
+  | Op_passprov _ -> "rpc.passprov"
+  | Op_passmkobj -> "rpc.passmkobj"
+  | Op_passreviveobj _ -> "rpc.passreviveobj"
+  | Op_passsync _ -> "rpc.passsync"
+  | Op_pnode _ -> "rpc.pnode"
 
 (* The simulated network: a synchronous RPC charges one round trip of
    latency plus transfer at the link rate to the shared clock.  A fault

@@ -68,12 +68,25 @@ val resp_size : resp -> int
 
     Client id + per-client sequence number: the key of the server's
     NFSv4-style duplicate-request cache.  Retransmissions reuse the
-    sequence number so the server replays rather than re-executes. *)
+    sequence number so the server replays rather than re-executes.  The
+    envelope also propagates the client's pvtrace context ([c_trace],
+    [c_span], both 0 when untraced) so server-side spans parent onto the
+    originating client RPC span; being part of the one-per-logical-call
+    envelope, the context survives retries and duplicate deliveries. *)
 
-type call = { c_client : int; c_seq : int; c_req : req }
+type call = {
+  c_client : int;
+  c_seq : int;
+  c_trace : int;
+  c_span : int;
+  c_req : req;
+}
 
 val encode_call : Buffer.t -> call -> unit
 val decode_call : string -> int ref -> call
+
+val req_name : req -> string
+(** Span-name component for tracing: "rpc.lookup", "rpc.passwrite", ... *)
 
 type net = {
   clock : Simdisk.Clock.t;

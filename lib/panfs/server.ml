@@ -51,6 +51,7 @@ type t = {
   waldo : Waldo.t option;
   ctx : Ctx.t;
   volume : string;
+  tracer : Pvtrace.t;
   i : instruments;
   mutable next_txn : int;
   mutable open_txns : int list;
@@ -63,7 +64,8 @@ type t = {
   drc_capacity : int;
 }
 
-let create ?registry ?fault ~mode ~clock ~machine ~volume () =
+let create ?registry ?fault ?(tracer = Pvtrace.disabled) ~mode ~clock ~machine ~volume () =
+  Pvtrace.set_now tracer (fun () -> Clock.now clock);
   let i = instruments registry in
   let disk = Disk.create ?registry ?fault ~clock () in
   let ext3 = Ext3.format disk in
@@ -72,24 +74,24 @@ let create ?registry ?fault ~mode ~clock ~machine ~volume () =
   | Plain ->
       {
         mode; clock; disk; ext3; export = Ext3.ops ext3; lasagna = None;
-        analyzer = None; waldo = None; ctx; volume; i; next_txn = 1; open_txns = [];
+        analyzer = None; waldo = None; ctx; volume; tracer; i; next_txn = 1; open_txns = [];
         drc = Hashtbl.create 1024; drc_order = Queue.create (); drc_capacity = 512;
       }
   | Pass_enabled ->
       Ext3.set_cache_capacity ext3 2048;
       let lasagna =
-        Lasagna.create ?registry ~now:(fun () -> Clock.now clock) ~lower:(Ext3.ops ext3) ~ctx
-          ~volume ~charge:(Clock.advance clock) ()
+        Lasagna.create ?registry ~now:(fun () -> Clock.now clock) ~tracer
+          ~lower:(Ext3.ops ext3) ~ctx ~volume ~charge:(Clock.advance clock) ()
       in
       let analyzer =
-        Analyzer.create ?registry ~charge:(Clock.advance clock) ~ctx
-          ~lower:(Lasagna.endpoint lasagna) ()
+        Analyzer.create ?registry ~charge:(Clock.advance clock) ~tracer ~ctx
+          ~lower:(Dpapi.traced ~tracer ~layer:"lasagna" (Lasagna.endpoint lasagna)) ()
       in
-      let waldo = Waldo.create ?registry ~lower:(Ext3.ops ext3) () in
+      let waldo = Waldo.create ?registry ~tracer ~lower:(Ext3.ops ext3) () in
       Waldo.attach waldo lasagna;
       {
         mode; clock; disk; ext3; export = Lasagna.ops lasagna; lasagna = Some lasagna;
-        analyzer = Some analyzer; waldo = Some waldo; ctx; volume; i; next_txn = 1;
+        analyzer = Some analyzer; waldo = Some waldo; ctx; volume; tracer; i; next_txn = 1;
         open_txns = [];
         drc = Hashtbl.create 1024; drc_order = Queue.create (); drc_capacity = 512;
       }
@@ -203,7 +205,11 @@ let handle_req t (req : Proto.req) : Proto.resp =
               | Ok v -> R_version v
               | Error e -> dpapi_err e)
           | None -> (
-              match (Analyzer.endpoint an).pass_write h ~off ~data bundle with
+              let ep =
+                Dpapi.traced ~tracer:t.tracer ~layer:"analyzer"
+                  (Analyzer.endpoint an)
+              in
+              match ep.pass_write h ~off ~data bundle with
               | Ok v -> R_version v
               | Error e -> dpapi_err e)))
       | _ -> err Vfs.EINVAL)
@@ -266,10 +272,19 @@ let handle_req t (req : Proto.req) : Proto.resp =
           | Error e -> err e))
 
 let handle t (c : Proto.call) : Proto.resp =
+  (* Adopt the wire-carried context: every span below — including the
+     whole server-side analyzer/Lasagna chain — parents onto the client
+     RPC span that caused it, across retries and duplicate deliveries
+     (the envelope, context included, is byte-identical on replay). *)
+  Pvtrace.with_remote_parent t.tracer ~trace:c.Proto.c_trace ~span:c.Proto.c_span
+  @@ fun () ->
+  Pvtrace.span t.tracer ~layer:"panfs.server" ~op:(Proto.req_name c.Proto.c_req)
+  @@ fun () ->
   let key = (c.Proto.c_client, c.Proto.c_seq) in
   match Hashtbl.find_opt t.drc key with
   | Some resp ->
       Telemetry.incr t.i.drc_hits;
+      Pvtrace.set_outcome t.tracer "cached";
       resp
   | None ->
       Telemetry.incr t.i.drc_misses;

@@ -18,6 +18,7 @@ type t
 val create :
   ?registry:Telemetry.registry ->
   ?fault:Fault.plan ->
+  ?tracer:Pvtrace.t ->
   mode:mode ->
   clock:Clock.t ->
   machine:int ->

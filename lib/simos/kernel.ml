@@ -64,13 +64,14 @@ type t = {
   mutable next_pipe : int;
   mutable pass : pass_stack option;
   mutable syscall_count : int;
+  tracer : Pvtrace.t;
 }
 
 (* CPU cost knobs (simulated ns). *)
 let syscall_base_ns = 400
 let intercept_ns = 250
 
-let create ~clock ~machine () =
+let create ?(tracer = Pvtrace.disabled) ~clock ~machine () =
   {
     clock;
     ctx = Ctx.create ~machine;
@@ -81,7 +82,13 @@ let create ~clock ~machine () =
     next_pipe = 1;
     pass = None;
     syscall_count = 0;
+    tracer;
   }
+
+(* Every system call runs inside a root span: the trace minted here is the
+   causal context every downstream DPAPI span (and, over the wire, every
+   PA-NFS server span) parents into. *)
+let sys t op f = Pvtrace.span t.tracer ~layer:"simos" ~op f
 
 let clock t = t.clock
 let ctx t = t.ctx
@@ -148,6 +155,7 @@ let file_handle_of m ino =
 (* --- process lifecycle --------------------------------------------------- *)
 
 let fork t ~parent =
+  sys t "syscall.fork" @@ fun () ->
   enter t;
   let child = t.next_pid in
   t.next_pid <- child + 1;
@@ -163,6 +171,7 @@ let fork t ~parent =
   child
 
 let execve t ~pid ~path ~argv ~env =
+  sys t "syscall.execve" @@ fun () ->
   enter t;
   let* m, rel = resolve_mount t path in
   let* ino = Vfs.lookup_path m.m_ops rel in
@@ -175,6 +184,7 @@ let execve t ~pid ~path ~argv ~env =
   | None -> Ok ()
 
 let exit t ~pid =
+  sys t "syscall.exit" @@ fun () ->
   enter t;
   let p = proc t pid in
   p.alive <- false;
@@ -189,6 +199,7 @@ let exit t ~pid =
 (* --- file I/O ------------------------------------------------------------ *)
 
 let open_file t ~pid ~path ~create =
+  sys t "syscall.open" @@ fun () ->
   enter t;
   let* m, rel = resolve_mount t path in
   let* ino =
@@ -209,6 +220,7 @@ let fd_entry t ~pid ~fd =
   | None -> Error Vfs.EBADF
 
 let read t ~pid ~fd ~len =
+  sys t "syscall.read" @@ fun () ->
   enter t;
   let* e = fd_entry t ~pid ~fd in
   let* data =
@@ -222,6 +234,7 @@ let read t ~pid ~fd ~len =
   Ok data
 
 let write t ~pid ~fd ~data =
+  sys t "syscall.write" @@ fun () ->
   enter t;
   let* e = fd_entry t ~pid ~fd in
   let* () =
@@ -240,6 +253,7 @@ let seek t ~pid ~fd ~off =
   Ok ()
 
 let close t ~pid ~fd =
+  sys t "syscall.close" @@ fun () ->
   enter t;
   let p = proc t pid in
   if Hashtbl.mem p.fds fd then begin
@@ -249,6 +263,7 @@ let close t ~pid ~fd =
   else Error Vfs.EBADF
 
 let mmap t ~pid ~fd ~writable =
+  sys t "syscall.mmap" @@ fun () ->
   enter t;
   let* e = fd_entry t ~pid ~fd in
   match (t.pass, file_handle_of e.fd_mount e.fd_ino) with
@@ -258,6 +273,7 @@ let mmap t ~pid ~fd ~writable =
 (* --- pipes ---------------------------------------------------------------- *)
 
 let pipe t ~pid =
+  sys t "syscall.pipe" @@ fun () ->
   enter t;
   let id = t.next_pipe in
   t.next_pipe <- id + 1;
@@ -272,6 +288,7 @@ let pipe t ~pid =
   id
 
 let pipe_write t ~pid ~pipe_id ~data =
+  sys t "syscall.pipe_write" @@ fun () ->
   enter t;
   match Hashtbl.find_opt t.pipes pipe_id with
   | None -> Error Vfs.EBADF
@@ -282,6 +299,7 @@ let pipe_write t ~pid ~pipe_id ~data =
       | None -> Ok ())
 
 let pipe_read t ~pid ~pipe_id =
+  sys t "syscall.pipe_read" @@ fun () ->
   enter t;
   match Hashtbl.find_opt t.pipes pipe_id with
   | None -> Error Vfs.EBADF
@@ -298,12 +316,14 @@ let pipe_read t ~pid ~pipe_id =
 (* --- namespace operations ------------------------------------------------ *)
 
 let mkdir_p t ~path =
+  sys t "syscall.mkdir" @@ fun () ->
   enter t;
   let* m, rel = resolve_mount t path in
   let* _ino = Vfs.mkdir_p m.m_ops rel in
   Ok ()
 
 let unlink t ~pid:_ ~path =
+  sys t "syscall.unlink" @@ fun () ->
   enter t;
   let* m, rel = resolve_mount t path in
   (match (t.pass, Vfs.lookup_path m.m_ops rel) with
@@ -319,6 +339,7 @@ let unlink t ~pid:_ ~path =
   Vfs.remove_path m.m_ops rel
 
 let rename t ~pid:_ ~src ~dst =
+  sys t "syscall.rename" @@ fun () ->
   enter t;
   let* ms, rels = resolve_mount t src in
   let* md, reld = resolve_mount t dst in
@@ -326,12 +347,14 @@ let rename t ~pid:_ ~src ~dst =
   else Vfs.rename_path ms.m_ops rels reld
 
 let stat t ~path =
+  sys t "syscall.stat" @@ fun () ->
   enter t;
   let* m, rel = resolve_mount t path in
   let* ino = Vfs.lookup_path m.m_ops rel in
   m.m_ops.getattr ino
 
 let readdir t ~path =
+  sys t "syscall.readdir" @@ fun () ->
   enter t;
   let* m, rel = resolve_mount t path in
   let* ino = Vfs.lookup_path m.m_ops rel in

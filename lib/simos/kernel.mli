@@ -24,7 +24,7 @@ type pass_stack = {
 
 type errno = Vfs.errno
 
-val create : clock:Clock.t -> machine:int -> unit -> t
+val create : ?tracer:Pvtrace.t -> clock:Clock.t -> machine:int -> unit -> t
 
 val clock : t -> Clock.t
 val ctx : t -> Ctx.t

@@ -32,6 +32,7 @@ type t = {
   clock : Clock.t;
   kernel : Kernel.t;
   registry : Telemetry.registry;
+  tracer : Pvtrace.t;
   mutable volumes : volume list;
   mutable router_table : (string * Dpapi.endpoint) list;
 }
@@ -39,6 +40,7 @@ type t = {
 let mode t = t.mode
 let clock t = t.clock
 let telemetry t = t.registry
+let tracer t = t.tracer
 let kernel t = t.kernel
 let volumes t = t.volumes
 let elapsed_seconds t = Clock.seconds t.clock
@@ -93,10 +95,12 @@ let router t : Dpapi.endpoint =
         ep.pass_sync h);
   }
 
-let create ?(registry = Telemetry.default) ?fault ~mode ~machine ~volume_names () =
+let create ?(registry = Telemetry.default) ?fault ?(tracer = Pvtrace.disabled)
+    ~mode ~machine ~volume_names () =
   let clock = Clock.create () in
-  let kernel = Kernel.create ~clock ~machine () in
-  let t = { mode; clock; kernel; registry; volumes = []; router_table = [] } in
+  Pvtrace.set_now tracer (fun () -> Clock.now clock);
+  let kernel = Kernel.create ~tracer ~clock ~machine () in
+  let t = { mode; clock; kernel; registry; tracer; volumes = []; router_table = [] } in
   let charge = Clock.advance clock in
   let make_volume name =
     let disk = Disk.create ~registry ?fault ~clock () in
@@ -111,14 +115,17 @@ let create ?(registry = Telemetry.default) ?fault ~mode ~machine ~volume_names (
         Ext3.set_cache_capacity ext3 2048;
         let ctx = Kernel.ctx kernel in
         let lasagna =
-          Lasagna.create ~registry ~now:(fun () -> Clock.now clock) ~lower:(Ext3.ops ext3)
-            ~ctx ~volume:name ~charge ()
+          Lasagna.create ~registry ~now:(fun () -> Clock.now clock) ~tracer
+            ~lower:(Ext3.ops ext3) ~ctx ~volume:name ~charge ()
         in
-        let waldo = Waldo.create ~registry ~lower:(Ext3.ops ext3) () in
+        let waldo = Waldo.create ~registry ~tracer ~lower:(Ext3.ops ext3) () in
         Waldo.attach waldo lasagna;
-        t.router_table <- (name, Lasagna.endpoint lasagna) :: t.router_table;
+        let storage_ep =
+          Dpapi.traced ~tracer ~layer:"lasagna" (Lasagna.endpoint lasagna)
+        in
+        t.router_table <- (name, storage_ep) :: t.router_table;
         Kernel.mount kernel ~name ~ops:(Lasagna.ops lasagna)
-          ~endpoint:(Lasagna.endpoint lasagna)
+          ~endpoint:storage_ep
           ~file_handle:(Lasagna.file_handle lasagna) ();
         { v_name = name; v_disk = disk; v_ext3 = ext3;
           v_lasagna = Some lasagna; v_waldo = Some waldo }
@@ -128,10 +135,14 @@ let create ?(registry = Telemetry.default) ?fault ~mode ~machine ~volume_names (
   | Pass, { v_name = default_volume; _ } :: _ ->
       let ctx = Kernel.ctx kernel in
       let distributor =
-        Distributor.create ~registry ~ctx ~lower:(router t) ~default_volume ()
+        Distributor.create ~registry ~tracer ~ctx ~lower:(router t) ~default_volume ()
       in
       let analyzer =
-        Analyzer.create ~registry ~charge ~ctx ~lower:(Distributor.endpoint distributor) ()
+        Analyzer.create ~registry ~charge ~tracer ~ctx
+          ~lower:
+            (Dpapi.traced ~tracer ~layer:"distributor"
+               (Distributor.endpoint distributor))
+          ()
       in
       (* span timing around the DPAPI hot path: pass_write / pass_freeze
          as seen at the top of the in-kernel chain, in simulated ns *)
@@ -149,7 +160,10 @@ let create ?(registry = Telemetry.default) ?fault ~mode ~machine ~volume_names (
             (fun h -> Telemetry.with_span freeze_ns ~now (fun () -> inner.pass_freeze h));
         }
       in
-      let observer = Observer.create ~registry ~ctx ~lower:timed () in
+      let observer =
+        Observer.create ~registry ~tracer ~ctx
+          ~lower:(Dpapi.traced ~tracer ~layer:"analyzer" timed) ()
+      in
       Kernel.set_pass kernel { Kernel.observer; analyzer; distributor }
   | Pass, [] | Vanilla, _ -> ());
   t

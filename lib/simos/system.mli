@@ -24,6 +24,7 @@ type t
 val create :
   ?registry:Telemetry.registry ->
   ?fault:Fault.plan ->
+  ?tracer:Pvtrace.t ->
   mode:mode ->
   machine:int ->
   volume_names:string list ->
@@ -34,12 +35,21 @@ val create :
     [distributor.*], [analyzer.*], [observer.*] — plus the DPAPI hot-path
     span histograms [dpapi.pass_write_ns] / [dpapi.pass_freeze_ns]
     (simulated nanoseconds, [Pass] mode only).  [fault] (default
-    {!Fault.none}) is shared by every volume's disk. *)
+    {!Fault.none}) is shared by every volume's disk.  [tracer] (default
+    {!Pvtrace.disabled}) is wired to this machine's clock and threaded
+    through every layer: system calls become root spans, each DPAPI hop
+    ([analyzer.*], [distributor.*], [lasagna.*]) a child span, with layer
+    decision events (deduped, cycle-broken, cached, flushed, ...) hanging
+    off them. *)
 
 val mode : t -> mode
 
 val telemetry : t -> Telemetry.registry
 (** The registry this machine's layers report into. *)
+
+val tracer : t -> Pvtrace.t
+(** The tracer this machine's layers record into ({!Pvtrace.disabled}
+    unless one was supplied at {!create}). *)
 
 val clock : t -> Clock.t
 val kernel : t -> Kernel.t

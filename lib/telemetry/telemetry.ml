@@ -257,15 +257,56 @@ module Json = struct
             | 'b' -> Buffer.add_char buf '\b'; go ()
             | 'f' -> Buffer.add_char buf '\012'; go ()
             | 'u' ->
-                if !pos + 4 > len then fail "bad \\u escape";
-                let hex = String.sub s !pos 4 in
-                pos := !pos + 4;
-                let code =
-                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                let hex4 () =
+                  if !pos + 4 > len then fail "bad \\u escape";
+                  let hex = String.sub s !pos 4 in
+                  pos := !pos + 4;
+                  let digit c =
+                    match c with
+                    | '0' .. '9' -> Char.code c - Char.code '0'
+                    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                    | _ -> fail "bad \\u escape"
+                  in
+                  String.fold_left (fun acc c -> (acc * 16) + digit c) 0 hex
                 in
-                (* ASCII only; anything else degrades to '?' (snapshots are
-                   ASCII: instrument names and numbers) *)
-                Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+                let code = hex4 () in
+                (* surrogate pairs encode astral codepoints; a lone
+                   surrogate is not a scalar value and is rejected *)
+                let code =
+                  if code >= 0xD800 && code <= 0xDBFF then begin
+                    if
+                      !pos + 2 > len || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u'
+                    then fail "unpaired surrogate"
+                    else begin
+                      pos := !pos + 2;
+                      let low = hex4 () in
+                      if low < 0xDC00 || low > 0xDFFF then
+                        fail "unpaired surrogate"
+                      else 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                    end
+                  end
+                  else if code >= 0xDC00 && code <= 0xDFFF then
+                    fail "unpaired surrogate"
+                  else code
+                in
+                (* UTF-8 encode the decoded scalar value *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else if code < 0x10000 then begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end;
                 go ()
             | _ -> fail "bad escape")
         | c -> Buffer.add_char buf c; go ()
@@ -356,6 +397,18 @@ module Json = struct
     | _ -> None
 end
 
+(* --- dotted-name filtering ------------------------------------------------- *)
+
+(* Shared by [passctl stats --filter] and the pvtrace exporters: a name is
+   under a prefix when it equals it or extends it at a dot boundary, so
+   "panfs" matches "panfs.client.rpcs" but not "panfsx.rpcs". *)
+let name_under ~prefix name =
+  prefix = "" || String.equal name prefix
+  || (let pl = String.length prefix in
+      String.length name > pl
+      && name.[pl] = '.'
+      && String.equal (String.sub name 0 pl) prefix)
+
 (* --- snapshots ------------------------------------------------------------- *)
 
 (* Group same-named instruments: counters sum, gauges take the most recent
@@ -411,8 +464,13 @@ let histogram_summary t name =
   in
   if hs = [] then None else Some (merged_summary (List.rev hs))
 
-let snapshot t =
-  let groups = grouped t in
+let snapshot ?filter t =
+  let groups =
+    match filter with
+    | None -> grouped t
+    | Some prefix ->
+        List.filter (fun (name, _) -> name_under ~prefix name) (grouped t)
+  in
   let by_name cmp = List.sort (fun (a, _) (b, _) -> String.compare a b) cmp in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter
@@ -458,4 +516,4 @@ let snapshot t =
       ("histograms", Json.Obj (by_name !histograms));
     ]
 
-let to_json t = Json.to_string (snapshot t)
+let to_json ?filter t = Json.to_string (snapshot ?filter t)

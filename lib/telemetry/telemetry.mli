@@ -84,18 +84,32 @@ module Json : sig
 
   val to_string : t -> string
   val of_string : string -> t
-  (** Raises {!Parse_error} on malformed input. *)
+  (** Raises {!Parse_error} on malformed input (including trailing garbage
+      after a complete value).  Decodes [\uXXXX] escapes to UTF-8,
+      combining surrogate pairs; a lone surrogate is malformed. *)
 
   val member : string -> t -> t option
   (** Field lookup on [Obj]; [None] otherwise. *)
+
+  val escape : string -> string
+  (** JSON string-escape [s] (quotes, backslashes, control characters);
+      does not add surrounding quotes. *)
 end
 
-val snapshot : registry -> Json.t
+val name_under : prefix:string -> string -> bool
+(** [name_under ~prefix name] is true when [name] sits under the dotted
+    [prefix]: equal to it, or extending it at a ['.'] boundary ("panfs"
+    matches "panfs.client.rpcs" but not "panfsx.rpcs").  The empty prefix
+    matches everything.  Shared by [passctl stats --filter] and the
+    pvtrace exporters. *)
+
+val snapshot : ?filter:string -> registry -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name: summary}}],
     keys sorted, same-named instruments aggregated (counters summed, gauges
-    last-registered-wins, histograms merged). *)
+    last-registered-wins, histograms merged).  [filter] keeps only
+    instruments whose name is {!name_under} the prefix. *)
 
-val to_json : registry -> string
+val to_json : ?filter:string -> registry -> string
 
 val counter_value : registry -> string -> int option
 (** Aggregated value of every counter registered under this name. *)

@@ -36,16 +36,18 @@ type t = {
   lower : Vfs.ops; (* the file system holding the .pass directory *)
   ingest_version : (Pnode.t, int) Hashtbl.t; (* version tracking during ingest *)
   pending_txns : (int, Dpapi.bundle list ref) Hashtbl.t;
+  tracer : Pvtrace.t;
   i : instruments;
 }
 
-let create ?registry ~lower () =
+let create ?registry ?(tracer = Pvtrace.disabled) ~lower () =
   let c name = Telemetry.counter ?registry ("waldo." ^ name) in
   {
     db = Provdb.create ();
     lower;
     ingest_version = Hashtbl.create 1024;
     pending_txns = Hashtbl.create 16;
+    tracer;
     i =
       {
         logs_processed = c "logs_processed";
@@ -113,7 +115,9 @@ let ingest_frame t = function
       if is_endtxn then begin
         List.iter (ingest_bundle t) (List.rev !pending);
         Hashtbl.remove t.pending_txns id;
-        Telemetry.incr t.i.txns_committed
+        Telemetry.incr t.i.txns_committed;
+        Pvtrace.event t.tracer ~layer:"waldo" ~op:"txn_end"
+          ~outcome:"committed" ()
       end)
   | Wap_log.Bundle { txn = None; bundle; data } ->
       ingest_bundle t bundle;
@@ -127,6 +131,8 @@ let ingest_frame t = function
    production path `attach` uses.  pvcheck replays an unprocessed active
    log through this so the checker cannot diverge from the ingester. *)
 let replay_frames t frames =
+  Pvtrace.span t.tracer ~layer:"waldo" ~op:"replay" @@ fun () ->
+  Pvtrace.set_outcome t.tracer "replayed";
   List.iter
     (fun f ->
       Telemetry.incr t.i.frames_ingested;
@@ -141,6 +147,7 @@ let ( let* ) = Result.bind
 
 (* Process one closed log: read it, ingest every frame, remove the file. *)
 let process_log t ~dir ~name =
+  Pvtrace.span t.tracer ~layer:"waldo" ~op:"process_log" @@ fun () ->
   let* ino = t.lower.Vfs.lookup ~dir name in
   let* st = t.lower.Vfs.getattr ino in
   let* image = t.lower.Vfs.read ino ~off:0 ~len:st.Vfs.st_size in
@@ -200,5 +207,10 @@ let finalize t lasagna =
   Lasagna.flush_log lasagna;
   let orphans = Hashtbl.length t.pending_txns in
   Telemetry.add t.i.txns_orphaned orphans;
+  List.iter
+    (fun _ ->
+      Pvtrace.event t.tracer ~layer:"waldo" ~op:"txn_discard"
+        ~outcome:"orphaned" ())
+    (pending_txns t);
   Hashtbl.reset t.pending_txns;
   orphans

@@ -15,10 +15,13 @@ type stats = {
   mutable txns_orphaned : int;
 }
 
-val create : ?registry:Telemetry.registry -> lower:Vfs.ops -> unit -> t
+val create :
+  ?registry:Telemetry.registry -> ?tracer:Pvtrace.t -> lower:Vfs.ops -> unit -> t
 (** [create ~lower ()] builds a Waldo reading logs from the [.pass]
     directory of [lower] (the file system beneath Lasagna).  [registry]
-    receives the [waldo.*] instruments (default {!Telemetry.default}). *)
+    receives the [waldo.*] instruments (default {!Telemetry.default});
+    [tracer] (default {!Pvtrace.disabled}) records ingest spans and
+    committed / orphaned transaction events. *)
 
 val db : t -> Provdb.t
 

@@ -59,15 +59,17 @@ let standard ?(scale = 1.0) () =
 
 (* --- configurations -------------------------------------------------------- *)
 
-let local_system ?registry mode =
-  System.create ?registry ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
+let local_system ?registry ?tracer mode =
+  System.create ?registry ?tracer ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
 
 (* A client machine with an NFS mount at vol0.  In PASS mode the client
    keeps a small local scratch volume so the machine has a default PASS
-   volume, mirroring the paper's workstation. *)
-let nfs_system ?registry mode =
+   volume, mirroring the paper's workstation.  A [tracer] is shared by the
+   client machine and the server, which is what lets server-side spans
+   parent onto client RPC spans in the exported trace. *)
+let nfs_system ?registry ?tracer mode =
   let sys =
-    System.create ?registry ~mode ~machine:1
+    System.create ?registry ?tracer ~mode ~machine:1
       ~volume_names:(match mode with System.Pass -> [ "scratch" ] | System.Vanilla -> [])
       ()
   in
@@ -75,10 +77,12 @@ let nfs_system ?registry mode =
   let server_mode =
     match mode with System.Pass -> Server.Pass_enabled | System.Vanilla -> Server.Plain
   in
-  let server = Server.create ?registry ~mode:server_mode ~clock ~machine:2 ~volume:"vol0" () in
+  let server =
+    Server.create ?registry ?tracer ~mode:server_mode ~clock ~machine:2 ~volume:"vol0" ()
+  in
   let net = Proto.net clock in
   let client =
-    Client.create ?registry ~net ~handler:(Server.handle server)
+    Client.create ?registry ?tracer ~net ~handler:(Server.handle server)
       ~ctx:(Kernel.ctx (System.kernel sys))
       ~mount_name:"vol0" ()
   in

@@ -10,8 +10,13 @@ val standard : ?scale:float -> unit -> workload list
 (** The five paper workloads (Linux compile, Postmark, Mercurial, Blast,
     PA-Kepler); [scale] shrinks the op counts for quick runs. *)
 
-val local_system : ?registry:Telemetry.registry -> System.mode -> System.t
-val nfs_system : ?registry:Telemetry.registry -> System.mode -> System.t * Server.t
+val local_system :
+  ?registry:Telemetry.registry -> ?tracer:Pvtrace.t -> System.mode -> System.t
+val nfs_system :
+  ?registry:Telemetry.registry ->
+  ?tracer:Pvtrace.t ->
+  System.mode ->
+  System.t * Server.t
 
 type row = {
   r_name : string;

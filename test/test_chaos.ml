@@ -48,17 +48,17 @@ type rig = {
   client : Client.t;
 }
 
-let rig ?(spec = Fault.default_chaos) ?wb_high_water ~seed () =
+let rig ?(spec = Fault.default_chaos) ?wb_high_water ?tracer ~seed () =
   let registry = Telemetry.create () in
   let clock = Clock.create () in
   let plan = Fault.plan ~registry ~spec ~seed () in
   let server =
-    Server.create ~registry ~fault:plan ~mode:Server.Pass_enabled ~clock ~machine:2
+    Server.create ~registry ?tracer ~fault:plan ~mode:Server.Pass_enabled ~clock ~machine:2
       ~volume:"nfs0" ()
   in
   let net = Proto.net ~fault:plan clock in
   let client =
-    Client.create ~registry ?wb_high_water ~net ~handler:(Server.handle server)
+    Client.create ~registry ?wb_high_water ?tracer ~net ~handler:(Server.handle server)
       ~ctx:(Ctx.create ~machine:1) ~mount_name:"nfs0" ()
   in
   { registry; clock; plan; net; server; client }
@@ -196,6 +196,81 @@ let test_same_seed_identical () =
   List.iter
     (fun name -> check tint name (tv a.o_registry name) (tv b.o_registry name))
     compared_counters
+
+(* --- tracing across the wire under chaos ------------------------------------- *)
+
+(* The call envelope carries the trace context and is built once, before
+   the retry loop, like the sequence number.  So a retransmission (and
+   the DRC replay it triggers) must reuse the original span ids: every
+   server span — including "cached" replays — parents onto a live client
+   RPC span, and one client span fathers the original execution plus each
+   replay.  Same seed ⇒ byte-identical Chrome artifact. *)
+let traced_run ~seed () =
+  let tracer = Pvtrace.create () in
+  let r = rig ~tracer ~seed () in
+  let ops = Client.ops r.client in
+  for i = 0 to 39 do
+    let path = Printf.sprintf "/w%03d" i in
+    match Vfs.create_path ops path Vfs.Regular with
+    | Error _ -> ()
+    | Ok ino -> (
+        match Client.file_handle r.client ino with
+        | Error _ -> ()
+        | Ok h ->
+            ignore
+              (Client.pass_write r.client h ~off:0 ~data:(Some path)
+                 [ Dpapi.entry h [ Record.name path ] ]
+                : (int, Dpapi.error) result);
+            if i mod 3 = 0 then
+              ignore
+                (Client.pass_read r.client h ~off:0 ~len:4
+                  : (Dpapi.read_result, Dpapi.error) result))
+  done;
+  Fault.deactivate r.plan;
+  (match Client.drain_backlog r.client with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "backlog did not drain: %s" (Dpapi.error_to_string e));
+  ignore (Server.drain r.server : int);
+  (tracer, r.registry)
+
+let test_wire_spans_under_chaos () =
+  let seed = List.hd pinned_seeds in
+  let tracer, registry = traced_run ~seed () in
+  check tbool "faults forced retries" true (tv registry "nfs.retries" > 0);
+  check tbool "retransmissions replayed from the DRC" true (tv registry "nfs.drc.hits" > 0);
+  let spans = Pvtrace.spans tracer in
+  let by_id = Hashtbl.create 1024 in
+  List.iter (fun sp -> Hashtbl.replace by_id sp.Pvtrace.sp_id sp) spans;
+  let servers = List.filter (fun sp -> sp.Pvtrace.sp_layer = "panfs.server") spans in
+  check tbool "server spans recorded" true (servers <> []);
+  (* every server span has a client parent, restarts and retries included *)
+  List.iter
+    (fun sp ->
+      match Hashtbl.find_opt by_id sp.Pvtrace.sp_parent with
+      | Some p ->
+          check tstr "server span parents on a client rpc" "panfs.client" p.Pvtrace.sp_layer;
+          check tint "and stays in the client's trace" p.Pvtrace.sp_trace sp.Pvtrace.sp_trace
+      | None ->
+          Alcotest.failf "server span %d (%s) has unresolved parent %d" sp.Pvtrace.sp_id
+            sp.Pvtrace.sp_op sp.Pvtrace.sp_parent)
+    servers;
+  (* DRC replays surface as "cached" server spans; because the envelope is
+     reused, the replay shares its parent with the original execution —
+     the ids were not re-minted for the retransmission *)
+  let cached = List.filter (fun sp -> sp.Pvtrace.sp_outcome = "cached") servers in
+  check tbool "drc replays appear as cached server spans" true (cached <> []);
+  let children_of parent =
+    List.length (List.filter (fun sp -> sp.Pvtrace.sp_parent = parent) servers)
+  in
+  List.iter
+    (fun sp ->
+      check tbool "original execution and replay share one client span" true
+        (children_of sp.Pvtrace.sp_parent >= 2))
+    cached;
+  (* same seed, same bytes *)
+  let tracer2, _ = traced_run ~seed () in
+  check tstr "byte-identical chrome artifact across same-seed runs"
+    (Pvtrace.to_chrome tracer) (Pvtrace.to_chrome tracer2)
 
 (* --- blast: >64 KB transactional writes under long partitions ---------------- *)
 
@@ -409,6 +484,8 @@ let () =
             test_postmark_under_chaos;
           Alcotest.test_case "same seed, byte-identical schedule and counters" `Quick
             test_same_seed_identical;
+          Alcotest.test_case "server spans parent onto client rpcs under chaos" `Quick
+            test_wire_spans_under_chaos;
           Alcotest.test_case "blast txns never double-apply" `Quick test_blast_no_double_apply;
           Alcotest.test_case "backpressure bounds the write-behind backlog" `Quick
             test_backpressure_bounds_backlog;

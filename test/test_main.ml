@@ -20,5 +20,6 @@ let () =
       ("props", Test_props.suite);
       ("provdiff", Test_provdiff.suite);
       ("telemetry", Test_telemetry.suite);
+      ("trace", Test_trace.suite);
       ("pvcheck", Test_pvcheck.suite);
     ]

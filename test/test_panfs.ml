@@ -374,7 +374,10 @@ let test_proto_roundtrip_exhaustive () =
   List.iteri (fun i r -> check tbool (Printf.sprintf "req #%d" i) true (rt_req r)) reqs;
   List.iteri (fun i r -> check tbool (Printf.sprintf "resp #%d" i) true (rt_resp r)) resps;
   (* the call envelope too *)
-  let call = { Proto.c_client = 3; c_seq = 41; c_req = Getattr { ino = 3 } } in
+  let call =
+    { Proto.c_client = 3; c_seq = 41; c_trace = 7; c_span = 9;
+      c_req = Getattr { ino = 3 } }
+  in
   let b = Buffer.create 64 in
   Proto.encode_call b call;
   let s = Buffer.contents b in

@@ -111,6 +111,59 @@ let test_json_roundtrip () =
     (try ignore (of_string "{\"a\":" : t) ; false
      with Telemetry.Json.Parse_error _ -> true)
 
+let test_json_strictness () =
+  let open Telemetry.Json in
+  let rejects s =
+    try
+      ignore (of_string s : t);
+      false
+    with Parse_error _ -> true
+  in
+  (* of_string consumes the whole input: a valid document followed by
+     trailing garbage is an error, not a silent prefix-parse *)
+  check tbool "trailing garbage rejected" true (rejects "{} x");
+  check tbool "two values rejected" true (rejects "1 2");
+  check tbool "trailing comma-ish junk rejected" true (rejects "[1],");
+  check tbool "surrounding whitespace fine" true (of_string " {\"a\":1} " = Obj [ ("a", Int 1) ])
+
+let test_json_unicode_escapes () =
+  let open Telemetry.Json in
+  let rejects s =
+    try
+      ignore (of_string s : t);
+      false
+    with Parse_error _ -> true
+  in
+  check tbool "ascii escape" true (of_string {|"\u0041"|} = Str "A");
+  check tbool "two-byte utf-8" true (of_string {|"\u00e9"|} = Str "\xc3\xa9");
+  check tbool "three-byte utf-8" true (of_string {|"\u20ac"|} = Str "\xe2\x82\xac");
+  check tbool "surrogate pair to four-byte utf-8" true
+    (of_string {|"\ud83d\ude00"|} = Str "\xf0\x9f\x98\x80");
+  check tbool "uppercase hex accepted" true (of_string {|"\u20AC"|} = Str "\xe2\x82\xac");
+  check tbool "lone high surrogate rejected" true (rejects {|"\ud83d"|});
+  check tbool "high surrogate without low rejected" true (rejects {|"\ud83dx"|});
+  check tbool "lone low surrogate rejected" true (rejects {|"\ude00"|});
+  check tbool "bad hex digit rejected" true (rejects {|"\u12zz"|});
+  check tbool "truncated escape rejected" true (rejects {|"\u12"|})
+
+let test_name_under () =
+  let u prefix name = Telemetry.name_under ~prefix name in
+  check tbool "empty prefix keeps everything" true (u "" "x.y");
+  check tbool "exact name matches" true (u "analyzer" "analyzer");
+  check tbool "dotted child matches" true (u "analyzer" "analyzer.records_in");
+  check tbool "lexical prefix without dot is no match" false (u "analyzer" "analyzers.x");
+  check tbool "multi-segment prefix" true (u "panfs.client" "panfs.client.rpc");
+  check tbool "sibling segment is no match" false (u "panfs.client" "panfs.server.rpc");
+  check tbool "prefix longer than name is no match" false (u "a.b.c" "a.b");
+  (* the same predicate drives snapshot filtering *)
+  let reg = Telemetry.create () in
+  Telemetry.add (Telemetry.counter ~registry:reg "a.one") 1;
+  Telemetry.add (Telemetry.counter ~registry:reg "ab.two") 2;
+  let json = Telemetry.Json.of_string (Telemetry.to_json ~filter:"a" reg) in
+  match Telemetry.Json.member "counters" json with
+  | Some (Telemetry.Json.Obj [ ("a.one", Telemetry.Json.Int 1) ]) -> ()
+  | _ -> Alcotest.fail "filtered snapshot kept the wrong instruments"
+
 let test_snapshot_shape () =
   let reg = Telemetry.create () in
   Telemetry.add (Telemetry.counter ~registry:reg "z.c") 3;
@@ -172,6 +225,9 @@ let suite =
     Alcotest.test_case "histogram compaction" `Quick test_histogram_compaction;
     Alcotest.test_case "with_span" `Quick test_with_span;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json strictness" `Quick test_json_strictness;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "name_under filter" `Quick test_name_under;
     Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
     Alcotest.test_case "pipeline instruments" `Quick test_pipeline_instruments;
   ]

@@ -25,7 +25,9 @@
                       typed errors — raise Vfs.Fatal instead;
    - telemetry-name   literal instrument names must be dotted snake_case
                       ("subsystem.metric_name"), matching the registry
-                      conventions;
+                      conventions; likewise literal pvtrace span names
+                      (the combined "layer.op" of Pvtrace.span/event and
+                      the layer handed to Dpapi.traced);
    - missing-mli      every module under lib/ has an interface, so the
                       lint (and readers) can tell public surface from
                       internals.
@@ -109,15 +111,22 @@ let on_hot_path file =
       && String.equal (String.sub file 0 (String.length d)) d)
     hot_path_dirs
 
+let seg_ok seg =
+  (not (String.equal seg ""))
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       seg
+
 let valid_instrument_name s =
-  let seg_ok seg =
-    (not (String.equal seg ""))
-    && String.for_all
-         (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
-         seg
-  in
   match String.split_on_char '.' s with
   | [] | [ _ ] -> false
+  | segs -> List.for_all seg_ok segs
+
+(* A span layer or op on its own may be a single segment ("simos",
+   "emit"); the two-segment rule applies to the combined "layer.op". *)
+let valid_span_part s =
+  match String.split_on_char '.' s with
+  | [] -> false
   | segs -> List.for_all seg_ok segs
 
 let mentions_pnode src (loc : Location.t) =
@@ -206,6 +215,50 @@ let lint_structure ~file ~src structure =
                              "instrument name %S is not dotted snake_case \
                               (\"subsystem.metric_name\")"
                              s)
+                  | _ -> ())
+                args
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Pvtrace", fn); _ }; _ },
+                args )
+            when List.mem fn [ "span"; "event" ] -> (
+              (* span names follow the instrument convention: the combined
+                 "layer.op" must be dotted snake_case *)
+              let literal lbl =
+                List.find_map
+                  (fun (l, (a : expression)) ->
+                    match (l, a.pexp_desc) with
+                    | Asttypes.Labelled s, Pexp_constant (Pconst_string (v, _, _))
+                      when String.equal s lbl ->
+                        Some (v, a.pexp_loc)
+                    | _ -> None)
+                  args
+              in
+              let bad loc name =
+                report ~file ~loc ~rule:"telemetry-name" ~symbol:name
+                  (Printf.sprintf
+                     "span name %S is not dotted snake_case \
+                      (\"layer.operation\")"
+                     name)
+              in
+              match (literal "layer", literal "op") with
+              | Some (layer, loc), Some (op, _) ->
+                  let name = layer ^ "." ^ op in
+                  if not (valid_instrument_name name) then bad loc name
+              | Some (part, loc), None | None, Some (part, loc) ->
+                  if not (valid_span_part part) then bad loc part
+              | None, None -> ())
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Dpapi", "traced"); _ }; _ },
+                args ) ->
+              List.iter
+                (fun (l, (a : expression)) ->
+                  match (l, a.pexp_desc) with
+                  | Asttypes.Labelled "layer", Pexp_constant (Pconst_string (s, _, _)) ->
+                      if not (valid_span_part s) then
+                        report ~file ~loc:a.pexp_loc ~rule:"telemetry-name"
+                          ~symbol:s
+                          (Printf.sprintf
+                             "traced layer %S is not dotted snake_case" s)
                   | _ -> ())
                 args
           | _ -> ());
