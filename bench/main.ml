@@ -103,9 +103,11 @@ let fig1 () =
   let ca = Client.create ~net ~handler:(Server.handle server_a) ~ctx ~mount_name:"nfsA" () in
   let cb = Client.create ~net ~handler:(Server.handle server_b) ~ctx ~mount_name:"nfsB" () in
   System.mount_external sys ~name:"nfsA" ~ops:(Client.ops ca) ~endpoint:(Client.endpoint ca)
-    ~file_handle:(Client.file_handle ca) ();
+    ~file_handle:(Client.file_handle ca)
+    ~flush:(fun () -> Client.flush ca) ();
   System.mount_external sys ~name:"nfsB" ~ops:(Client.ops cb) ~endpoint:(Client.endpoint cb)
-    ~file_handle:(Client.file_handle cb) ();
+    ~file_handle:(Client.file_handle cb)
+    ~flush:(fun () -> Client.flush cb) ();
   (* the workflow engine runs the Provenance Challenge workflow, reading
      inputs from server A and writing the atlas images to server B *)
   let engine = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in

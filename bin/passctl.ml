@@ -44,9 +44,11 @@ let cmd_demo () =
   let ca = Client.create ~net ~handler:(Server.handle server_a) ~ctx ~mount_name:"nfsA" () in
   let cb = Client.create ~net ~handler:(Server.handle server_b) ~ctx ~mount_name:"nfsB" () in
   System.mount_external sys ~name:"nfsA" ~ops:(Client.ops ca) ~endpoint:(Client.endpoint ca)
-    ~file_handle:(Client.file_handle ca) ();
+    ~file_handle:(Client.file_handle ca)
+    ~flush:(fun () -> Client.flush ca) ();
   System.mount_external sys ~name:"nfsB" ~ops:(Client.ops cb) ~endpoint:(Client.endpoint cb)
-    ~file_handle:(Client.file_handle cb) ();
+    ~file_handle:(Client.file_handle cb)
+    ~flush:(fun () -> Client.flush cb) ();
   let engine = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
   let io = Kepler_run.io_of_system sys ~pid:engine in
   Challenge.prepare_inputs ~input_dir:"/nfsA/inputs" io;
@@ -310,12 +312,23 @@ let cmd_stats filter =
   ignore (System.drain sys : int);
   print_endline (Telemetry.to_json ?filter registry)
 
+(* A PREFIX conv that rejects what Telemetry.validate_prefix rejects, so
+   `--filter ""` is a usage error instead of silently matching every
+   instrument. *)
+let prefix_conv =
+  let parse s =
+    match Telemetry.validate_prefix s with
+    | Ok s -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"PREFIX" (parse, Format.pp_print_string)
+
 let filter_arg ~what =
-  Arg.(value & opt (some string) None
+  Arg.(value & opt (some prefix_conv) None
        & info [ "filter" ] ~docv:"PREFIX"
            ~doc:(Printf.sprintf
                    "Keep only %s under this dotted-name prefix (e.g. \
-                    \"analyzer\" or \"panfs.client\")." what))
+                    \"analyzer\" or \"panfs.client\").  Must be non-empty." what))
 
 let stats_cmd =
   Cmd.v

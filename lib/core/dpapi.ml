@@ -145,7 +145,11 @@ let decode_bundle s pos =
   in
   loop n []
 
+(* Size probes run on every hot-path write; reuse one scratch buffer
+   instead of allocating per call. *)
+let size_scratch = Buffer.create 256
+
 let bundle_size bundle =
-  let buf = Buffer.create 256 in
-  encode_bundle buf bundle;
-  Buffer.length buf
+  Buffer.clear size_scratch;
+  encode_bundle size_scratch bundle;
+  Buffer.length size_scratch

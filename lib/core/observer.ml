@@ -31,11 +31,15 @@ type t = {
   procs : (int, proc) Hashtbl.t; (* pid -> process object *)
   pipes : (int, Dpapi.handle) Hashtbl.t; (* pipe id -> pipe object *)
   tracer : Pvtrace.t;
+  batch : bool;
+  mutable pending : (Dpapi.handle * Record.t list) list; (* newest first *)
+  mutable pending_entries : int;
   i : instruments;
 }
 
-let create ?registry ?(tracer = Pvtrace.disabled) ~ctx ~lower () =
+let create ?registry ?(tracer = Pvtrace.disabled) ?(batch = true) ~ctx ~lower () =
   { ctx; lower; procs = Hashtbl.create 64; pipes = Hashtbl.create 16; tracer;
+    batch; pending = []; pending_entries = 0;
     i = { events = Telemetry.counter ?registry "observer.events";
           records_emitted = Telemetry.counter ?registry "observer.records_emitted" } }
 
@@ -44,11 +48,66 @@ let stats t : stats =
     records_emitted = Telemetry.value t.i.records_emitted }
 let ( let* ) = Result.bind
 
+(* --- syscall-burst batching --------------------------------------------- *)
+
+(* Emissions that carry only non-ancestry records for virtual objects the
+   context already knows can be deferred and handed down as one bundle:
+   processing them reads nothing from the context but the target's current
+   version (which only an ancestry record, a freeze or a data write can
+   move, and each of those flushes first), so the analyzer and distributor
+   see the exact record stream they would have seen unbatched — same
+   order, same dedup keys, same cycle-avoidance decisions. *)
+let queueable t (target : Dpapi.handle) records =
+  t.batch && target.volume = None
+  && Ctx.known t.ctx target.pnode
+  && not (List.exists Record.is_ancestry records)
+
+let batch_high_water = 64
+
+(* Hand the queued burst downstream as one bundle.  The carrying handle is
+   the first entry's (virtual) target, so the distributor routes every
+   entry exactly as it would have routed the unbatched stream. *)
+let flush t =
+  match t.pending with
+  | [] -> Ok ()
+  | rev_entries ->
+      let bundle = List.rev_map (fun (h, rs) -> Dpapi.entry h rs) rev_entries in
+      t.pending <- [];
+      t.pending_entries <- 0;
+      Pvtrace.event t.tracer ~layer:"observer" ~op:"batch_flush"
+        ~outcome:(string_of_int (List.length bundle)) ();
+      let carrying = (List.hd bundle).Dpapi.target in
+      Result.map
+        (fun (_ : int) -> ())
+        (t.lower.pass_write carrying ~off:0 ~data:None bundle)
+
+let enqueue t target records =
+  t.pending <- (target, records) :: t.pending;
+  t.pending_entries <- t.pending_entries + 1;
+  if t.pending_entries >= batch_high_water then flush t else Ok ()
+
 let emit t target records =
   Telemetry.add t.i.records_emitted (List.length records);
   Pvtrace.event t.tracer ~layer:"observer" ~op:"emit"
     ~pnode:(Pnode.to_int target.Dpapi.pnode) ~outcome:"emitted" ();
-  Dpapi.disclose t.lower target records
+  if queueable t target records then enqueue t target records
+  else
+    match t.pending with
+    | [] -> Dpapi.disclose t.lower target records
+    | rev_entries ->
+        (* an ancestry record must be admitted at event time: send the
+           queue and the new emission as one bundle, preserving order *)
+        let bundle =
+          List.rev_map (fun (h, rs) -> Dpapi.entry h rs) ((target, records) :: rev_entries)
+        in
+        t.pending <- [];
+        t.pending_entries <- 0;
+        Pvtrace.event t.tracer ~layer:"observer" ~op:"batch_flush"
+          ~outcome:(string_of_int (List.length bundle)) ();
+        let carrying = (List.hd bundle).Dpapi.target in
+        Result.map
+          (fun (_ : int) -> ())
+          (t.lower.pass_write carrying ~off:0 ~data:None bundle)
 
 let proc_state t pid =
   match Hashtbl.find_opt t.procs pid with
@@ -126,6 +185,9 @@ let read t ~pid ~file ~off ~len =
    is an input of the file. *)
 let write t ~pid ~file ~off ~data =
   Telemetry.incr t.i.events;
+  (* data writes flush the burst first: the data's own pass_write carries a
+     volume-ful handle, and riding entries would be routed to its volume *)
+  let* () = flush t in
   let record = Record.input (proc_xref t pid) in
   Telemetry.incr t.i.records_emitted;
   Pvtrace.event t.tracer ~layer:"observer" ~op:"emit"
@@ -190,9 +252,36 @@ let endpoint_for t ~pid : Dpapi.endpoint =
         in
         Telemetry.add t.i.records_emitted
           (List.fold_left (fun n (e : Dpapi.bundle_entry) -> n + List.length e.records) 0 bundle);
-        lower.pass_write h ~off ~data bundle);
-    pass_freeze = lower.pass_freeze;
+        if
+          data = None
+          && bundle <> []
+          && List.for_all (fun (e : Dpapi.bundle_entry) -> queueable t e.target e.records) bundle
+        then begin
+          let* () =
+            List.fold_left
+              (fun acc (e : Dpapi.bundle_entry) ->
+                let* () = acc in
+                enqueue t e.target e.records)
+              (Ok ()) bundle
+          in
+          Ok (Ctx.current_version t.ctx h.Dpapi.pnode)
+        end
+        else
+          let* () = flush t in
+          lower.pass_write h ~off ~data bundle);
+    pass_freeze =
+      (fun h ->
+        (* a freeze moves the target's version: queued records must be
+           admitted under the pre-freeze version, as they were emitted *)
+        let* () = flush t in
+        lower.pass_freeze h);
     pass_mkobj = lower.pass_mkobj;
-    pass_reviveobj = lower.pass_reviveobj;
-    pass_sync = lower.pass_sync;
+    pass_reviveobj =
+      (fun p v ->
+        let* () = flush t in
+        lower.pass_reviveobj p v);
+    pass_sync =
+      (fun h ->
+        let* () = flush t in
+        lower.pass_sync h);
   }

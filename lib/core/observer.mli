@@ -13,6 +13,7 @@ type stats = { mutable events : int; mutable records_emitted : int }
 val create :
   ?registry:Telemetry.registry ->
   ?tracer:Pvtrace.t ->
+  ?batch:bool ->
   ctx:Ctx.t ->
   lower:Dpapi.endpoint ->
   unit ->
@@ -21,7 +22,21 @@ val create :
     normally the analyzer.  [registry] receives the [observer.*]
     instruments (default {!Telemetry.default}); [tracer] (default
     {!Pvtrace.disabled}) records an "observer.emit" event per disclosed
-    record batch. *)
+    record batch.
+
+    With [batch] (the default) emissions that carry only non-ancestry
+    records for known virtual objects are accumulated per syscall burst
+    and handed to the analyzer as one bundle at the next flush point — an
+    ancestry record, a data write, a freeze/sync, or {!flush}.  The
+    analyzer and distributor see the identical record stream either way
+    (same order, same dedup keys, same cycle-avoidance decisions), so the
+    resulting provenance graph is exactly the unbatched one;
+    [~batch:false] restores emit-at-event-time for A/B comparison. *)
+
+val flush : t -> (unit, Dpapi.error) result
+(** Hand any queued burst downstream as one bundle.  Called internally at
+    every batch boundary; callers that read the databases (drain,
+    benchmarks) flush first. *)
 
 val stats : t -> stats
 (** A point-in-time view over the [observer.*] telemetry instruments. *)

@@ -34,6 +34,7 @@ type instruments = {
   frames_written : Telemetry.counter; (* wap.frames_written *)
   bytes_written : Telemetry.counter; (* wap.bytes_written *)
   rotations : Telemetry.counter; (* wap.rotations *)
+  commits : Telemetry.counter; (* wap.group_commits *)
   data_bytes : Telemetry.counter; (* lasagna.data_bytes *)
   append_ns : Telemetry.histogram; (* wap.append_ns, simulated span *)
   io_retries : Telemetry.counter; (* lasagna.io_retries *)
@@ -53,6 +54,9 @@ type t = {
   mutable log_seq : int;
   mutable log_ino : Vfs.ino;
   mutable log_off : int;
+  group_commit : bool;
+  pending : Buffer.t; (* encoded frames queued for the next group commit *)
+  mutable pending_frames : int;
   mutable listeners : (string -> Vfs.ino -> unit) list;
   by_pnode : (Pnode.t, Vfs.ino) Hashtbl.t;
   by_ino : (Vfs.ino, Pnode.t) Hashtbl.t;
@@ -127,7 +131,7 @@ let fresh_log t =
   | Error e -> Vfs.fatal "lasagna: cannot create log" e
 
 let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fun () -> 0)
-    ?(tracer = Pvtrace.disabled) ~lower ~ctx ~volume ~charge () =
+    ?(tracer = Pvtrace.disabled) ?(group_commit = true) ~lower ~ctx ~volume ~charge () =
   let pass_dir =
     match Vfs.mkdir_p lower ("/" ^ pass_dirname) with
     | Ok ino -> ino
@@ -136,7 +140,8 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
   let t =
     {
       lower; ctx; volume; charge; tracer; log_max; idle_ns; now; last_append_ns = 0; pass_dir;
-      log_seq = 0; log_ino = -1; log_off = 0; listeners = [];
+      log_seq = 0; log_ino = -1; log_off = 0; group_commit;
+      pending = Buffer.create 1024; pending_frames = 0; listeners = [];
       by_pnode = Hashtbl.create 1024;
       by_ino = Hashtbl.create 1024;
       virtuals = Hashtbl.create 256;
@@ -146,6 +151,7 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
           frames_written = Telemetry.counter ?registry "wap.frames_written";
           bytes_written = Telemetry.counter ?registry "wap.bytes_written";
           rotations = Telemetry.counter ?registry "wap.rotations";
+          commits = Telemetry.counter ?registry "wap.group_commits";
           data_bytes = Telemetry.counter ?registry "lasagna.data_bytes";
           append_ns = Telemetry.histogram ?registry "wap.append_ns";
           io_retries = Telemetry.counter ?registry "lasagna.io_retries";
@@ -166,9 +172,41 @@ let rotate_log t =
   fresh_log t;
   List.iter (fun f -> f closed closed_ino) t.listeners
 
+(* Group commit: frames queue in [t.pending] and reach the lower file
+   system in one write at the next barrier — a data write they must
+   precede (WAP), an fsync/sync, rotation, or drain.  The log's byte
+   stream is byte-identical to frame-at-a-time appends, so Waldo,
+   recovery and pvcheck see the same log either way; the elevator
+   interference is charged once per commit instead of once per frame. *)
+let commit t =
+  if Buffer.length t.pending = 0 then Ok ()
+  else begin
+    let encoded = Buffer.contents t.pending in
+    let frames = t.pending_frames in
+    Buffer.clear t.pending;
+    t.pending_frames <- 0;
+    t.charge wap_interference_ns;
+    match with_io_retry t (fun () -> t.lower.write t.log_ino ~off:t.log_off encoded) with
+    | Error _ as e ->
+        (* the queued tail dies with the failed log write — the same state
+           a crash at this instant leaves on disk.  The op that forced the
+           barrier sees the error; replaying the frames later would log
+           provenance for operations that were reported failed. *)
+        e
+    | Ok () ->
+        t.log_off <- t.log_off + String.length encoded;
+        Telemetry.incr t.i.commits;
+        Pvtrace.event t.tracer ~layer:"lasagna" ~op:"group_commit"
+          ~outcome:(string_of_int frames) ();
+        if t.log_off >= t.log_max then rotate_log t;
+        Ok ()
+  end
+
 (* Force-close the current log so Waldo can drain everything (used at
    "unmount" time and by benchmarks before reading the database). *)
-let flush_log t = if t.log_off > 0 then rotate_log t
+let flush_log t =
+  (match commit t with Ok () -> () | Error _ -> (* tail dropped by commit *) ());
+  if t.log_off > 0 then rotate_log t
 
 let append_frame t frame =
   Telemetry.with_span t.i.append_ns ~now:t.now @@ fun () ->
@@ -176,18 +214,23 @@ let append_frame t frame =
      threshold, close it so Waldo can process it without waiting for the
      size limit *)
   let now = t.now () in
-  if t.log_off > 0 && now - t.last_append_ns > t.idle_ns then rotate_log t;
-  t.last_append_ns <- now;
-  let encoded = Wap_log.encode_frame frame in
-  t.charge wap_interference_ns;
-  match with_io_retry t (fun () -> t.lower.write t.log_ino ~off:t.log_off encoded) with
-  | Error e -> Error e
-  | Ok () ->
-      t.log_off <- t.log_off + String.length encoded;
-      Telemetry.incr t.i.frames_written;
-      Telemetry.add t.i.bytes_written (String.length encoded);
-      if t.log_off >= t.log_max then rotate_log t;
+  let* () =
+    if (t.log_off > 0 || Buffer.length t.pending > 0) && now - t.last_append_ns > t.idle_ns
+    then begin
+      let* () = commit t in
+      if t.log_off > 0 then rotate_log t;
       Ok ()
+    end
+    else Ok ()
+  in
+  t.last_append_ns <- now;
+  let before = Buffer.length t.pending in
+  Wap_log.encode_frame_into t.pending frame;
+  t.pending_frames <- t.pending_frames + 1;
+  Telemetry.incr t.i.frames_written;
+  Telemetry.add t.i.bytes_written (Buffer.length t.pending - before);
+  if (not t.group_commit) || t.log_off + Buffer.length t.pending >= t.log_max then commit t
+  else Ok ()
 
 (* Make sure storage knows the pnode: files get a Map frame at create time;
    any other pnode that reaches us (a process being anchored, an application
@@ -280,6 +323,8 @@ let pass_write ?txn t (h : Dpapi.handle) ~off ~data bundle =
   let* () =
     match (data, ino_of_pnode t h.pnode) with
     | Some d, Some ino ->
+        (* WAP barrier: queued frames must be durable before the data *)
+        let* () = lift (commit t) in
         t.charge (String.length d * double_buffer_ns_per_byte);
         Telemetry.add t.i.data_bytes (String.length d);
         lift (with_io_retry t (fun () -> t.lower.write ino ~off d))
@@ -312,7 +357,9 @@ let pass_reviveobj t pnode version =
   else if version > Ctx.current_version t.ctx pnode then Error Dpapi.Estale
   else Ok (Dpapi.handle ~volume:t.volume pnode)
 
-let pass_sync t (_h : Dpapi.handle) = lift (t.lower.fsync t.log_ino)
+let pass_sync t (_h : Dpapi.handle) =
+  let* () = lift (commit t) in
+  lift (t.lower.fsync t.log_ino)
 
 let endpoint t : Dpapi.endpoint =
   {
@@ -325,6 +372,10 @@ let endpoint t : Dpapi.endpoint =
   }
 
 let write_txn_bundle = pass_write (* exposed with [?txn] for the NFS server *)
+
+(* Exposed commit barrier: the NFS server flushes queued frames before a
+   reply leaves, since an acked request's provenance must be durable. *)
+let commit_log = commit
 
 (* --- VFS face ------------------------------------------------------------ *)
 
@@ -360,14 +411,26 @@ let ops t : Vfs.ops =
         Ok data);
     write =
       (fun ino ~off data ->
+        (* data may outrun queued provenance only if the frames land
+           first: the same WAP barrier as the DPAPI write path *)
+        let* () = commit t in
         t.charge (String.length data * double_buffer_ns_per_byte);
         with_io_retry t (fun () -> lower.write ino ~off data));
-    truncate = lower.truncate;
+    truncate =
+      (fun ino len ->
+        let* () = commit t in
+        lower.truncate ino len);
     getattr = lower.getattr;
     readdir =
       (fun ino ->
         let* names = lower.readdir ino in
         Ok (List.filter (fun n -> not (String.equal n pass_dirname)) names));
-    fsync = lower.fsync;
-    sync = lower.sync;
+    fsync =
+      (fun ino ->
+        let* () = commit t in
+        lower.fsync ino);
+    sync =
+      (fun () ->
+        let* () = commit t in
+        lower.sync ());
   }

@@ -21,6 +21,7 @@ val create :
   ?idle_ns:int ->
   ?now:(unit -> int) ->
   ?tracer:Pvtrace.t ->
+  ?group_commit:bool ->
   lower:Vfs.ops ->
   ctx:Pass_core.Ctx.t ->
   volume:string ->
@@ -34,7 +35,14 @@ val create :
     the active log before rotation, and a log dormant for [idle_ns]
     (default 5 simulated seconds, measured on [now]) is closed on the next
     append — the paper's two rotation triggers.  Each WAP append is timed
-    into the [wap.append_ns] histogram on the simulated clock. *)
+    into the [wap.append_ns] histogram on the simulated clock.
+
+    With [group_commit] (the default) WAP frames queue in memory and reach
+    the log in one coalesced write at the next commit barrier — a data
+    write they must precede, an fsync, rotation, or drain — charging the
+    log-write interference once per commit instead of once per frame.  The
+    log's byte stream is identical either way; [~group_commit:false]
+    restores frame-at-a-time appends for A/B comparison. *)
 
 val ops : t -> Vfs.ops
 (** The VFS face (hides the [.pass] directory). *)
@@ -67,5 +75,12 @@ val ino_of_pnode : t -> Pass_core.Pnode.t -> Vfs.ino option
 val on_log_closed : t -> (string -> Vfs.ino -> unit) -> unit
 (** Register a listener for closed logs (Waldo's simulated inotify). *)
 
+val commit_log : t -> (unit, Vfs.errno) result
+(** Write any queued WAP frames to the log in one group commit.  A no-op
+    when the queue is empty.  Called internally before every data write,
+    fsync and rotation; exposed for callers (the PA-NFS server) whose ack
+    semantics require frames to be durable at a protocol boundary. *)
+
 val flush_log : t -> unit
-(** Force-close the active log so listeners can drain it. *)
+(** Force-close the active log so listeners can drain it (commits queued
+    frames first). *)

@@ -31,8 +31,22 @@ let checksum payload =
 let put_pnode buf p = Wire.put_i64 buf (Pass_core.Pnode.to_int p)
 let get_pnode s pos = Pass_core.Pnode.of_int (Wire.get_i64 s pos)
 
-let encode_frame fr =
-  let buf = Buffer.create 128 in
+(* Checksum a buffer in place so encoding never materializes the payload
+   as an intermediate string. *)
+let checksum_buf buf =
+  let h = ref 5381 in
+  for i = 0 to Buffer.length buf - 1 do
+    h := ((!h * 33) + Char.code (Buffer.nth buf i)) land 0x3fffffff
+  done;
+  !h
+
+(* Payload scratch shared by every encode: the encoders below never call
+   back into [encode_frame_into], so one module-level buffer is safe. *)
+let payload_scratch = Buffer.create 256
+
+let encode_frame_into out fr =
+  let buf = payload_scratch in
+  Buffer.clear buf;
   (match fr with
   | Map { pnode; ino; name } ->
       Wire.put_u8 buf 1;
@@ -58,12 +72,14 @@ let encode_frame fr =
           Wire.put_i64 buf d_off;
           Wire.put_i64 buf d_len;
           Wire.put_string buf d_md5));
-  let payload = Buffer.contents buf in
-  let out = Buffer.create (String.length payload + 12) in
   Wire.put_u32 out magic;
-  Wire.put_u32 out (String.length payload);
-  Wire.put_u32 out (checksum payload);
-  Buffer.add_string out payload;
+  Wire.put_u32 out (Buffer.length buf);
+  Wire.put_u32 out (checksum_buf buf);
+  Buffer.add_buffer out buf
+
+let encode_frame fr =
+  let out = Buffer.create 128 in
+  encode_frame_into out fr;
   Buffer.contents out
 
 let decode_payload payload =

@@ -19,6 +19,11 @@ type frame =
 
 val encode_frame : frame -> string
 
+val encode_frame_into : Buffer.t -> frame -> unit
+(** [encode_frame_into out fr] appends the encoding of [fr] to [out]
+    without allocating intermediate buffers — the hot path behind
+    Lasagna's group commit. *)
+
 val parse_log : string -> frame list * int
 (** [parse_log image] returns the well-formed frame prefix of [image] and
     the number of bytes it occupies. *)

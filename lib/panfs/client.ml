@@ -41,6 +41,8 @@ type instruments = {
   backpressure : Telemetry.counter; (* nfs.backpressure *)
   wb_queued : Telemetry.counter; (* nfs.wb_queued *)
   txns_abandoned : Telemetry.counter; (* nfs.txns_abandoned *)
+  batch_rpcs : Telemetry.counter; (* nfs.batch_rpcs *)
+  batched_writes : Telemetry.counter; (* nfs.batched_writes *)
 }
 
 let instruments registry =
@@ -55,6 +57,8 @@ let instruments registry =
     backpressure = n "backpressure";
     wb_queued = n "wb_queued";
     txns_abandoned = n "txns_abandoned";
+    batch_rpcs = n "batch_rpcs";
+    batched_writes = n "batched_writes";
   }
 
 (* Write-behind buffers: the client coalesces contiguous streaming writes
@@ -93,13 +97,14 @@ type t = {
   mutable seq : int;
   wb : wb_item Queue.t; (* provenance writes the server couldn't take *)
   wb_high_water : int;
+  piggyback : bool; (* coalesce independent writes into OP_PASSBATCH *)
   mutable crashed : bool;
   mutable plain_pending : plain_buf option;
-  mutable prov_pending : prov_buf option;
+  mutable prov_pending : prov_buf list; (* newest first; one buffer per file *)
 }
 
-let create ?registry ?(wb_high_water = 64) ?(tracer = Pvtrace.disabled)
-    ~net ~handler ~ctx ~mount_name () =
+let create ?registry ?(wb_high_water = 64) ?(piggyback = true)
+    ?(tracer = Pvtrace.disabled) ~net ~handler ~ctx ~mount_name () =
   {
     net; handler; ctx; mount_name;
     pnode_cache = Hashtbl.create 256;
@@ -110,9 +115,10 @@ let create ?registry ?(wb_high_water = 64) ?(tracer = Pvtrace.disabled)
     seq = 0;
     wb = Queue.create ();
     wb_high_water = max 1 wb_high_water;
+    piggyback;
     crashed = false;
     plain_pending = None;
-    prov_pending = None;
+    prov_pending = [];
   }
 
 let stats t : stats =
@@ -192,6 +198,17 @@ let lift_err = function
   | Vfs.EAGAIN -> Dpapi.Eagain
   | Vfs.EIO | Vfs.ENOTDIR | Vfs.EISDIR | Vfs.ENOTEMPTY -> Dpapi.Eio
 
+let lower_err = function
+  | Dpapi.Enoent -> Vfs.ENOENT
+  | Dpapi.Eexist -> Vfs.EEXIST
+  | Dpapi.Einval -> Vfs.EINVAL
+  | Dpapi.Estale -> Vfs.ESTALE
+  | Dpapi.Enospc -> Vfs.ENOSPC
+  | Dpapi.Ecrashed -> Vfs.ECRASH
+  | Dpapi.Ebadf -> Vfs.EBADF
+  | Dpapi.Eagain -> Vfs.EAGAIN
+  | Dpapi.Eio | Dpapi.Emsg _ -> Vfs.EIO
+
 (* --- write-behind ------------------------------------------------------------ *)
 
 let flush_plain t =
@@ -231,82 +248,6 @@ let buffered_plain_write t ino ~off data =
   if Buffer.length pb.pb_data >= Proto.block_limit || String.length data < 4096 then
     flush_plain t
   else Ok ()
-
-(* --- VFS face -------------------------------------------------------------- *)
-
-let ops t : Vfs.ops =
-  let bad = Error Vfs.EIO in
-  let flush_then f =
-    match flush_plain t with Error e -> Error e | Ok () -> f ()
-  in
-  {
-    root = (fun () -> Ext3.root_ino);
-    lookup =
-      (fun ~dir name ->
-        flush_then (fun () ->
-            match call t (Proto.Lookup { dir; name }) with
-            | Proto.R_ino ino -> Ok ino
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    create =
-      (fun ~dir name kind ->
-        flush_then (fun () ->
-            match call t (Proto.Create { dir; name; kind }) with
-            | Proto.R_ino ino -> Ok ino
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    unlink =
-      (fun ~dir name ->
-        flush_then (fun () ->
-            match call t (Proto.Remove { dir; name }) with
-            | Proto.R_ok -> Ok ()
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    rename =
-      (fun ~src_dir ~src_name ~dst_dir ~dst_name ->
-        flush_then (fun () ->
-            match call t (Proto.Rename { src_dir; src_name; dst_dir; dst_name }) with
-            | Proto.R_ok -> Ok ()
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    read =
-      (fun ino ~off ~len ->
-        flush_then (fun () ->
-            match call t (Proto.Read { ino; off; len }) with
-            | Proto.R_data d -> Ok d
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    write = (fun ino ~off data -> buffered_plain_write t ino ~off data);
-    truncate =
-      (fun ino size ->
-        flush_then (fun () ->
-            match call t (Proto.Truncate { ino; size }) with
-            | Proto.R_ok -> Ok ()
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    getattr =
-      (fun ino ->
-        flush_then (fun () ->
-            match call t (Proto.Getattr { ino }) with
-            | Proto.R_attr st -> Ok st
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    readdir =
-      (fun ino ->
-        flush_then (fun () ->
-            match call t (Proto.Readdir { ino }) with
-            | Proto.R_names names -> Ok names
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    fsync =
-      (fun ino ->
-        flush_then (fun () ->
-            match call t (Proto.Commit { ino }) with
-            | Proto.R_ok -> Ok ()
-            | Proto.R_err e -> Error e
-            | _ -> bad));
-    sync = (fun () -> flush_plain t);
-  }
 
 (* --- handles ---------------------------------------------------------------- *)
 
@@ -463,27 +404,103 @@ let send_passwrite_now t (h : Dpapi.handle) ~off ~data bundle =
          (function Proto.R_version v -> Some v | _ -> None))
   end
 
+(* --- piggybacked batches ------------------------------------------------------ *)
+
+(* Encoded-size budget for one OP_PASSBATCH envelope (headroom for the
+   item framing, mirroring the inline/transaction split). *)
+let batch_budget = Proto.block_limit - 1024
+let max_batch_items = 16
+
+let item_size (it : wb_item) =
+  Dpapi.bundle_size it.wi_bundle
+  + match it.wi_data with Some d -> String.length d | None -> 0
+
+(* One OP_PASSBATCH envelope carrying [items] (oldest first, combined
+   size within budget).  The whole batch travels under a single sequence
+   number, so a retransmitted or duplicated envelope hits the server's
+   duplicate-request cache as one unit and no item is ever re-applied.
+   [Ok v] = every item applied; [`Err (e, n)] = the first [n] items
+   applied, item [n] failed with [e] and the rest were not attempted. *)
+let send_batch_now t items =
+  Telemetry.incr t.i.batch_rpcs;
+  Telemetry.add t.i.batched_writes (List.length items);
+  let writes =
+    List.map
+      (fun (it : wb_item) ->
+        { Proto.bi_pnode = it.wi_handle.Dpapi.pnode; bi_off = it.wi_off;
+          bi_data = it.wi_data; bi_bundle = it.wi_bundle })
+      items
+  in
+  match call_opt t (Proto.Op_passbatch { writes }) with
+  | None -> Error `Timeout
+  | Some (Proto.R_batch resps) ->
+      let rec walk n last = function
+        | [] -> if n = List.length items then Ok last else Error (`Err (Dpapi.Eio, n))
+        | Proto.R_version v :: rest -> walk (n + 1) v rest
+        | Proto.R_err e :: _ -> Error (`Err (lift_err e, n))
+        | _ :: _ -> Error (`Err (Dpapi.Eio, n))
+      in
+      walk 0 0 resps
+  | Some (Proto.R_err e) -> Error (`Err (lift_err e, 0))
+  | Some _ -> Error (`Err (Dpapi.Eio, 0))
+
 (* --- write-behind backlog (graceful degradation under partition) ------------- *)
 
 let backlog t = Queue.length t.wb
 
-(* Replay queued writes in FIFO order.  [`Blocked] = the server is still
-   unreachable; everything from the head on stays queued. *)
+(* Replay queued writes in FIFO order, piggybacking inline-sized runs
+   into one OP_PASSBATCH envelope.  [`Blocked] = the server is still
+   unreachable; everything not yet applied stays queued. *)
 let drain_backlog_internal t =
+  (* longest queue prefix that fits one envelope (never removes) *)
+  let batchable_prefix () =
+    let rec take seq acc n sz =
+      if n >= max_batch_items then List.rev acc
+      else
+        match Seq.uncons seq with
+        | Some (it, rest) ->
+            let s = item_size it in
+            if s <= batch_budget && sz + s <= batch_budget then
+              take rest (it :: acc) (n + 1) (sz + s)
+            else List.rev acc
+        | None -> List.rev acc
+    in
+    take (Queue.to_seq t.wb) [] 0 0
+  in
+  let pop_n n =
+    for _ = 1 to n do ignore (Queue.pop t.wb : wb_item) done
+  in
   let rec go () =
     match Queue.peek_opt t.wb with
     | None -> Ok ()
     | Some it -> (
-        match send_passwrite_now t it.wi_handle ~off:it.wi_off ~data:it.wi_data it.wi_bundle with
-        | Ok _ ->
-            ignore (Queue.pop t.wb : wb_item);
-            go ()
-        | Error `Timeout -> Error `Blocked
-        | Error (`Err e) ->
-            (* a hard server error is not transient: surface it rather
-               than wedging the queue behind an unservable item *)
-            ignore (Queue.pop t.wb : wb_item);
-            Error (`Err e))
+        match if t.piggyback then batchable_prefix () else [] with
+        | [] | [ _ ] -> (
+            (* a lone or oversized head goes down the single-write path
+               (which picks the transaction route when necessary) *)
+            match
+              send_passwrite_now t it.wi_handle ~off:it.wi_off ~data:it.wi_data it.wi_bundle
+            with
+            | Ok _ ->
+                pop_n 1;
+                go ()
+            | Error `Timeout -> Error `Blocked
+            | Error (`Err e) ->
+                (* a hard server error is not transient: surface it rather
+                   than wedging the queue behind an unservable item *)
+                pop_n 1;
+                Error (`Err e))
+        | items -> (
+            match send_batch_now t items with
+            | Ok _ ->
+                pop_n (List.length items);
+                go ()
+            | Error `Timeout -> Error `Blocked
+            | Error (`Err (e, applied)) ->
+                (* the applied prefix and the failing item leave the
+                   queue; items behind them were not attempted and stay *)
+                pop_n (applied + 1);
+                Error (`Err e)))
   in
   go ()
 
@@ -497,6 +514,14 @@ let enqueue_wb t (h : Dpapi.handle) ~off ~data bundle =
     Queue.add { wi_handle = h; wi_off = off; wi_data = data; wi_bundle = bundle } t.wb;
     Ok (Ctx.current_version t.ctx h.pnode)
   end
+
+let enqueue_items t items =
+  List.fold_left
+    (fun acc (it : wb_item) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok _ -> enqueue_wb t it.wi_handle ~off:it.wi_off ~data:it.wi_data it.wi_bundle)
+    (Ok 0) items
 
 let send_passwrite t (h : Dpapi.handle) ~off ~data bundle =
   let bundle = attach_pending t h bundle in
@@ -512,22 +537,162 @@ let send_passwrite t (h : Dpapi.handle) ~off ~data bundle =
       | Error (`Err e) -> Error e
       | Error `Timeout -> enqueue_wb t h ~off ~data bundle)
 
+(* Send an ordered run of independent writes, piggybacking inline-sized
+   groups into OP_PASSBATCH envelopes; an oversized item travels alone
+   (transaction path).  Timeouts park everything not yet acknowledged in
+   the backlog, in order, exactly like the single-write path. *)
+let send_items t items =
+  match drain_backlog_internal t with
+  | Error (`Err e) -> Error e
+  | Error `Blocked -> enqueue_items t items
+  | Ok () ->
+      let groups =
+        let rec go cur cur_sz acc = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | it :: rest ->
+              let s = item_size it in
+              if s > batch_budget then
+                go [] 0
+                  ([ it ] :: (if cur = [] then acc else List.rev cur :: acc))
+                  rest
+              else if cur <> [] && (cur_sz + s > batch_budget || List.length cur >= max_batch_items)
+              then go [ it ] s (List.rev cur :: acc) rest
+              else go (it :: cur) (cur_sz + s) acc rest
+        in
+        go [] 0 [] items
+      in
+      let rec send last = function
+        | [] -> Ok last
+        | group :: gs -> (
+            match group with
+            | [ (it : wb_item) ] -> (
+                match
+                  send_passwrite_now t it.wi_handle ~off:it.wi_off ~data:it.wi_data it.wi_bundle
+                with
+                | Ok v -> send v gs
+                | Error (`Err e) -> Error e
+                | Error `Timeout -> enqueue_items t (List.concat (group :: gs)))
+            | _ -> (
+                match send_batch_now t group with
+                | Ok v -> send v gs
+                | Error (`Err (e, _)) -> Error e
+                | Error `Timeout -> enqueue_items t (List.concat (group :: gs))))
+      in
+      send 0 groups
+
 let drain_backlog t =
   match drain_backlog_internal t with
   | Ok () -> Ok ()
   | Error `Blocked -> Error Dpapi.Eagain
   | Error (`Err e) -> Error e
 
-(* Flush the DPAPI write-behind buffer: one OP_PASSWRITE (or transaction)
-   carrying the coalesced data and every record gathered along the way. *)
+(* Flush the DPAPI write-behind buffers: one OP_PASSWRITE (or transaction)
+   per file when a single file is pending, one OP_PASSBATCH envelope when
+   several files' coalesced writes ride together. *)
 let flush_prov t =
   match t.prov_pending with
-  | None -> Ok 0
-  | Some vb ->
-      t.prov_pending <- None;
+  | [] -> Ok 0
+  | [ vb ] ->
+      t.prov_pending <- [];
       send_passwrite t vb.vb_handle ~off:vb.vb_off
         ~data:(Some (Buffer.contents vb.vb_data))
         (List.rev vb.vb_bundle)
+  | pending ->
+      t.prov_pending <- [];
+      let items =
+        List.rev_map
+          (fun vb ->
+            { wi_handle = vb.vb_handle; wi_off = vb.vb_off;
+              wi_data = Some (Buffer.contents vb.vb_data);
+              wi_bundle = attach_pending t vb.vb_handle (List.rev vb.vb_bundle) })
+          pending
+      in
+      send_items t items
+
+(* --- VFS face -------------------------------------------------------------- *)
+
+(* Close-to-open consistency: both write-behind buffers — the plain one
+   and the provenance/data riders — flush before any read, getattr or
+   namespace operation observes server state. *)
+let ops t : Vfs.ops =
+  let bad = Error Vfs.EIO in
+  let flush_then f =
+    match flush_prov t with
+    | Error e -> Error (lower_err e)
+    | Ok _ -> ( match flush_plain t with Error e -> Error e | Ok () -> f ())
+  in
+  {
+    root = (fun () -> Ext3.root_ino);
+    lookup =
+      (fun ~dir name ->
+        flush_then (fun () ->
+            match call t (Proto.Lookup { dir; name }) with
+            | Proto.R_ino ino -> Ok ino
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    create =
+      (fun ~dir name kind ->
+        flush_then (fun () ->
+            match call t (Proto.Create { dir; name; kind }) with
+            | Proto.R_ino ino -> Ok ino
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    unlink =
+      (fun ~dir name ->
+        flush_then (fun () ->
+            match call t (Proto.Remove { dir; name }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    rename =
+      (fun ~src_dir ~src_name ~dst_dir ~dst_name ->
+        flush_then (fun () ->
+            match call t (Proto.Rename { src_dir; src_name; dst_dir; dst_name }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    read =
+      (fun ino ~off ~len ->
+        flush_then (fun () ->
+            match call t (Proto.Read { ino; off; len }) with
+            | Proto.R_data d -> Ok d
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    write = (fun ino ~off data -> buffered_plain_write t ino ~off data);
+    truncate =
+      (fun ino size ->
+        flush_then (fun () ->
+            match call t (Proto.Truncate { ino; size }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    getattr =
+      (fun ino ->
+        flush_then (fun () ->
+            match call t (Proto.Getattr { ino }) with
+            | Proto.R_attr st -> Ok st
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    readdir =
+      (fun ino ->
+        flush_then (fun () ->
+            match call t (Proto.Readdir { ino }) with
+            | Proto.R_names names -> Ok names
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    fsync =
+      (fun ino ->
+        flush_then (fun () ->
+            match call t (Proto.Commit { ino }) with
+            | Proto.R_ok -> Ok ()
+            | Proto.R_err e -> Error e
+            | _ -> bad));
+    sync =
+      (fun () ->
+        match flush_prov t with
+        | Error e -> Error (lower_err e)
+        | Ok _ -> flush_plain t);
+  }
 
 let pass_read t (h : Dpapi.handle) ~off ~len =
   (match flush_prov t with Ok _ -> () | Error _ -> ());
@@ -542,45 +707,64 @@ let pass_read t (h : Dpapi.handle) ~off ~len =
   | Proto.R_err e -> Error (lift_err e)
   | _ -> Error Dpapi.Eio
 
+let pending_size t =
+  List.fold_left
+    (fun n vb -> n + Buffer.length vb.vb_data + Dpapi.bundle_size vb.vb_bundle)
+    0 t.prov_pending
+
+let find_pending t (h : Dpapi.handle) =
+  List.find_opt (fun vb -> Pnode.equal vb.vb_handle.Dpapi.pnode h.pnode) t.prov_pending
+
 let pass_write t (h : Dpapi.handle) ~off ~data bundle =
   let ( let* ) = Result.bind in
   match data with
   | None ->
-      (* provenance-only: merge into a matching pending buffer, else send
+      (* provenance-only: merge into this file's pending buffer, else send
          through directly *)
-      (match t.prov_pending with
-      | Some vb when Pnode.equal vb.vb_handle.Dpapi.pnode h.pnode ->
+      (match find_pending t h with
+      | Some vb ->
           vb.vb_bundle <- List.rev_append bundle vb.vb_bundle;
           Ok (Ctx.current_version t.ctx h.pnode)
-      | _ -> send_passwrite t h ~off ~data bundle)
+      | None -> send_passwrite t h ~off ~data bundle)
   | Some d ->
       (* would appending [d] (plus its records) overflow the 64 KB client
-         block?  flush first so the coalesced write stays a single
-         OP_PASSWRITE (headroom for the encoded bundle) *)
+         block?  flush first so the coalesced writes stay a single
+         envelope (headroom for the encoded bundles).  With [piggyback] a
+         write to a new file starts a rider buffer instead of flushing,
+         so several small files travel in one OP_PASSBATCH. *)
       let incoming = String.length d + Dpapi.bundle_size bundle in
-      let fits =
-        match t.prov_pending with
-        | Some vb ->
-            Pnode.equal vb.vb_handle.Dpapi.pnode h.pnode
-            && vb.vb_off + Buffer.length vb.vb_data = off
-            && Buffer.length vb.vb_data + Dpapi.bundle_size (List.rev vb.vb_bundle) + incoming
-               <= Proto.block_limit - 1024
+      if incoming > batch_budget then
+        (* can never ride an envelope: flush what is queued (order) and
+           send straight down — the transaction path takes over *)
+        let* _ = flush_prov t in
+        send_passwrite t h ~off ~data bundle
+      else
+      let contiguous =
+        match find_pending t h with
+        | Some vb -> vb.vb_off + Buffer.length vb.vb_data = off
         | None -> false
       in
+      let room = pending_size t + incoming <= batch_budget in
+      let fits = contiguous && room in
+      let rides =
+        t.piggyback && find_pending t h = None && room
+        && List.length t.prov_pending < max_batch_items
+      in
       let* () =
-        if fits then Ok () else match flush_prov t with Ok _ -> Ok () | Error e -> Error e
+        if fits || rides then Ok ()
+        else match flush_prov t with Ok _ -> Ok () | Error e -> Error e
       in
       let vb =
-        match t.prov_pending with
+        match find_pending t h with
         | Some vb -> vb
         | None ->
             let vb = { vb_handle = h; vb_off = off; vb_data = Buffer.create 8192; vb_bundle = [] } in
-            t.prov_pending <- Some vb;
+            t.prov_pending <- vb :: t.prov_pending;
             vb
       in
       Buffer.add_string vb.vb_data d;
       vb.vb_bundle <- List.rev_append bundle vb.vb_bundle;
-      if String.length d < 4096 then
+      if (not t.piggyback) && String.length d < 4096 then
         let* _v = flush_prov t in
         Ok (Ctx.current_version t.ctx h.pnode)
       else Ok (Ctx.current_version t.ctx h.pnode)
@@ -635,6 +819,14 @@ let pass_sync t (h : Dpapi.handle) =
   | Proto.R_ok -> Ok ()
   | Proto.R_err e -> Error (lift_err e)
   | _ -> Error Dpapi.Eio
+
+(* Close-to-open flush hook (for [Kernel.mount ~flush]): push both
+   write-behind buffers now.  A partition parks provenance in the backlog
+   instead of failing the close. *)
+let flush t =
+  match flush_prov t with
+  | Error e -> Error (lower_err e)
+  | Ok _ -> flush_plain t
 
 let endpoint t : Dpapi.endpoint =
   {

@@ -28,6 +28,7 @@ type stats = {
 val create :
   ?registry:Telemetry.registry ->
   ?wb_high_water:int ->
+  ?piggyback:bool ->
   ?tracer:Pvtrace.t ->
   net:Proto.net ->
   handler:(Proto.call -> Proto.resp) ->
@@ -41,7 +42,14 @@ val create :
     histogram of simulated round-trip nanoseconds (default
     {!Telemetry.default}).  [wb_high_water] (default 64) bounds the
     write-behind backlog used to ride out partitions: past it,
-    provenance writes fail with [Eagain] (backpressure). *)
+    provenance writes fail with [Eagain] (backpressure).
+
+    [piggyback] (the default) lets coalesced writes to several files ride
+    one [OP_PASSBATCH] envelope instead of one RPC each, and lets the
+    backlog drain in batched envelopes; each envelope travels under a
+    single sequence number, so replays hit the server's duplicate-request
+    cache as one unit.  [~piggyback:false] restores one RPC per write for
+    A/B comparison. *)
 
 val stats : t -> stats
 (** A point-in-time view over the [panfs.*] telemetry counters. *)
@@ -53,6 +61,12 @@ val crash : t -> unit
 val ops : t -> Vfs.ops
 val endpoint : t -> Dpapi.endpoint
 val file_handle : t -> Vfs.ino -> (Dpapi.handle, Vfs.errno) result
+
+val flush : t -> (unit, Vfs.errno) result
+(** Push both write-behind buffers (plain data and piggybacked
+    provenance) to the server now.  Intended as the [?flush] close-to-open
+    hook of {!Kernel.mount}; a partition parks provenance writes in the
+    backlog instead of failing. *)
 
 (** {1 Degraded mode}
 

@@ -19,6 +19,15 @@
 module Dpapi = Pass_core.Dpapi
 module Pnode = Pass_core.Pnode
 
+(* One provenance write riding in an OP_PASSBATCH envelope: the same
+   fields as a non-transactional OP_PASSWRITE. *)
+type batch_item = {
+  bi_pnode : Pnode.t;
+  bi_off : int;
+  bi_data : string option;
+  bi_bundle : Dpapi.bundle;
+}
+
 type req =
   | Lookup of { dir : Vfs.ino; name : string }
   | Create of { dir : Vfs.ino; name : string; kind : Vfs.kind }
@@ -44,6 +53,11 @@ type req =
   | Op_passreviveobj of { pnode : Pnode.t; version : int }
   | Op_passsync of { pnode : Pnode.t }
   | Op_pnode of { ino : Vfs.ino } (* pnode lookup for the client handle cache *)
+  | Op_passbatch of { writes : batch_item list }
+      (* several independent provenance writes piggybacked into one call
+         envelope; the server applies them in order and the whole batch
+         shares one duplicate-request-cache entry, so a replayed envelope
+         replays the cached replies instead of re-applying any item *)
 
 type resp =
   | R_err of Vfs.errno
@@ -56,11 +70,37 @@ type resp =
   | R_version of int
   | R_txn of int
   | R_handle of { pnode : Pnode.t }
+  | R_batch of resp list
+      (* one reply per applied OP_PASSBATCH item, in order; the server
+         stops at the first error, so the last element may be an R_err
+         and items beyond it were not applied *)
 
 (* 64 KB: the NFSv4 client block size that triggers transactions. *)
 let block_limit = 65536
 
 let kind_tag = function Vfs.Regular -> 0 | Vfs.Directory -> 1
+
+let encode_batch_item buf (it : batch_item) =
+  let open Wire in
+  put_i64 buf (Pnode.to_int it.bi_pnode);
+  put_i64 buf it.bi_off;
+  (match it.bi_data with
+  | None -> put_u8 buf 0
+  | Some d -> put_u8 buf 1; put_string buf d);
+  Dpapi.encode_bundle buf it.bi_bundle
+
+let decode_batch_item s pos =
+  let open Wire in
+  let bi_pnode = Pnode.of_int (get_i64 s pos) in
+  let bi_off = get_i64 s pos in
+  let bi_data =
+    match get_u8 s pos with
+    | 0 -> None
+    | 1 -> Some (get_string s pos)
+    | t -> Wire.corrupt "panfs: bad option tag %d" t
+  in
+  let bi_bundle = Dpapi.decode_bundle s pos in
+  { bi_pnode; bi_off; bi_data; bi_bundle }
 
 let encode_req buf req =
   let open Wire in
@@ -98,8 +138,9 @@ let encode_req buf req =
       put_u8 buf 25; put_i64 buf (Pnode.to_int pnode); put_i64 buf version
   | Op_passsync { pnode } -> put_u8 buf 26; put_i64 buf (Pnode.to_int pnode)
   | Op_pnode { ino } -> put_u8 buf 27; put_i64 buf ino
+  | Op_passbatch { writes } -> put_u8 buf 28; put_list buf encode_batch_item writes
 
-let encode_resp buf resp =
+let rec encode_resp buf resp =
   let open Wire in
   match resp with
   | R_err e -> put_u8 buf 1; put_string buf (Vfs.errno_to_string e)
@@ -115,6 +156,7 @@ let encode_resp buf resp =
   | R_version v -> put_u8 buf 8; put_i64 buf v
   | R_txn id -> put_u8 buf 9; put_i64 buf id
   | R_handle { pnode } -> put_u8 buf 10; put_i64 buf (Pnode.to_int pnode)
+  | R_batch resps -> put_u8 buf 11; put_list buf encode_resp resps
 
 let kind_of_tag = function
   | 0 -> Vfs.Regular
@@ -194,9 +236,10 @@ let decode_req s pos =
       Op_passreviveobj { pnode; version }
   | 26 -> Op_passsync { pnode = Pnode.of_int (get_i64 s pos) }
   | 27 -> Op_pnode { ino = get_i64 s pos }
+  | 28 -> Op_passbatch { writes = get_list decode_batch_item s pos }
   | t -> Wire.corrupt "panfs: bad request tag %d" t
 
-let decode_resp s pos =
+let rec decode_resp s pos =
   let open Wire in
   match get_u8 s pos with
   | 1 -> (
@@ -221,17 +264,23 @@ let decode_resp s pos =
   | 8 -> R_version (get_i64 s pos)
   | 9 -> R_txn (get_i64 s pos)
   | 10 -> R_handle { pnode = Pnode.of_int (get_i64 s pos) }
+  | 11 -> R_batch (get_list decode_resp s pos)
   | t -> Wire.corrupt "panfs: bad response tag %d" t
 
+(* Size probes are issued for every provenance write (to pick between the
+   inline and transactional paths); one scratch buffer replaces a fresh
+   allocation per probe. *)
+let size_scratch = Buffer.create 256
+
 let req_size req =
-  let buf = Buffer.create 64 in
-  encode_req buf req;
-  Buffer.length buf
+  Buffer.clear size_scratch;
+  encode_req size_scratch req;
+  Buffer.length size_scratch
 
 let resp_size resp =
-  let buf = Buffer.create 64 in
-  encode_resp buf resp;
-  Buffer.length buf
+  Buffer.clear size_scratch;
+  encode_resp size_scratch resp;
+  Buffer.length size_scratch
 
 (* The call envelope: client id + per-client sequence number, the key of
    the server's duplicate-request cache.  A retransmission reuses the
@@ -287,6 +336,7 @@ let req_name = function
   | Op_passreviveobj _ -> "rpc.passreviveobj"
   | Op_passsync _ -> "rpc.passsync"
   | Op_pnode _ -> "rpc.pnode"
+  | Op_passbatch _ -> "rpc.passbatch"
 
 (* The simulated network: a synchronous RPC charges one round trip of
    latency plus transfer at the link rate to the shared clock.  A fault
@@ -334,17 +384,23 @@ let timed_out net =
   Simdisk.Clock.advance net.clock net.timeout_ns;
   Error `Timeout
 
+(* Per-direction encode scratch: the RPC path is synchronous and handlers
+   never issue nested RPCs, so one request and one response buffer serve
+   every call ([Buffer.contents] copies out before the next reuse). *)
+let req_scratch = Buffer.create 1024
+let resp_scratch = Buffer.create 256
+
 (* Byte-level delivery: decode the datagram, execute, encode the reply. *)
 let deliver handler wire_req =
   let resp = handler (decode_call wire_req (ref 0)) in
-  let buf = Buffer.create 64 in
-  encode_resp buf resp;
-  (resp, Buffer.contents buf)
+  Buffer.clear resp_scratch;
+  encode_resp resp_scratch resp;
+  (resp, Buffer.contents resp_scratch)
 
 let rpc net handler (c : call) =
-  let buf = Buffer.create 256 in
-  encode_call buf c;
-  let wire_req = Buffer.contents buf in
+  Buffer.clear req_scratch;
+  encode_call req_scratch c;
+  let wire_req = Buffer.contents req_scratch in
   let now = Simdisk.Clock.now net.clock in
   if Fault.partitioned net.fault ~now then begin
     transmit net (String.length wire_req);

@@ -10,6 +10,15 @@
 module Dpapi = Pass_core.Dpapi
 module Pnode = Pass_core.Pnode
 
+type batch_item = {
+  bi_pnode : Pnode.t;
+  bi_off : int;
+  bi_data : string option;
+  bi_bundle : Dpapi.bundle;
+}
+(** One provenance write riding in an [OP_PASSBATCH] envelope — the same
+    fields as a non-transactional [OP_PASSWRITE]. *)
+
 type req =
   | Lookup of { dir : Vfs.ino; name : string }
   | Create of { dir : Vfs.ino; name : string; kind : Vfs.kind }
@@ -35,6 +44,12 @@ type req =
   | Op_passreviveobj of { pnode : Pnode.t; version : int }
   | Op_passsync of { pnode : Pnode.t }
   | Op_pnode of { ino : Vfs.ino }
+  | Op_passbatch of { writes : batch_item list }
+      (** Several independent provenance writes piggybacked into one call
+          envelope.  The server applies them in order and the whole batch
+          shares one duplicate-request-cache entry, so a replayed
+          envelope replays the cached replies instead of re-applying any
+          item. *)
 
 type resp =
   | R_err of Vfs.errno
@@ -47,6 +62,10 @@ type resp =
   | R_version of int
   | R_txn of int
   | R_handle of { pnode : Pnode.t }
+  | R_batch of resp list
+      (** One reply per applied [Op_passbatch] item, in order; the server
+          stops at the first error, so the last element may be an [R_err]
+          and items beyond it were not applied. *)
 
 val block_limit : int
 (** 64 KB: the client block size that triggers transactions. *)

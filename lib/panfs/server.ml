@@ -153,7 +153,7 @@ let localize_bundle t bundle =
    than the local ones for metadata-heavy workloads. *)
 let stable_metadata_ns = 2_800_000
 
-let handle_req t (req : Proto.req) : Proto.resp =
+let rec handle_req t (req : Proto.req) : Proto.resp =
   Telemetry.incr t.i.requests;
   (match req with
   | Proto.Create _ | Proto.Remove _ | Proto.Rename _ | Proto.Truncate _ ->
@@ -270,6 +270,24 @@ let handle_req t (req : Proto.req) : Proto.resp =
           match Lasagna.file_handle l ino with
           | Ok h -> R_handle { pnode = h.Dpapi.pnode }
           | Error e -> err e))
+  | Proto.Op_passbatch { writes } ->
+      (* apply in order, stopping at the first error: each item is
+         processed exactly like a non-transactional OP_PASSWRITE, and the
+         whole batch shares the caller's DRC entry so a replayed envelope
+         replays the cached replies instead of re-applying any item *)
+      let rec go acc = function
+        | [] -> Proto.R_batch (List.rev acc)
+        | (it : Proto.batch_item) :: rest -> (
+            match
+              handle_req t
+                (Proto.Op_passwrite
+                   { pnode = it.bi_pnode; off = it.bi_off; data = it.bi_data;
+                     bundle = it.bi_bundle; txn = None })
+            with
+            | Proto.R_err _ as e -> Proto.R_batch (List.rev (e :: acc))
+            | resp -> go (resp :: acc) rest)
+      in
+      go [] writes
 
 let handle t (c : Proto.call) : Proto.resp =
   (* Adopt the wire-carried context: every span below — including the
@@ -289,6 +307,17 @@ let handle t (c : Proto.call) : Proto.resp =
   | None ->
       Telemetry.incr t.i.drc_misses;
       let resp = handle_req t c.Proto.c_req in
+      (* a reply is a durability promise: the client drops its copy of any
+         provenance this request carried, so Lasagna's queued WAP frames
+         must reach the disk before the response leaves the server *)
+      let resp =
+        match t.lasagna with
+        | None -> resp
+        | Some l -> (
+            match resp with
+            | Proto.R_err _ -> resp
+            | _ -> ( match Lasagna.commit_log l with Ok () -> resp | Error e -> err e))
+      in
       Hashtbl.replace t.drc key resp;
       Queue.add key t.drc_order;
       if Queue.length t.drc_order > t.drc_capacity then

@@ -25,6 +25,9 @@ type mount = {
   m_ops : Vfs.ops; (* the file system processes see *)
   m_endpoint : Dpapi.endpoint option; (* DPAPI face when provenance-aware *)
   m_file_handle : (Vfs.ino -> (Dpapi.handle, Vfs.errno) result) option;
+  m_flush : (unit -> (unit, Vfs.errno) result) option;
+      (* close-to-open hook: a remote file system (PA-NFS) flushes its
+         write-behind buffers when a file on this mount is closed *)
 }
 
 type pass_stack = {
@@ -97,9 +100,10 @@ let cpu = charge
 let syscall_count t = t.syscall_count
 let pass_stack t = t.pass
 
-let mount t ~name ~ops ?endpoint ?file_handle () =
+let mount t ~name ~ops ?endpoint ?file_handle ?flush () =
   Hashtbl.replace t.mounts name
-    { m_name = name; m_ops = ops; m_endpoint = endpoint; m_file_handle = file_handle }
+    { m_name = name; m_ops = ops; m_endpoint = endpoint; m_file_handle = file_handle;
+      m_flush = flush }
 
 let set_pass t stack = t.pass <- Some stack
 
@@ -256,11 +260,13 @@ let close t ~pid ~fd =
   sys t "syscall.close" @@ fun () ->
   enter t;
   let p = proc t pid in
-  if Hashtbl.mem p.fds fd then begin
-    Hashtbl.remove p.fds fd;
-    Ok ()
-  end
-  else Error Vfs.EBADF
+  match Hashtbl.find_opt p.fds fd with
+  | Some e ->
+      Hashtbl.remove p.fds fd;
+      (* close-to-open consistency: a remote mount pushes its write-behind
+         buffers (data and piggybacked provenance) to the server on close *)
+      (match e.fd_mount.m_flush with Some f -> f () | None -> Ok ())
+  | None -> Error Vfs.EBADF
 
 let mmap t ~pid ~fd ~writable =
   sys t "syscall.mmap" @@ fun () ->

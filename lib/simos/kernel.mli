@@ -41,10 +41,14 @@ val mount :
   ops:Vfs.ops ->
   ?endpoint:Dpapi.endpoint ->
   ?file_handle:(Vfs.ino -> (Dpapi.handle, Vfs.errno) result) ->
+  ?flush:(unit -> (unit, Vfs.errno) result) ->
   unit ->
   unit
 (** Mount a file system at [/name].  Provenance-aware volumes also supply
-    their DPAPI endpoint and a file-handle resolver. *)
+    their DPAPI endpoint and a file-handle resolver.  [flush] is the
+    close-to-open hook of a remote file system: it is called when a file
+    on this mount is closed, so write-behind buffers reach the server
+    before any other client can open the file. *)
 
 val set_pass : t -> pass_stack -> unit
 (** Install the observer/analyzer/distributor chain (turns interception on). *)

@@ -96,7 +96,7 @@ let router t : Dpapi.endpoint =
   }
 
 let create ?(registry = Telemetry.default) ?fault ?(tracer = Pvtrace.disabled)
-    ~mode ~machine ~volume_names () =
+    ?(batching = true) ~mode ~machine ~volume_names () =
   let clock = Clock.create () in
   Pvtrace.set_now tracer (fun () -> Clock.now clock);
   let kernel = Kernel.create ~tracer ~clock ~machine () in
@@ -116,7 +116,7 @@ let create ?(registry = Telemetry.default) ?fault ?(tracer = Pvtrace.disabled)
         let ctx = Kernel.ctx kernel in
         let lasagna =
           Lasagna.create ~registry ~now:(fun () -> Clock.now clock) ~tracer
-            ~lower:(Ext3.ops ext3) ~ctx ~volume:name ~charge ()
+            ~group_commit:batching ~lower:(Ext3.ops ext3) ~ctx ~volume:name ~charge ()
         in
         let waldo = Waldo.create ~registry ~tracer ~lower:(Ext3.ops ext3) () in
         Waldo.attach waldo lasagna;
@@ -161,7 +161,7 @@ let create ?(registry = Telemetry.default) ?fault ?(tracer = Pvtrace.disabled)
         }
       in
       let observer =
-        Observer.create ~registry ~tracer ~ctx
+        Observer.create ~registry ~tracer ~batch:batching ~ctx
           ~lower:(Dpapi.traced ~tracer ~layer:"analyzer" timed) ()
       in
       Kernel.set_pass kernel { Kernel.observer; analyzer; distributor }
@@ -170,15 +170,20 @@ let create ?(registry = Telemetry.default) ?fault ?(tracer = Pvtrace.disabled)
 
 (* Mount an externally built file system (e.g. the PA-NFS client) on this
    machine. *)
-let mount_external t ~name ~ops ?endpoint ?file_handle () =
+let mount_external t ~name ~ops ?endpoint ?file_handle ?flush () =
   (match endpoint with
   | Some ep -> t.router_table <- (name, ep) :: t.router_table
   | None -> ());
-  Kernel.mount t.kernel ~name ~ops ?endpoint ?file_handle ()
+  Kernel.mount t.kernel ~name ~ops ?endpoint ?file_handle ?flush ()
 
 (* Drain all WAP logs into the Waldo databases; returns total orphaned
    transactions discarded. *)
 let drain t =
+  (match Kernel.pass_stack t.kernel with
+  | Some s -> (
+      (* release any observer burst still queued before the logs close *)
+      match Observer.flush s.Kernel.observer with Ok () -> () | Error _ -> ())
+  | None -> ());
   List.fold_left
     (fun acc v ->
       match (v.v_lasagna, v.v_waldo) with

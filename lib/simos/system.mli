@@ -25,6 +25,7 @@ val create :
   ?registry:Telemetry.registry ->
   ?fault:Fault.plan ->
   ?tracer:Pvtrace.t ->
+  ?batching:bool ->
   mode:mode ->
   machine:int ->
   volume_names:string list ->
@@ -65,10 +66,13 @@ val mount_external :
   ops:Vfs.ops ->
   ?endpoint:Dpapi.endpoint ->
   ?file_handle:(Vfs.ino -> (Dpapi.handle, Vfs.errno) result) ->
+  ?flush:(unit -> (unit, Vfs.errno) result) ->
   unit ->
   unit
 (** Mount an externally built file system (e.g. the PA-NFS client); with
-    an [endpoint] it also joins the provenance routing table. *)
+    an [endpoint] it also joins the provenance routing table, and with
+    [flush] its write-behind buffers are pushed on every close
+    (close-to-open consistency). *)
 
 val drain : t -> int
 (** Close and process every volume's WAP logs; returns orphaned

@@ -409,6 +409,15 @@ let name_under ~prefix name =
       && name.[pl] = '.'
       && String.equal (String.sub name 0 pl) prefix)
 
+(* A user-supplied prefix must name something: empty (which would match
+   everything) and empty dotted segments are operator typos. *)
+let validate_prefix prefix =
+  if String.equal prefix "" then
+    Error "empty PREFIX (omit the filter to keep everything)"
+  else if List.exists (String.equal "") (String.split_on_char '.' prefix) then
+    Error (Printf.sprintf "PREFIX %S has an empty dotted segment" prefix)
+  else Ok prefix
+
 (* --- snapshots ------------------------------------------------------------- *)
 
 (* Group same-named instruments: counters sum, gauges take the most recent

@@ -103,6 +103,14 @@ val name_under : prefix:string -> string -> bool
     matches everything.  Shared by [passctl stats --filter] and the
     pvtrace exporters. *)
 
+val validate_prefix : string -> (string, string) result
+(** Validate a user-supplied filter prefix before it reaches
+    {!name_under}: the empty string (for which [name_under] matches
+    everything) and prefixes with empty dotted segments ("", ".a",
+    "a..b", "a.") are rejected with a message; anything else passes
+    through unchanged.  CLI front-ends use this so a typo'd [--filter]
+    is a usage error, not a silent match-all. *)
+
 val snapshot : ?filter:string -> registry -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name: summary}}],
     keys sorted, same-named instruments aggregated (counters summed, gauges

@@ -120,12 +120,15 @@ let ingest_frame t = function
           ~outcome:"committed" ()
       end)
   | Wap_log.Bundle { txn = None; bundle; data } ->
-      ingest_bundle t bundle;
+      (* md5 first: the digest describes the write the frame records, so
+         its position must not depend on how many provenance-only writes
+         were coalesced into the same frame by client batching *)
       (match data with
       | Some d ->
           Provdb.add_record t.db d.d_pnode ~version:(cur_version t d.d_pnode)
             (Record.make Record.Attr.data_md5 (Pvalue.Bytes d.d_md5))
-      | None -> ())
+      | None -> ());
+      ingest_bundle t bundle
 
 (* Offline replay: ingest a list of already-parsed frames through the same
    production path `attach` uses.  pvcheck replays an unprocessed active

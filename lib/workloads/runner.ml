@@ -59,17 +59,17 @@ let standard ?(scale = 1.0) () =
 
 (* --- configurations -------------------------------------------------------- *)
 
-let local_system ?registry ?tracer mode =
-  System.create ?registry ?tracer ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
+let local_system ?registry ?tracer ?batching mode =
+  System.create ?registry ?tracer ?batching ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
 
 (* A client machine with an NFS mount at vol0.  In PASS mode the client
    keeps a small local scratch volume so the machine has a default PASS
    volume, mirroring the paper's workstation.  A [tracer] is shared by the
    client machine and the server, which is what lets server-side spans
    parent onto client RPC spans in the exported trace. *)
-let nfs_system ?registry ?tracer mode =
+let nfs_system ?registry ?tracer ?batching mode =
   let sys =
-    System.create ?registry ?tracer ~mode ~machine:1
+    System.create ?registry ?tracer ?batching ~mode ~machine:1
       ~volume_names:(match mode with System.Pass -> [ "scratch" ] | System.Vanilla -> [])
       ()
   in
@@ -82,7 +82,7 @@ let nfs_system ?registry ?tracer mode =
   in
   let net = Proto.net clock in
   let client =
-    Client.create ?registry ?tracer ~net ~handler:(Server.handle server)
+    Client.create ?registry ?tracer ?piggyback:batching ~net ~handler:(Server.handle server)
       ~ctx:(Kernel.ctx (System.kernel sys))
       ~mount_name:"vol0" ()
   in
@@ -90,7 +90,8 @@ let nfs_system ?registry ?tracer mode =
   | System.Pass ->
       System.mount_external sys ~name:"vol0" ~ops:(Client.ops client)
         ~endpoint:(Client.endpoint client)
-        ~file_handle:(Client.file_handle client) ()
+        ~file_handle:(Client.file_handle client)
+        ~flush:(fun () -> Client.flush client) ()
   | System.Vanilla -> System.mount_external sys ~name:"vol0" ~ops:(Client.ops client) ());
   (sys, server)
 

@@ -11,12 +11,22 @@ val standard : ?scale:float -> unit -> workload list
     PA-Kepler); [scale] shrinks the op counts for quick runs. *)
 
 val local_system :
-  ?registry:Telemetry.registry -> ?tracer:Pvtrace.t -> System.mode -> System.t
+  ?registry:Telemetry.registry ->
+  ?tracer:Pvtrace.t ->
+  ?batching:bool ->
+  System.mode ->
+  System.t
+
 val nfs_system :
   ?registry:Telemetry.registry ->
   ?tracer:Pvtrace.t ->
+  ?batching:bool ->
   System.mode ->
   System.t * Server.t
+(** [batching] (default on) threads through to {!System.create} (observer
+    bursts, Lasagna group commit) and, for {!nfs_system}, to the PA-NFS
+    client's [piggyback]; [~batching:false] restores one record / one frame
+    / one RPC at a time for A/B comparison. *)
 
 type row = {
   r_name : string;

@@ -48,7 +48,7 @@ type rig = {
   client : Client.t;
 }
 
-let rig ?(spec = Fault.default_chaos) ?wb_high_water ?tracer ~seed () =
+let rig ?(spec = Fault.default_chaos) ?wb_high_water ?piggyback ?tracer ~seed () =
   let registry = Telemetry.create () in
   let clock = Clock.create () in
   let plan = Fault.plan ~registry ~spec ~seed () in
@@ -58,8 +58,8 @@ let rig ?(spec = Fault.default_chaos) ?wb_high_water ?tracer ~seed () =
   in
   let net = Proto.net ~fault:plan clock in
   let client =
-    Client.create ~registry ?wb_high_water ?tracer ~net ~handler:(Server.handle server)
-      ~ctx:(Ctx.create ~machine:1) ~mount_name:"nfs0" ()
+    Client.create ~registry ?wb_high_water ?piggyback ?tracer ~net
+      ~handler:(Server.handle server) ~ctx:(Ctx.create ~machine:1) ~mount_name:"nfs0" ()
   in
   { registry; clock; plan; net; server; client }
 
@@ -75,8 +75,8 @@ type outcome = { o_registry : Telemetry.registry; o_digest : string; o_clock : i
    fault plan.  The model records only acknowledged writes; after faults
    clear, every modelled file must read back its last acked contents, and
    recovery over the server's volume must find zero inconsistencies. *)
-let postmark ~seed () =
-  let r = rig ~seed () in
+let postmark ?piggyback ~seed () =
+  let r = rig ?piggyback ~seed () in
   let ops = Client.ops r.client in
   (* path -> (handle, last acked content, acked provenance writes) *)
   let model : (string, Dpapi.handle * string * int) Hashtbl.t = Hashtbl.create 64 in
@@ -180,6 +180,58 @@ let test_postmark_under_chaos () =
       output_string oc (Telemetry.to_json o.o_registry);
       output_char oc '\n';
       close_out oc
+
+(* --- batching must not change the graph -------------------------------------- *)
+
+(* The same run with and without the client's piggyback batching must
+   produce the same provenance: batching changes how records travel (one
+   OP_PASSBATCH envelope vs one RPC each), never what the graph says.
+   Under a quiet plan the two server databases must be byte-identical and
+   recovery must report the same (clean) outcome; under the default chaos
+   plan the unbatched run must satisfy every invariant the batched
+   chaos.001 run already asserts (convergence, pvcheck-clean, exactly one
+   application per ack). *)
+let quiet_run ~piggyback ~seed =
+  let r = rig ~spec:Fault.quiet ~piggyback ~seed () in
+  let ops = Client.ops r.client in
+  for i = 0 to 23 do
+    let path = Printf.sprintf "/e%03d" i in
+    let ino = ok_fs (Vfs.create_path ops path Vfs.Regular) in
+    let h = ok_fs (Client.file_handle r.client ino) in
+    ignore
+      (ok
+         (Client.pass_write r.client h ~off:0 ~data:(Some path)
+            [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str path) ] ])
+        : int);
+    (* a provenance-only write that piggyback merges into the pending
+       buffer for the same file *)
+    if i mod 4 = 0 then
+      ignore
+        (ok
+           (Client.pass_write r.client h ~off:0 ~data:None
+              [ Dpapi.entry h [ Record.make "ENV" (Pvalue.Str "quiet") ] ])
+          : int)
+  done;
+  ok_fs (Client.flush r.client);
+  let report = ok_fs (Recovery.scan ~registry:r.registry (Ext3.ops (Server.ext3 r.server))) in
+  ignore (Server.drain r.server : int);
+  let db = Option.get (Server.db r.server) in
+  let v = Pvcheck.check_db ~volume:"nfs0" db in
+  if not (Pvcheck.clean v) then Alcotest.failf "pvcheck (quiet run):@ %a" Pvcheck.pp_report v;
+  (Provdb.serialize db, List.length report.Recovery.inconsistent, report.Recovery.open_txns)
+
+let test_batching_on_off_same_provdb () =
+  let seed = List.hd pinned_seeds in
+  (* chaos plan, batching off: all of chaos.001's invariants still hold *)
+  ignore (postmark ~piggyback:false ~seed () : outcome);
+  (* quiet plan: byte-identical provenance and recovery either way *)
+  let db_on, inc_on, txns_on = quiet_run ~piggyback:true ~seed in
+  let db_off, inc_off, txns_off = quiet_run ~piggyback:false ~seed in
+  check tint "recovery is clean with batching on" 0 inc_on;
+  check tint "identical recovery outcome" inc_on inc_off;
+  check (Alcotest.list tint) "identical open transactions" txns_on txns_off;
+  check tbool "batched and unbatched provdbs are byte-identical" true
+    (String.equal db_on db_off)
 
 (* --- determinism ------------------------------------------------------------- *)
 
@@ -486,6 +538,8 @@ let () =
             test_same_seed_identical;
           Alcotest.test_case "server spans parent onto client rpcs under chaos" `Quick
             test_wire_spans_under_chaos;
+          Alcotest.test_case "batching on/off leaves the provdb unchanged" `Quick
+            test_batching_on_off_same_provdb;
           Alcotest.test_case "blast txns never double-apply" `Quick test_blast_no_double_apply;
           Alcotest.test_case "backpressure bounds the write-behind backlog" `Quick
             test_backpressure_bounds_backlog;

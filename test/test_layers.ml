@@ -22,7 +22,8 @@ let test_five_layer_stack () =
   in
   System.mount_external sys ~name:"vol0" ~ops:(Client.ops client)
     ~endpoint:(Client.endpoint client)
-    ~file_handle:(Client.file_handle client) ();
+    ~file_handle:(Client.file_handle client)
+    ~flush:(fun () -> Client.flush client) ();
   let pid = Kernel.fork (System.kernel sys) ~parent:Kernel.init_pid in
   (* the provenance-aware library lives on the remote volume *)
   Pyth.write_file sys ~pid "/vol0/lib/stats.py"

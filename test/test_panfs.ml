@@ -27,7 +27,8 @@ let pa_setup () =
   in
   System.mount_external sys ~name:"nfs0" ~ops:(Client.ops client)
     ~endpoint:(Client.endpoint client)
-    ~file_handle:(Client.file_handle client) ();
+    ~file_handle:(Client.file_handle client)
+    ~flush:(fun () -> Client.flush client) ();
   (sys, server, client, net)
 
 let write_via_kernel sys ~pid ~path ~data =
@@ -178,6 +179,8 @@ let test_version_branching () =
   (* both flush; the server's view converges on max *)
   let _ = ok (Client.pass_write c1 h1 ~off:0 ~data:(Some "one") []) in
   let _ = ok (Client.pass_write c2 h2 ~off:0 ~data:(Some "two") []) in
+  ok_fs (Client.flush c1);
+  ok_fs (Client.flush c2);
   check tint "server converged" v1 (Ctx.current_version (Server.ctx server) h1.Dpapi.pnode)
 
 let test_figure1_two_servers () =
@@ -194,9 +197,11 @@ let test_figure1_two_servers () =
   let ca = Client.create ~net ~handler:(Server.handle server_a) ~ctx ~mount_name:"nfsA" () in
   let cb = Client.create ~net ~handler:(Server.handle server_b) ~ctx ~mount_name:"nfsB" () in
   System.mount_external sys ~name:"nfsA" ~ops:(Client.ops ca) ~endpoint:(Client.endpoint ca)
-    ~file_handle:(Client.file_handle ca) ();
+    ~file_handle:(Client.file_handle ca)
+    ~flush:(fun () -> Client.flush ca) ();
   System.mount_external sys ~name:"nfsB" ~ops:(Client.ops cb) ~endpoint:(Client.endpoint cb)
-    ~file_handle:(Client.file_handle cb) ();
+    ~file_handle:(Client.file_handle cb)
+    ~flush:(fun () -> Client.flush cb) ();
   let k = System.kernel sys in
   (* colleague writes the input on server A *)
   let colleague = Kernel.fork k ~parent:Kernel.init_pid in
@@ -256,7 +261,14 @@ let test_server_disk_crash () =
     let h = ok_fs (Client.file_handle client ino) in
     Simdisk.Disk.schedule_crash (Server.disk server) ~after_writes:crash_after;
     (match
-       Client.pass_write client h ~off:0 ~data:(Some (Helpers.payload ~seed:3 ~len:2048)) []
+       Result.bind
+         (Client.pass_write client h ~off:0 ~data:(Some (Helpers.payload ~seed:3 ~len:2048)) [])
+         (fun _ ->
+           (* the piggybacked write reaches the wire at the flush point *)
+           match Client.flush client with
+           | Ok () -> Ok 0
+           | Error Vfs.ECRASH -> Error Dpapi.Ecrashed
+           | Error _ -> Error Dpapi.Eio)
      with
     | Error Dpapi.Ecrashed -> () (* the interesting case *)
     | Ok _ -> () (* the whole write fit before the crash point *)
@@ -352,6 +364,15 @@ let test_proto_roundtrip_exhaustive () =
       Op_passreviveobj { pnode = p; version = 4 };
       Op_passsync { pnode = p };
       Op_pnode { ino = 6 };
+      Op_passbatch { writes = [] };
+      Op_passbatch
+        {
+          writes =
+            [
+              { bi_pnode = p; bi_off = 0; bi_data = Some "d"; bi_bundle = bundle };
+              { bi_pnode = p; bi_off = 9; bi_data = None; bi_bundle = [] };
+            ];
+        };
     ]
   in
   let resps : Proto.resp list =
@@ -369,6 +390,8 @@ let test_proto_roundtrip_exhaustive () =
       R_version 5;
       R_txn 8;
       R_handle { pnode = p };
+      R_batch [];
+      R_batch [ R_version 1; R_version 2; R_err Vfs.EIO ];
     ]
   in
   List.iteri (fun i r -> check tbool (Printf.sprintf "req #%d" i) true (rt_req r)) reqs;
@@ -431,6 +454,13 @@ let prop_proto_roundtrip =
         map2 (fun p v -> Proto.Op_passreviveobj { pnode = p; version = v }) pnode small_nat;
         map (fun p -> Proto.Op_passsync { pnode = p }) pnode;
         map (fun i -> Proto.Op_pnode { ino = i }) ino;
+        (let item =
+           map
+             (fun (((p, o), d), b) ->
+               { Proto.bi_pnode = p; bi_off = o; bi_data = d; bi_bundle = b })
+             (pair (pair (pair pnode off) (option payload)) bundle)
+         in
+         map (fun ws -> Proto.Op_passbatch { writes = ws }) (list_size (int_range 0 6) item));
       ]
   in
   QCheck2.Test.make ~name:"proto: every req round-trips the wire" ~count:300 gen_req rt_req

@@ -164,6 +164,18 @@ let test_name_under () =
   | Some (Telemetry.Json.Obj [ ("a.one", Telemetry.Json.Int 1) ]) -> ()
   | _ -> Alcotest.fail "filtered snapshot kept the wrong instruments"
 
+let test_validate_prefix () =
+  let ok s = match Telemetry.validate_prefix s with Ok p -> String.equal p s | Error _ -> false in
+  let rejected s = Result.is_error (Telemetry.validate_prefix s) in
+  (* the empty prefix would make name_under match everything: refuse it at
+     the CLI boundary instead of silently keeping the full snapshot *)
+  check tbool "empty prefix rejected" true (rejected "");
+  check tbool "single segment passes through" true (ok "analyzer");
+  check tbool "dotted prefix passes through" true (ok "panfs.client");
+  check tbool "leading dot rejected" true (rejected ".analyzer");
+  check tbool "trailing dot rejected" true (rejected "analyzer.");
+  check tbool "empty inner segment rejected" true (rejected "a..b")
+
 let test_snapshot_shape () =
   let reg = Telemetry.create () in
   Telemetry.add (Telemetry.counter ~registry:reg "z.c") 3;
@@ -228,6 +240,7 @@ let suite =
     Alcotest.test_case "json strictness" `Quick test_json_strictness;
     Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
     Alcotest.test_case "name_under filter" `Quick test_name_under;
+    Alcotest.test_case "validate_prefix rejects empty filters" `Quick test_validate_prefix;
     Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
     Alcotest.test_case "pipeline instruments" `Quick test_pipeline_instruments;
   ]
