@@ -432,6 +432,145 @@ let trace_bench ~scale =
   in
   (ok, json)
 
+(* --- RECOVERY: bounded restart via checkpointing ----------------------------- *)
+
+(* Grow the ingest history 1x/2x/4x and crash at the end of each run.
+   With Every_frames checkpointing, restart replays only the post-
+   watermark suffix, so the replayed frame count and the hot database's
+   memory stay flat as history grows; without a checkpoint the replay is
+   the whole history.  Gates: [bounded] (the checkpointed suffix does not
+   grow with history while the full replay does) and [memory_flat] (hot
+   bytes at 4x within 1.35x of 1x — expired versions live in the cold
+   archive, not in memory). *)
+let recovery_bench ~scale =
+  section "RECOVERY: bounded restart via checkpointing";
+  let okr what = function
+    | Ok v -> v
+    | Error e -> failwith (what ^ ": " ^ Vfs.errno_to_string e)
+  in
+  let run ~rounds ~checkpointed =
+    let clock = Simdisk.Clock.create () in
+    let disk = Simdisk.Disk.create ~clock () in
+    let ext3 = Ext3.format disk in
+    let ctx = Ctx.create ~machine:1 in
+    let lasagna =
+      Lasagna.create ~log_max:2048 ~lower:(Ext3.ops ext3) ~ctx ~volume:"vol0"
+        ~charge:(Simdisk.Clock.advance clock) ()
+    in
+    (* the control retains every log but never checkpoints: restart is
+       the original full-history replay *)
+    let policy = if checkpointed then Waldo.Every_frames 64 else Waldo.Manual in
+    let waldo =
+      Waldo.create ~policy
+        ?compact_keep:(if checkpointed then Some 2 else None)
+        ~lower:(Ext3.ops ext3) ()
+    in
+    Waldo.attach waldo lasagna;
+    let ep = Lasagna.endpoint lasagna in
+    let mk i =
+      let h =
+        match ep.Dpapi.pass_mkobj ~volume:(Some "vol0") with
+        | Ok h -> h
+        | Error e -> failwith (Dpapi.error_to_string e)
+      in
+      disclose_ ep h [ Record.name (Printf.sprintf "rec%d" i) ];
+      h
+    in
+    let files = Array.init 8 mk in
+    for round = 1 to rounds do
+      Array.iter
+        (fun h ->
+          disclose_ ep h [ Record.make "PARAMS" (Pvalue.Int round) ];
+          let _ : (int, Dpapi.error) result = ep.Dpapi.pass_freeze h in
+          ())
+        files
+    done;
+    ignore (Waldo.finalize waldo lasagna : int);
+    (* pull the plug and restart *)
+    Simdisk.Disk.crash disk;
+    Simdisk.Disk.revive disk;
+    let ext3 = Ext3.mount disk in
+    let before_ns = Simdisk.Clock.now clock in
+    let w2, info =
+      okr "recover"
+        (Waldo.recover ~policy
+           ?compact_keep:(if checkpointed then Some 2 else None)
+           ~lower:(Ext3.ops ext3) ())
+    in
+    let recover_ns = Simdisk.Clock.now clock - before_ns in
+    (info, recover_ns, Provdb.total_bytes (Waldo.db w2))
+  in
+  let base = max 6 (int_of_float (48. *. scale)) in
+  let histories = [ (1, base); (2, 2 * base); (4, 4 * base) ] in
+  let rows =
+    List.map
+      (fun (mult, rounds) ->
+        let info, ckpt_ns, hot_bytes = run ~rounds ~checkpointed:true in
+        let full, full_ns, full_bytes = run ~rounds ~checkpointed:false in
+        Printf.printf
+          "  history %dx (%3d rounds): replay %4d frames / %9d ns (checkpointed)  vs  %4d frames / %9d ns (full)\n"
+          mult rounds info.Waldo.ri_frames_replayed ckpt_ns
+          full.Waldo.ri_frames_replayed full_ns;
+        Printf.printf
+          "    gen %d, watermark %d, %d archive segment(s); hot db %d bytes vs %d unchecked\n"
+          info.Waldo.ri_gen info.Waldo.ri_watermark info.Waldo.ri_archives hot_bytes
+          full_bytes;
+        (mult, rounds, info, ckpt_ns, hot_bytes, full, full_ns))
+      histories
+  in
+  let nth i = List.nth rows i in
+  let _, _, i1, _, bytes1, _, _ = nth 0 in
+  let _, _, _, _, bytes2, _, _ = nth 1 in
+  let _, _, i4, ns4, bytes4, f4, full_ns4 = nth 2 in
+  let replay_frames_max =
+    List.fold_left
+      (fun acc (_, _, i, _, _, _, _) -> max acc i.Waldo.ri_frames_replayed)
+      0 rows
+  in
+  (* the checkpointed suffix is bounded by the checkpoint interval (plus a
+     log tail), not by history; the full replay grows with history *)
+  let bounded =
+    i4.Waldo.ri_frames_replayed <= i1.Waldo.ri_frames_replayed + 128
+    && 4 * i4.Waldo.ri_frames_replayed <= f4.Waldo.ri_frames_replayed
+    && ns4 < full_ns4
+    && List.for_all (fun (_, _, i, _, _, _, _) -> i.Waldo.ri_manifest) rows
+  in
+  (* hot size depends on where in the checkpoint cycle the crash lands
+     (the not-yet-covered suffix lives hot), so compare 4x against the
+     larger of the two shorter histories, not against 1x alone *)
+  let memory_flat =
+    float_of_int bytes4 <= 1.35 *. float_of_int (max bytes1 bytes2)
+  in
+  Printf.printf "  suffix bounded as history grows: %s\n"
+    (if bounded then "ok" else "FAILED");
+  Printf.printf "  hot-tier memory flat (4x vs shorter = %.2f): %s\n"
+    (float_of_int bytes4 /. float_of_int (max 1 (max bytes1 bytes2)))
+    (if memory_flat then "ok" else "FAILED");
+  let row_json (mult, rounds, (i : Waldo.recovery_info), ns, bytes, (f : Waldo.recovery_info), fns) =
+    J.Obj
+      [
+        ("history", J.Int mult);
+        ("rounds", J.Int rounds);
+        ("replay_frames", J.Int i.Waldo.ri_frames_replayed);
+        ("recover_ns", J.Int ns);
+        ("hot_bytes", J.Int bytes);
+        ("generation", J.Int i.Waldo.ri_gen);
+        ("archives", J.Int i.Waldo.ri_archives);
+        ("full_replay_frames", J.Int f.Waldo.ri_frames_replayed);
+        ("full_recover_ns", J.Int fns);
+      ]
+  in
+  let json =
+    J.Obj
+      [
+        ("bounded", J.Bool bounded);
+        ("memory_flat", J.Bool memory_flat);
+        ("replay_frames_max", J.Int replay_frames_max);
+        ("histories", J.List (List.map row_json rows));
+      ]
+  in
+  (bounded && memory_flat, json)
+
 (* --- Bechamel microbenchmarks ------------------------------------------------- *)
 
 let microbench () =
@@ -562,7 +701,7 @@ let self_check () =
 
 let results_file = "BENCH_results.json"
 
-let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~micro =
+let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~micro =
   let row_json (r : Runner.row) =
     J.Obj
       [
@@ -609,6 +748,7 @@ let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace
         ("self_check", self_check);
         ("faults", faults);
         ("trace", trace);
+        ("recovery", recovery);
         ("telemetry", Telemetry.snapshot registry);
         ("micro", micro_json);
       ]
@@ -633,8 +773,9 @@ let () =
   ablation_nfs_txn ();
   let faults_ok, faults = fault_bench () in
   let trace_ok, trace = trace_bench ~scale in
+  let recovery_ok, recovery = recovery_bench ~scale in
   let micro = microbench () in
   let check_ok, self_check = self_check () in
-  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~micro;
+  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~micro;
   Printf.printf "\ndone.\n";
-  if not (check_ok && faults_ok && trace_ok) then exit 1
+  if not (check_ok && faults_ok && trace_ok && recovery_ok) then exit 1

@@ -254,3 +254,23 @@ let next_disk_fault p ~now ~write =
 let events p = List.rev p.events
 let digest p = Digest.to_hex (Digest.string (String.concat "\n" (events p)))
 let injected_total p = p.injected
+
+(* Seeded crash-point selection for chaos sweeps: [count] distinct block
+   write ticks in [1, writes], drawn from the same LCG family as the
+   plans so a pinned seed replays the same sweep.  A chaos test measures
+   how many writes an operation issues, then crashes a fresh rig at each
+   returned tick via Simdisk's schedule_crash. *)
+let crash_points ~seed ~writes ~count =
+  let state = ref ((seed * 2654435761) lor 1) in
+  let draw bound =
+    state := (!state * 0x5DEECE66D) + 0xB;
+    abs (!state lsr 17) mod max 1 bound
+  in
+  let target = min count (max 0 writes) in
+  let rec go acc attempts =
+    if List.length acc >= target || attempts = 0 then acc
+    else
+      let k = 1 + draw writes in
+      go (if List.mem k acc then acc else k :: acc) (attempts - 1)
+  in
+  List.sort Int.compare (go [] (count * 64))

@@ -104,3 +104,9 @@ val digest : plan -> string
 
 val injected_total : plan -> int
 (** Number of faults injected so far. *)
+
+val crash_points : seed:int -> writes:int -> count:int -> int list
+(** [crash_points ~seed ~writes ~count] draws up to [count] distinct
+    block-write ticks in [[1, writes]], sorted ascending — the
+    [after_writes] values a chaos sweep feeds to the simulated disk's
+    crash scheduling.  Same seed, same sweep. *)

@@ -137,10 +137,26 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
     | Ok ino -> ino
     | Error e -> Vfs.fatal "lasagna: cannot make .pass" e
   in
+  (* Remount over retained logs: when Waldo runs under a checkpoint
+     policy, processed logs stay on disk until a checkpoint covers them,
+     so the active log's sequence number must resume past whatever
+     log.<n> already exists (the old active log is left as-is and is
+     replayed / covered like any closed log). *)
+  let log_seq =
+    match lower.Vfs.readdir pass_dir with
+    | Error e -> Vfs.fatal "lasagna: cannot read .pass" e
+    | Ok names ->
+        List.fold_left
+          (fun seq name ->
+            match Checkpoint.log_seq name with
+            | Some s when s + 1 > seq -> s + 1
+            | _ -> seq)
+          0 names
+  in
   let t =
     {
       lower; ctx; volume; charge; tracer; log_max; idle_ns; now; last_append_ns = 0; pass_dir;
-      log_seq = 0; log_ino = -1; log_off = 0; group_commit;
+      log_seq; log_ino = -1; log_off = 0; group_commit;
       pending = Buffer.create 1024; pending_frames = 0; listeners = [];
       by_pnode = Hashtbl.create 1024;
       by_ino = Hashtbl.create 1024;

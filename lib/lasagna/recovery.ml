@@ -29,8 +29,16 @@ type inconsistency = {
   reason : string;
 }
 
+type log_detail = {
+  l_name : string;
+  l_skipped : bool; (* covered by the checkpoint watermark, not read *)
+  l_frames : int; (* well-formed frames scanned (0 when skipped) *)
+}
+
 type report = {
   logs_scanned : int;
+  logs_skipped : int; (* logs below the checkpoint watermark, not read *)
+  watermark : int option; (* from the checkpoint MANIFEST, when one exists *)
   frames_ok : int;
   torn_bytes : int; (* bytes of torn log tail discarded across logs *)
   data_checked : int;
@@ -39,6 +47,7 @@ type report = {
   virtuals : Pnode.t list;
   open_txns : int list; (* PA-NFS transactions begun but never ended:
                            orphans Waldo will discard *)
+  log_details : log_detail list; (* per log, in sequence order *)
 }
 
 let ( let* ) = Result.bind
@@ -47,10 +56,8 @@ let list_logs lower =
   let* pass_dir = Vfs.lookup_path lower "/.pass" in
   let* names = lower.Vfs.readdir pass_dir in
   let logs =
-    List.filter (fun n -> String.length n > 4 && String.sub n 0 4 = "log.") names
-    |> List.sort (fun a b ->
-           let seq n = int_of_string_opt (String.sub n 4 (String.length n - 4)) in
-           Option.compare Int.compare (seq a) (seq b))
+    List.filter_map (fun n -> Option.map (fun s -> (s, n)) (Checkpoint.log_seq n)) names
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   Ok (pass_dir, logs)
 
@@ -79,6 +86,7 @@ let record_outcome registry ~io_retries report =
     Telemetry.add (Telemetry.counter ?registry ("wap.recovery." ^ name)) v
   in
   c "logs_scanned" report.logs_scanned;
+  c "logs_skipped" report.logs_skipped;
   c "frames_ok" report.frames_ok;
   c "torn_bytes" report.torn_bytes;
   c "data_checked" report.data_checked;
@@ -94,44 +102,68 @@ let bundle_has_endtxn bundle =
         e.records)
     bundle
 
-let scan ?registry lower =
+let scan ?registry ?(waldo_dir = "/.waldo") lower =
   let retried = ref 0 in
   let* pass_dir, logs = list_logs lower in
+  (* A durable checkpoint bounds the scan: logs below its watermark are
+     already reflected in the image, so they are skipped without being
+     read.  A missing or unreadable manifest just means a full scan. *)
+  let manifest =
+    match Checkpoint.read_manifest lower ~dir:waldo_dir with
+    | Ok m -> m
+    | Error _ -> None
+  in
+  let watermark = Option.map (fun m -> m.Checkpoint.m_watermark) manifest in
   let frames_ok = ref 0 and torn = ref 0 in
   let files = ref [] and virtuals = ref [] in
   let by_pnode = Hashtbl.create 64 in
   let last_data : (Pnode.t, Wap_log.data_id) Hashtbl.t = Hashtbl.create 64 in
   (* PA-NFS transactions: [seen] minus [ended] are the orphans a client
-     crash (or an abandoned retransmission) left behind *)
+     crash (or an abandoned retransmission) left behind.  Transactions
+     the checkpoint carried as in-flight began below the watermark, so
+     their BEGINTXN is in a skipped log: seed [seen] from the manifest
+     so an ENDTXN in the suffix still closes them. *)
   let txns_seen = ref [] and txns_ended = ref [] in
+  (match manifest with
+  | Some m -> txns_seen := List.rev m.Checkpoint.m_pending_txns
+  | None -> ());
+  let details = ref [] in
   let* () =
     List.fold_left
-      (fun acc name ->
+      (fun acc (seq, name) ->
         let* () = acc in
-        let* ino = with_io_retry retried (fun () -> lower.Vfs.lookup ~dir:pass_dir name) in
-        let* image = read_whole retried lower ino in
-        let frames, consumed = Wap_log.parse_log image in
-        torn := !torn + (String.length image - consumed);
-        List.iter
-          (fun frame ->
-            incr frames_ok;
-            match frame with
-            | Wap_log.Map { pnode; ino; name } ->
-                Hashtbl.replace by_pnode pnode ino;
-                files := (pnode, ino, name) :: !files
-            | Wap_log.Mkobj { pnode } -> virtuals := pnode :: !virtuals
-            | Wap_log.Bundle { txn; bundle; data } ->
-                (match txn with
-                | Some id ->
-                    if not (List.mem id !txns_seen) then txns_seen := id :: !txns_seen;
-                    if bundle_has_endtxn bundle && not (List.mem id !txns_ended) then
-                      txns_ended := id :: !txns_ended
-                | None -> ());
-                (match data with
-                | None -> ()
-                | Some d -> Hashtbl.replace last_data d.d_pnode d))
-          frames;
-        Ok ())
+        match watermark with
+        | Some w when seq < w ->
+            details := { l_name = name; l_skipped = true; l_frames = 0 } :: !details;
+            Ok ()
+        | _ ->
+            let* ino = with_io_retry retried (fun () -> lower.Vfs.lookup ~dir:pass_dir name) in
+            let* image = read_whole retried lower ino in
+            let frames, consumed = Wap_log.parse_log image in
+            torn := !torn + (String.length image - consumed);
+            List.iter
+              (fun frame ->
+                incr frames_ok;
+                match frame with
+                | Wap_log.Map { pnode; ino; name } ->
+                    Hashtbl.replace by_pnode pnode ino;
+                    files := (pnode, ino, name) :: !files
+                | Wap_log.Mkobj { pnode } -> virtuals := pnode :: !virtuals
+                | Wap_log.Bundle { txn; bundle; data } ->
+                    (match txn with
+                    | Some id ->
+                        if not (List.mem id !txns_seen) then txns_seen := id :: !txns_seen;
+                        if bundle_has_endtxn bundle && not (List.mem id !txns_ended) then
+                          txns_ended := id :: !txns_ended
+                    | None -> ());
+                    (match data with
+                    | None -> ()
+                    | Some d -> Hashtbl.replace last_data d.d_pnode d))
+              frames;
+            details :=
+              { l_name = name; l_skipped = false; l_frames = List.length frames }
+              :: !details;
+            Ok ())
       (Ok ()) logs
   in
   let bad = ref [] and checked = ref 0 in
@@ -162,9 +194,13 @@ let scan ?registry lower =
                     reason = "data digest mismatch" }
                   :: !bad))
     last_data;
+  let log_details = List.rev !details in
+  let skipped = List.length (List.filter (fun d -> d.l_skipped) log_details) in
   let report =
     {
-      logs_scanned = List.length logs;
+      logs_scanned = List.length logs - skipped;
+      logs_skipped = skipped;
+      watermark;
       frames_ok = !frames_ok;
       torn_bytes = !torn;
       data_checked = !checked;
@@ -174,6 +210,7 @@ let scan ?registry lower =
       open_txns =
         List.sort Int.compare
           (List.filter (fun id -> not (List.mem id !txns_ended)) !txns_seen);
+      log_details;
     }
   in
   record_outcome registry ~io_retries:!retried report;
@@ -181,8 +218,12 @@ let scan ?registry lower =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>logs=%d frames=%d torn_bytes=%d data_checked=%d inconsistent=%d open_txns=%d@]"
-    r.logs_scanned r.frames_ok r.torn_bytes r.data_checked (List.length r.inconsistent)
+    "@[<v>logs=%d skipped=%d%s frames=%d torn_bytes=%d data_checked=%d inconsistent=%d open_txns=%d@]"
+    r.logs_scanned r.logs_skipped
+    (match r.watermark with
+    | Some w -> Printf.sprintf " watermark=%d" w
+    | None -> "")
+    r.frames_ok r.torn_bytes r.data_checked (List.length r.inconsistent)
     (List.length r.open_txns)
 
 (* JSON form of the report, for [passctl recover --json] and the chaos
@@ -200,9 +241,19 @@ let report_to_json r : Telemetry.Json.t =
         ("reason", Str i.reason);
       ]
   in
+  let log_detail d =
+    Obj
+      [
+        ("name", Str d.l_name);
+        ("skipped", Bool d.l_skipped);
+        ("frames", Int d.l_frames);
+      ]
+  in
   Obj
     [
       ("logs_scanned", Int r.logs_scanned);
+      ("logs_skipped", Int r.logs_skipped);
+      ("watermark", (match r.watermark with None -> Null | Some w -> Int w));
       ("frames_ok", Int r.frames_ok);
       ("torn_bytes", Int r.torn_bytes);
       ("data_checked", Int r.data_checked);
@@ -210,4 +261,5 @@ let report_to_json r : Telemetry.Json.t =
       ("files", Int (List.length r.files));
       ("virtuals", Int (List.length r.virtuals));
       ("open_txns", List (List.map (fun id -> Int id) r.open_txns));
+      ("logs", List (List.map log_detail r.log_details));
     ]

@@ -9,7 +9,15 @@
    Evaluation is by environments: the FROM clause is a series of bindings,
    each extending every current environment with one binding of its
    variable to an endpoint of its path.  WHERE filters environments; the
-   SELECT clause projects (or aggregates) them. *)
+   SELECT clause projects (or aggregates) them.
+
+   Cold-tier transparency: every graph access below goes through the
+   Provdb accessors (records_at / out_edges / in_edges / attr_values),
+   which fault archived history in on demand when a query dips below a
+   node's compaction floor (DESIGN §13).  The evaluator therefore needs
+   no archive awareness of its own — an ancestry walk that crosses the
+   archive boundary sees the same graph as one over a never-compacted
+   database. *)
 
 open Pql_ast
 module Pnode = Pass_core.Pnode

@@ -1,0 +1,51 @@
+(* Cold-tier provenance archive (DESIGN §13).
+
+   Compaction moves expired versions out of the hot provdb into
+   append-only archive segments — each a digest-framed provdb image
+   holding one generation's newly-expired version range, named by the
+   checkpoint MANIFEST.  Queries that never dip below a node's floor run
+   entirely hot; the first one that does faults every listed segment
+   back in through {!Provdb.set_fault_handler}, after which the db
+   answers exactly as if it had never been compacted. *)
+
+let ( let* ) = Result.bind
+
+let counter ?registry name = Telemetry.counter ?registry ("waldo." ^ name)
+
+(* Read, verify and merge every archive segment into [dst].  A segment
+   whose payload digest disagrees with the digest the manifest recorded
+   is treated as corrupt (EIO), same as a torn frame. *)
+let load_into ?registry lower ~dir ~segments dst =
+  let loaded = counter ?registry "archive_segments_loaded" in
+  List.fold_left
+    (fun acc (name, digest) ->
+      let* () = acc in
+      let* payload, stored = Checkpoint.read_verified lower ~path:(dir ^ "/" ^ name) in
+      if not (String.equal stored digest) then Error Vfs.EIO
+      else
+        match Provdb.deserialize payload with
+        | cold ->
+            Provdb.merge_into ~dst ~src:cold;
+            Telemetry.incr loaded;
+            Ok ()
+        | exception Wire.Corrupt _ -> Error Vfs.EIO)
+    (Ok ()) segments
+
+(* Arm [db] to fault the archive in on demand.  The handler loads ALL
+   segments in manifest order (oldest first) so version ranges land in
+   ingest order; Provdb's cold_loaded flag guarantees it runs at most
+   once per successful load. *)
+let install_handler ?registry lower ~dir ~segments db =
+  if segments <> [] then begin
+    let fault_ins = counter ?registry "archive_fault_ins" in
+    let load_errors = counter ?registry "archive_load_errors" in
+    Provdb.set_fault_handler db (fun dst ->
+        Telemetry.incr fault_ins;
+        match load_into ?registry lower ~dir ~segments dst with
+        | Ok () -> true
+        | Error e ->
+            Telemetry.incr load_errors;
+            Logs.warn (fun m ->
+                m "waldo: archive fault-in failed: %s" (Vfs.errno_to_string e));
+            false)
+  end

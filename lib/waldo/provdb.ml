@@ -31,6 +31,11 @@ type node = {
          because an ancestry record referenced them.  pvcheck's
          cross-layer pass keys on this: a referenced-but-never-declared
          object is a dangling identity. *)
+  mutable floor : int;
+      (* versions below the floor were compacted into a cold-tier archive
+         segment; the hot db holds [floor, max_version].  0 = nothing
+         archived.  Queries that dip below a floor fault the archive in
+         through the registered handler. *)
 }
 
 type quad = { q_pnode : Pnode.t; q_version : int; q_attr : string; q_value : Pvalue.t }
@@ -45,7 +50,14 @@ type t = {
   mutable quad_count : int;
   mutable db_bytes : int;
   mutable index_bytes : int;
+  mutable floored : int;  (* how many nodes have floor > 0 *)
+  mutable cold_loaded : bool;  (* archive history already faulted in *)
+  mutable fault_handler : fault_handler option;
 }
+
+and fault_handler = t -> bool
+(* Loads archived history into the db (via add_record/merge_into);
+   returns false on an IO failure so the fault-in can be retried. *)
 
 let create () =
   {
@@ -58,6 +70,9 @@ let create () =
     quad_count = 0;
     db_bytes = 0;
     index_bytes = 0;
+    floored = 0;
+    cold_loaded = false;
+    fault_handler = None;
   }
 
 let multi_add tbl key v =
@@ -69,7 +84,9 @@ let node t pnode =
   match Hashtbl.find_opt t.nodes pnode with
   | Some n -> n
   | None ->
-      let n = { pnode; kind = Virtual; node_name = None; max_version = 0; declared = false } in
+      let n =
+        { pnode; kind = Virtual; node_name = None; max_version = 0; declared = false; floor = 0 }
+      in
       Hashtbl.add t.nodes pnode n;
       t.db_bytes <- t.db_bytes + 24;
       n
@@ -123,6 +140,34 @@ let add_record t pnode ~version (record : Record.t) =
       end
   | _ -> ())
 
+(* --- cold-tier fault-in --------------------------------------------------- *)
+
+(* Floors are only ever set through this so [floored] stays in sync. *)
+let set_floor t (n : node) f =
+  if n.floor = 0 && f > 0 then t.floored <- t.floored + 1
+  else if n.floor > 0 && f = 0 then t.floored <- t.floored - 1;
+  n.floor <- f
+
+let set_fault_handler t f = t.fault_handler <- Some f
+let cold_loaded t = t.cold_loaded
+let has_cold t = t.floored > 0
+
+(* Load archived history on first demand.  [cold_loaded] is set before
+   the handler runs: the handler repopulates the db with add_record /
+   merge_into, which never read back through the triggering accessors,
+   and the flag keeps a recursive trigger from looping.  Floors are NOT
+   cleared — they still describe which versions live in which tier —
+   so the flag is the only re-trigger gate; on handler failure it is
+   reset so a later query retries the IO. *)
+let maybe_fault_in t =
+  match t.fault_handler with
+  | Some f when (not t.cold_loaded) && t.floored > 0 ->
+      t.cold_loaded <- true;
+      if not (f t) then t.cold_loaded <- false
+  | _ -> ()
+
+let fault_in t = maybe_fault_in t
+
 (* --- query access -------------------------------------------------------- *)
 
 let find_node t pnode = Hashtbl.find_opt t.nodes pnode
@@ -148,16 +193,32 @@ let versions t pnode =
   | None -> []
   | Some n -> List.init (n.max_version + 1) Fun.id
 
-let records_at t pnode ~version =
+(* Raw accessors see only what is resident — serialize and compact use
+   them so snapshotting the hot tier never faults the archive in. *)
+let records_at_raw t pnode ~version =
   match Hashtbl.find_opt t.quads (pnode, version) with
   | Some l -> List.rev !l
   | None -> []
+
+let out_edges_raw t pnode ~version =
+  match Hashtbl.find_opt t.fwd (pnode, version) with Some l -> List.rev !l | None -> []
+
+(* A query for a version below the node's floor needs archived history. *)
+let below_floor t pnode version =
+  match Hashtbl.find_opt t.nodes pnode with
+  | Some n -> version < n.floor
+  | None -> false
+
+let records_at t pnode ~version =
+  if below_floor t pnode version then maybe_fault_in t;
+  records_at_raw t pnode ~version
 
 let records_all t pnode =
   List.concat_map (fun v -> records_at t pnode ~version:v) (versions t pnode)
 
 let out_edges t pnode ~version =
-  match Hashtbl.find_opt t.fwd (pnode, version) with Some l -> List.rev !l | None -> []
+  if below_floor t pnode version then maybe_fault_in t;
+  out_edges_raw t pnode ~version
 
 let out_edges_all t pnode =
   List.concat_map
@@ -165,9 +226,13 @@ let out_edges_all t pnode =
     (versions t pnode)
 
 let in_edges t pnode =
+  (* reverse edges into [pnode] can originate from any node's archived
+     versions, so the presence of any floor is reason to fault in *)
+  if t.floored > 0 then maybe_fault_in t;
   match Hashtbl.find_opt t.rev pnode with Some l -> List.rev !l | None -> []
 
 let with_attr t attr =
+  if t.floored > 0 then maybe_fault_in t;
   match Hashtbl.find_opt t.attr_index attr with
   | Some l -> List.sort_uniq compare_pv !l
   | None -> []
@@ -195,7 +260,7 @@ let merge_into ~dst ~src =
              dangling reference into a declared identity *)
           let _ : node = node dst n.pnode in
           ());
-      match n.node_name with
+      (match n.node_name with
       | Some nm when n.kind = Virtual ->
           (* preserve names of virtual objects too *)
           let d = node dst n.pnode in
@@ -203,7 +268,13 @@ let merge_into ~dst ~src =
             d.node_name <- Some nm;
             multi_add dst.names nm n.pnode
           end
-      | _ -> ())
+      | _ -> ());
+      (* carry version metadata: the max known version can exceed the
+         highest resident quad (empty versions), and the archive floor
+         must survive a merge-based load *)
+      let d = node dst n.pnode in
+      if n.max_version > d.max_version then d.max_version <- n.max_version;
+      if n.floor > d.floor then set_floor dst d n.floor)
     src.nodes;
   Hashtbl.iter
     (fun (pnode, version) quads ->
@@ -216,10 +287,15 @@ let merge_into ~dst ~src =
 
 (* Serialize the node and quad tables (indexes are rebuilt on load, since
    add_record maintains them).  Deterministic order so persisted images
-   are stable. *)
+   are stable.  Only resident quads are written (raw accessors), so the
+   hot tier snapshots without faulting the archive in.  Quad bytes are a
+   pure function of which versions are resident — each version's quads
+   live wholly in one tier and keep their ingest order — so two dbs that
+   went through the same compaction history serialize identically no
+   matter how they got there (replay, image load, fault-in). *)
 let serialize t =
   let buf = Buffer.create 65536 in
-  Wire.put_string buf "PROVDB2";
+  Wire.put_string buf "PROVDB3";
   let nodes = List.sort (fun a b -> Pnode.compare a.pnode b.pnode) (all_nodes t) in
   Wire.put_u32 buf (List.length nodes);
   List.iter
@@ -231,12 +307,15 @@ let serialize t =
         | Virtual, true -> 2
         | Virtual, false -> 0);
       Wire.put_string buf (Option.value n.node_name ~default:"");
-      Wire.put_i64 buf n.max_version)
+      Wire.put_i64 buf n.max_version;
+      Wire.put_i64 buf n.floor)
     nodes;
   let quads =
     List.concat_map
       (fun n ->
-        List.concat_map (fun v -> records_at t n.pnode ~version:v) (versions t n.pnode))
+        List.concat_map
+          (fun v -> records_at_raw t n.pnode ~version:v)
+          (List.init (n.max_version + 1) Fun.id))
       nodes
   in
   Wire.put_u32 buf (List.length quads);
@@ -250,15 +329,20 @@ let serialize t =
 
 let deserialize image =
   let pos = ref 0 in
-  if not (String.equal (Wire.get_string image pos) "PROVDB2") then
-    Wire.corrupt "provdb: bad magic";
+  let version =
+    match Wire.get_string image pos with
+    | "PROVDB3" -> 3
+    | "PROVDB2" -> 2 (* pre-floor images, still loadable *)
+    | _ -> Wire.corrupt "provdb: bad magic"
+  in
   let t = create () in
   let n_nodes = Wire.get_u32 image pos in
   for _ = 1 to n_nodes do
     let pnode = Pnode.of_int (Wire.get_i64 image pos) in
     let kind = Wire.get_u8 image pos in
     let name = Wire.get_string image pos in
-    let _maxv = Wire.get_i64 image pos in
+    let maxv = Wire.get_i64 image pos in
+    let floor = if version >= 3 then Wire.get_i64 image pos else 0 in
     (match kind with
     | 1 -> set_file t pnode ~name
     | 2 ->
@@ -273,7 +357,12 @@ let deserialize image =
         end
     | _ ->
         let _ : node = node t pnode in
-        ())
+        ());
+    (* honour stored version metadata: a compacted image's floor, and a
+       max_version that may exceed the highest resident quad *)
+    let n = node t pnode in
+    if maxv > n.max_version then n.max_version <- maxv;
+    if floor > 0 then set_floor t n floor
   done;
   let n_quads = Wire.get_u32 image pos in
   for _ = 1 to n_quads do
@@ -283,6 +372,70 @@ let deserialize image =
     add_record t pnode ~version record
   done;
   t
+
+(* --- version compaction ---------------------------------------------------- *)
+
+(* Split [t] into a hot db and a cold db along the paper's frozen-version
+   semantics: a version below the latest is frozen (immutable), so all
+   but the newest [keep] versions of each node can move to the cold
+   tier.  Per node the cutoff is [max floor (max_version - keep + 1)]:
+
+   - versions in [floor, cutoff) — newly expired — go to the cold db,
+     which becomes this generation's archive segment;
+   - versions below the old floor are NOT re-emitted even when they are
+     resident (faulted in): they already live in earlier segments, which
+     are append-only;
+   - the hot db keeps [cutoff, max_version] with its floor raised to the
+     cutoff.
+
+   Both outputs carry the full node table (node entries are a few dozen
+   bytes; quads and edges are the bulk), so the hot tier can answer
+   existence/name/version queries without touching the archive. *)
+let compact t ~keep =
+  let keep = max 1 keep in
+  let hot = create () and cold = create () in
+  let nodes = List.sort (fun a b -> Pnode.compare a.pnode b.pnode) (all_nodes t) in
+  let copy_node dst (n : node) =
+    (match (n.kind, n.declared) with
+    | File, _ -> set_file dst n.pnode ~name:(Option.value n.node_name ~default:"")
+    | Virtual, true -> declare_virtual dst n.pnode
+    | Virtual, false ->
+        let _ : node = node dst n.pnode in
+        ());
+    (match n.node_name with
+    | Some nm when n.kind = Virtual ->
+        let d = node dst n.pnode in
+        if d.node_name = None then begin
+          d.node_name <- Some nm;
+          multi_add dst.names nm n.pnode
+        end
+    | _ -> ());
+    let d = node dst n.pnode in
+    if n.max_version > d.max_version then d.max_version <- n.max_version
+  in
+  (* node tables first so add_record below finds fully-described nodes *)
+  List.iter
+    (fun n ->
+      copy_node hot n;
+      copy_node cold n)
+    nodes;
+  List.iter
+    (fun (n : node) ->
+      let cutoff = max n.floor (max 0 (n.max_version - keep + 1)) in
+      for v = n.floor to n.max_version do
+        let dst = if v < cutoff then cold else hot in
+        List.iter
+          (fun (q : quad) ->
+            add_record dst q.q_pnode ~version:v { Record.attr = q.q_attr; value = q.q_value })
+          (records_at_raw t n.pnode ~version:v)
+      done;
+      let hn = node hot n.pnode in
+      set_floor hot hn cutoff;
+      (* the cold db records the segment's base so it is self-describing *)
+      let cn = node cold n.pnode in
+      set_floor cold cn n.floor)
+    nodes;
+  (hot, cold)
 
 (* --- integrity ----------------------------------------------------------- *)
 

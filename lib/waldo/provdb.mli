@@ -20,6 +20,12 @@ type node = {
       (** Whether some layer announced the object (a Map or Mkobj frame);
           [false] for nodes that exist only because an ancestry record
           referenced them.  The pvcheck cross-layer pass keys on this. *)
+  mutable floor : int;
+      (** Versions below the floor were compacted into a cold-tier
+          archive segment; the hot db holds [floor, max_version].  [0]
+          means nothing archived.  Maintained by {!compact},
+          {!deserialize} and {!merge_into} — not meant to be set by
+          hand. *)
 }
 
 type quad = { q_pnode : Pnode.t; q_version : int; q_attr : string; q_value : Pvalue.t }
@@ -73,7 +79,32 @@ val deserialize : string -> t
 val merge_into : dst:t -> src:t -> unit
 (** Merge [src] into [dst], giving the query engine a unified view over
     several volumes (e.g. the Figure 1 scenario's two NFS servers plus
-    the local disk). *)
+    the local disk).  Version metadata is carried along: [dst] nodes
+    take the max of both sides' [max_version] and [floor]. *)
+
+val compact : t -> keep:int -> t * t
+(** [compact t ~keep] splits [t] into [(hot, cold)] along the paper's
+    frozen-version semantics.  Per node, all but the newest [keep]
+    versions move to [cold] (this generation's archive segment); [hot]
+    keeps the rest with its floor raised.  Versions below the previous
+    floor are never re-emitted — earlier archive segments are
+    append-only.  Both outputs carry the full node table. *)
+
+val set_fault_handler : t -> (t -> bool) -> unit
+(** Register the archive fault-in handler: called at most once per
+    load (guarded by {!cold_loaded}) when a query needs versions below
+    some node's floor.  The handler repopulates [t] from the cold tier
+    and returns [false] on an IO failure, which re-arms the trigger. *)
+
+val fault_in : t -> unit
+(** Explicitly load archived history now (no-op without a handler,
+    archived versions, or when already loaded). *)
+
+val cold_loaded : t -> bool
+(** Whether archived history has been faulted in. *)
+
+val has_cold : t -> bool
+(** Whether any node has a floor above 0 (i.e. an archive exists). *)
 
 val db_bytes : t -> int
 val index_bytes : t -> int

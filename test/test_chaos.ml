@@ -497,6 +497,182 @@ let test_latent_corruption_reported () =
   corruption_case "corrupt sector" (fun q -> { q with Fault.corrupt_sector = 1000 });
   corruption_case "torn write" (fun q -> { q with Fault.torn_write = 1000 })
 
+(* --- crashes during checkpoint / truncate / archive -------------------------- *)
+
+(* A local Lasagna+Waldo rig with a checkpoint policy; the disk is
+   exposed so the sweep can pull the plug at a chosen write tick. *)
+let ckpt_rig ~registry ?policy ?compact_keep () =
+  let clock = Clock.create () in
+  let disk = Disk.create ~registry ~clock () in
+  let ext3 = Ext3.format disk in
+  let lasagna =
+    Lasagna.create ~registry ~log_max:256 ~lower:(Ext3.ops ext3)
+      ~ctx:(Ctx.create ~machine:1) ~volume:"vol0" ~charge:(Clock.advance clock) ()
+  in
+  let waldo = Waldo.create ~registry ?policy ?compact_keep ~lower:(Ext3.ops ext3) () in
+  Waldo.attach waldo lasagna;
+  (disk, ext3, lasagna, waldo)
+
+(* Deterministic version history: 6 files, 3 freeze rounds each, so a
+   compacting checkpoint has versions to push into the cold tier. *)
+let ckpt_workload lasagna waldo =
+  let ep = Lasagna.endpoint lasagna in
+  let hs =
+    Array.init 6 (fun i ->
+        let h = ok (ep.Dpapi.pass_mkobj ~volume:(Some "vol0")) in
+        ok (Dpapi.disclose ep h [ Record.name (Printf.sprintf "f%d" i) ]);
+        h)
+  in
+  for round = 1 to 3 do
+    Array.iter
+      (fun h ->
+        ok (Dpapi.disclose ep h [ Record.make "PARAMS" (Pvalue.Int round) ]);
+        ignore (ok (ep.Dpapi.pass_freeze h) : int))
+      hs
+  done;
+  ignore (Waldo.finalize waldo lasagna : int);
+  hs
+
+(* Crash at every disk-write tick of a compacting checkpoint (image,
+   archive segment, pending sidecar, MANIFEST rename, truncation,
+   old-generation cleanup).  Whatever the tick, recovery must land on a
+   provdb byte-identical to the no-crash run's, and pvcheck must come
+   back clean over checkpoint + archive + suffix.  Ticks before the
+   MANIFEST rename recover to the pre-checkpoint state (all logs
+   intact) and re-checkpoint; ticks after it adopt the new image and
+   finish the interrupted cleanup. *)
+let test_crash_during_checkpoint_sweep () =
+  (* reference: the same rig, checkpointed without a crash *)
+  let reference, ckpt_writes =
+    let registry = Telemetry.create () in
+    let disk, _ext3, lasagna, waldo =
+      ckpt_rig ~registry ~policy:Waldo.Manual ~compact_keep:1 ()
+    in
+    ignore (ckpt_workload lasagna waldo : Dpapi.handle array);
+    let before = (Disk.stats disk).writes in
+    ok_fs (Waldo.checkpoint waldo);
+    let writes = (Disk.stats disk).writes - before in
+    Waldo.fault_in_archive waldo;
+    (Provdb.serialize (Waldo.db waldo), writes)
+  in
+  check tbool "checkpoint hits the disk" true (ckpt_writes > 0);
+  let ticks =
+    if ckpt_writes <= 64 then List.init ckpt_writes (fun i -> i + 1)
+    else
+      (* too many ticks to sweep exhaustively: seeded sample, endpoints pinned *)
+      List.sort_uniq Int.compare
+        ((1 :: [ ckpt_writes ])
+        @ List.concat_map
+            (fun seed -> Fault.crash_points ~seed ~writes:ckpt_writes ~count:24)
+            pinned_seeds)
+  in
+  let precommit = ref 0 and postcommit = ref 0 in
+  List.iter
+    (fun k ->
+      let registry = Telemetry.create () in
+      let disk, _ext3, lasagna, waldo =
+        ckpt_rig ~registry ~policy:Waldo.Manual ~compact_keep:1 ()
+      in
+      ignore (ckpt_workload lasagna waldo : Dpapi.handle array);
+      Disk.schedule_crash disk ~after_writes:k;
+      (match Waldo.checkpoint waldo with Ok () | Error _ -> ());
+      Disk.revive disk;
+      let ext3 = Ext3.mount disk in
+      let lower = Ext3.ops ext3 in
+      let w2, info =
+        ok_fs (Waldo.recover ~registry ~policy:Waldo.Manual ~compact_keep:1 ~lower ())
+      in
+      (if info.Waldo.ri_manifest then begin
+         (* the MANIFEST rename had landed: the new checkpoint wins *)
+         incr postcommit;
+         check tint (Printf.sprintf "tick %d: recovered generation" k) 1 info.Waldo.ri_gen;
+         (* covered logs may still be on disk (crash before truncation
+            finished) but are skipped unread; only the suffix replays *)
+         check tbool
+           (Printf.sprintf "tick %d: replay bounded by the watermark" k)
+           true
+           (info.Waldo.ri_logs_replayed <= 1)
+       end
+       else begin
+         (* pre-commit crash: every log survived; re-checkpoint and the
+            sweep converges on the very same image *)
+         incr precommit;
+         check tbool
+           (Printf.sprintf "tick %d: pre-commit crash keeps all logs" k)
+           true
+           (info.Waldo.ri_logs_replayed >= 1);
+         ok_fs (Waldo.checkpoint w2)
+       end);
+      Waldo.fault_in_archive w2;
+      if not (String.equal reference (Provdb.serialize (Waldo.db w2))) then
+        Alcotest.failf "crash at write tick %d diverged from the no-crash provdb" k;
+      (* the on-disk state also passes offline verification *)
+      let v = ok_fs (Pvcheck.fsck ~registry ~lower ~volume:"vol0" ()) in
+      if not (Pvcheck.clean v) then
+        Alcotest.failf "pvcheck after crash at tick %d:@ %a" k Pvcheck.pp_report v)
+    ticks;
+  check tbool "sweep crossed the commit point" true (!precommit > 0 && !postcommit > 0)
+
+(* A transaction that straddles the checkpoint boundary: BEGINTXN below
+   the watermark (carried by the pending sidecar), ENDTXN in the suffix.
+   After a crash and recovery the transaction commits exactly once, and
+   the final provdb is byte-identical to a control run that never
+   checkpointed at all. *)
+let test_txn_across_checkpoint_boundary () =
+  let run ~checkpointed () =
+    let registry = Telemetry.create () in
+    let policy = if checkpointed then Waldo.Manual else Waldo.Disabled in
+    let disk, ext3, lasagna, waldo = ckpt_rig ~registry ~policy () in
+    let ep = Lasagna.endpoint lasagna in
+    let h = ok (ep.Dpapi.pass_mkobj ~volume:(Some "vol0")) in
+    ok (Dpapi.disclose ep h [ Record.name "txn-straddle" ]);
+    ignore
+      (ok
+         (Lasagna.write_txn_bundle ~txn:5 lasagna h ~off:0 ~data:None
+            [ Dpapi.entry h [ Record.make "PARAMS" (Pvalue.Str "pre-boundary") ] ])
+        : int);
+    Lasagna.flush_log lasagna;
+    (* the open transaction is now buffered inside Waldo *)
+    let lasagna, waldo, restored =
+      if not checkpointed then (lasagna, waldo, 0)
+      else begin
+        ok_fs (Waldo.checkpoint waldo);
+        Disk.crash disk;
+        Disk.revive disk;
+        let ext3 = Ext3.mount disk in
+        let w2, info = ok_fs (Waldo.recover ~registry ~policy ~lower:(Ext3.ops ext3) ()) in
+        let l2 =
+          Lasagna.create ~registry ~log_max:256 ~lower:(Ext3.ops ext3)
+            ~ctx:(Ctx.create ~machine:1) ~volume:"vol0" ~charge:(fun _ -> ()) ()
+        in
+        Waldo.attach w2 l2;
+        (l2, w2, info.Waldo.ri_pending_restored)
+      end
+    in
+    ignore (ext3 : Ext3.t);
+    if checkpointed then
+      check tint "in-flight txn restored from the sidecar" 1 restored;
+    (* the ENDTXN arrives in the post-checkpoint suffix *)
+    ignore
+      (ok
+         (Lasagna.write_txn_bundle ~txn:5 lasagna h ~off:0 ~data:None
+            [ Dpapi.entry h [ Record.make Record.Attr.endtxn (Pvalue.Int 5) ] ])
+        : int);
+    let orphans = Waldo.finalize waldo lasagna in
+    check tint "straddling txn is not an orphan" 0 orphans;
+    let quads =
+      List.filter
+        (fun (q : Provdb.quad) -> q.q_value = Pvalue.Str "pre-boundary")
+        (Provdb.records_all (Waldo.db waldo) h.Dpapi.pnode)
+    in
+    check tint "txn chunk applied exactly once" 1 (List.length quads);
+    Provdb.serialize (Waldo.db waldo)
+  in
+  let straddled = run ~checkpointed:true () in
+  let control = run ~checkpointed:false () in
+  check tbool "checkpointed and control provdbs are byte-identical" true
+    (String.equal straddled control)
+
 (* --- the hooks are free when no fault fires ---------------------------------- *)
 
 let mini_run fault =
@@ -547,6 +723,10 @@ let () =
             test_transient_io_retried;
           Alcotest.test_case "latent corruption is reported, not raised" `Quick
             test_latent_corruption_reported;
+          Alcotest.test_case "crash at every tick of a checkpoint recovers identically"
+            `Quick test_crash_during_checkpoint_sweep;
+          Alcotest.test_case "transactions straddle the checkpoint boundary exactly once"
+            `Quick test_txn_across_checkpoint_boundary;
           Alcotest.test_case "an empty fault plan costs nothing" `Quick test_quiet_plan_is_free;
         ] );
     ]

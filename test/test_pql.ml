@@ -378,6 +378,36 @@ let prop_glob_star =
       QCheck2.assume (not (String.contains prefix '*' || String.contains prefix '?'));
       Pql_eval.glob_match (prefix ^ "*") (prefix ^ rest))
 
+(* Compaction moves out.gif's v0 — and with it the edge to kepler — below
+   the floor.  An ancestry query that crosses that boundary must fault the
+   cold tier back in transparently: same answer as the uncompacted db, and
+   the evaluator itself never knows an archive exists. *)
+let test_ancestry_across_archive_boundary () =
+  let ancestry db =
+    Pql.names db
+      {|select Ancestor
+        from Provenance.file as Atlas
+             Atlas.input* as Ancestor
+        where Atlas.name = "out.gif"|}
+  in
+  let db, _, _, _, _, _ = sample_db () in
+  let expect = ancestry db in
+  (* without a fault handler the hot tier alone loses the ancestors *)
+  let blind, _ = Provdb.compact db ~keep:1 in
+  check tbool "query really crosses the floor" true
+    (List.length (ancestry blind) < List.length expect);
+  (* with one, the first below-floor access pulls the cold tier in *)
+  let hot, cold = Provdb.compact db ~keep:1 in
+  check tbool "compaction expired versions" true
+    (Provdb.quad_count hot < Provdb.quad_count db);
+  let faulted = ref 0 in
+  Provdb.set_fault_handler hot (fun t ->
+      incr faulted;
+      Provdb.merge_into ~dst:t ~src:cold;
+      true);
+  check tstrs "ancestry across the archive boundary" expect (ancestry hot);
+  check tbool "the query faulted the cold tier in" true (!faulted > 0)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_print_parse_roundtrip; prop_glob; prop_glob_star ]
@@ -409,5 +439,7 @@ let suite =
     Alcotest.test_case "eval: order by" `Quick test_order_by;
     Alcotest.test_case "eval: limit clause prunes results" `Quick test_limit_clause;
     Alcotest.test_case "eval: any-edge wildcard" `Quick test_any_edge;
+    Alcotest.test_case "eval: ancestry crosses the archive boundary" `Quick
+      test_ancestry_across_archive_boundary;
   ]
   @ qcheck_cases

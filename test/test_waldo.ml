@@ -245,6 +245,170 @@ let test_opm_export () =
   check Alcotest.string "reparses" "opmGraph" reparsed.Sxml.tag;
   ignore (in1, proc, out : Pnode.t * Pnode.t * Pnode.t)
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint era: crash-safe persist, retention policies, truncation,
+   and bounded recovery.  These rigs expose the disk so tests can pull
+   the plug at a chosen write tick. *)
+
+let fresh_ckpt ?policy ?compact_keep ?(log_max = 512) () =
+  let clock = Simdisk.Clock.create () in
+  let disk = Simdisk.Disk.create ~clock () in
+  let ext3 = Ext3.format disk in
+  let ctx = Ctx.create ~machine:1 in
+  let lasagna =
+    Lasagna.create ~log_max ~lower:(Ext3.ops ext3) ~ctx ~volume:"vol0"
+      ~charge:(Simdisk.Clock.advance clock) ()
+  in
+  let waldo = Waldo.create ?policy ?compact_keep ~lower:(Ext3.ops ext3) () in
+  Waldo.attach waldo lasagna;
+  ignore (ctx : Ctx.t);
+  (disk, ext3, lasagna, waldo)
+
+let pass_logs lower =
+  match Vfs.lookup_path lower "/.pass" with
+  | Error _ -> []
+  | Ok dir ->
+      List.filter
+        (fun n -> Checkpoint.log_seq n <> None)
+        (Helpers.ok_fs (lower.Vfs.readdir dir))
+
+(* Satellite regression: persist stages the image and renames it into
+   place, so a crash at ANY write tick of a re-persist leaves a fully
+   loadable image — the old one or the new one, never a torn hybrid. *)
+let test_persist_atomic_under_crash () =
+  let populate () =
+    let disk, ext3, lasagna, waldo = fresh_ckpt () in
+    let ep = Lasagna.endpoint lasagna in
+    let h = Helpers.ok (ep.pass_mkobj ~volume:(Some "vol0")) in
+    Helpers.ok
+      (Dpapi.disclose ep h
+         [ Record.name "stable"; Record.make "PARAMS" (Pvalue.Str "v1") ]);
+    ignore (Waldo.finalize waldo lasagna : int);
+    Helpers.ok_fs (Waldo.persist waldo ~dir:"/waldo-db");
+    (* mutate the db so the second image differs from the first *)
+    Provdb.add_record (Waldo.db waldo) h.Dpapi.pnode ~version:0
+      (Record.make "PARAMS" (Pvalue.Str "v2"));
+    (disk, ext3, waldo, h)
+  in
+  (* measure how many block writes a clean re-persist costs *)
+  let persist_writes =
+    let disk, _ext3, waldo, _h = populate () in
+    let before = (Simdisk.Disk.stats disk).writes in
+    Helpers.ok_fs (Waldo.persist waldo ~dir:"/waldo-db");
+    (Simdisk.Disk.stats disk).writes - before
+  in
+  check tbool "re-persist issues writes" true (persist_writes > 0);
+  for k = 1 to persist_writes do
+    let disk, _ext3, waldo, h = populate () in
+    Simdisk.Disk.schedule_crash disk ~after_writes:k;
+    (match Waldo.persist waldo ~dir:"/waldo-db" with
+    | Ok () | Error _ -> ());
+    Simdisk.Disk.revive disk;
+    let ext3 = Ext3.mount disk in
+    let reborn = Helpers.ok_fs (Waldo.load ~lower:(Ext3.ops ext3) ~dir:"/waldo-db" ()) in
+    let quads = Provdb.records_all (Waldo.db reborn) h.Dpapi.pnode in
+    let n = List.length quads in
+    if n <> 2 && n <> 3 then
+      Alcotest.failf "crash at write %d: image has %d records (want 2 or 3)" k n
+  done;
+  (* a tampered image is rejected outright, never half-loaded *)
+  let _disk, ext3, _waldo, _h = populate () in
+  let lower = Ext3.ops ext3 in
+  ignore (Helpers.ok_fs (Vfs.write_file lower "/waldo-db/db.dat" "garbage") : Vfs.ino);
+  match Waldo.load ~lower ~dir:"/waldo-db" () with
+  | Error Vfs.EIO -> ()
+  | Ok _ -> Alcotest.fail "tampered image accepted"
+  | Error e -> Alcotest.failf "unexpected errno %s" (Vfs.errno_to_string e)
+
+let test_manual_checkpoint_truncates () =
+  let _disk, ext3, lasagna, waldo =
+    fresh_ckpt ~policy:Waldo.Manual ~log_max:256 ()
+  in
+  let ep = Lasagna.endpoint lasagna in
+  for i = 0 to 30 do
+    let h = Helpers.ok (ep.pass_mkobj ~volume:(Some "vol0")) in
+    Helpers.ok (Dpapi.disclose ep h [ Record.name (Printf.sprintf "obj%d" i) ])
+  done;
+  ignore (Waldo.finalize waldo lasagna : int);
+  let lower = Ext3.ops ext3 in
+  let retained = pass_logs lower in
+  check tbool "Manual policy retains processed logs" true (List.length retained > 1);
+  Helpers.ok_fs (Waldo.checkpoint waldo);
+  let after = pass_logs lower in
+  check tbool "checkpoint truncates covered logs" true
+    (List.length after < List.length retained);
+  match Helpers.ok_fs (Checkpoint.read_manifest lower ~dir:"/.waldo") with
+  | None -> Alcotest.fail "manifest missing after checkpoint"
+  | Some m ->
+      check tint "first generation" 1 m.Checkpoint.m_gen;
+      check tbool "watermark advanced" true (m.Checkpoint.m_watermark >= 1);
+      List.iter
+        (fun n ->
+          match Checkpoint.log_seq n with
+          | Some s when s < m.Checkpoint.m_watermark ->
+              Alcotest.failf "covered log %s survived truncation" n
+          | _ -> ())
+        after
+
+let test_every_frames_auto_checkpoint () =
+  let _disk, ext3, lasagna, waldo =
+    fresh_ckpt ~policy:(Waldo.Every_frames 8) ~log_max:256 ()
+  in
+  let ep = Lasagna.endpoint lasagna in
+  for i = 0 to 40 do
+    let h = Helpers.ok (ep.pass_mkobj ~volume:(Some "vol0")) in
+    Helpers.ok (Dpapi.disclose ep h [ Record.name (Printf.sprintf "auto%d" i) ])
+  done;
+  ignore (Waldo.finalize waldo lasagna : int);
+  match Helpers.ok_fs (Checkpoint.read_manifest (Ext3.ops ext3) ~dir:"/.waldo") with
+  | Some m -> check tbool "auto checkpoint committed" true (m.Checkpoint.m_gen >= 1)
+  | None -> Alcotest.fail "Every_frames never checkpointed"
+
+(* Full round trip: version history -> checkpoint (with compaction to a
+   cold archive) -> suffix traffic -> crash -> recover.  The recovered
+   graph, after faulting the archive back in, must serialize to exactly
+   the pre-crash bytes, and the recovery report must show a bounded
+   (suffix-only) replay. *)
+let test_checkpoint_recover_roundtrip () =
+  let disk, _ext3, lasagna, waldo =
+    fresh_ckpt ~policy:Waldo.Manual ~compact_keep:1 ~log_max:256 ()
+  in
+  let ep = Lasagna.endpoint lasagna in
+  let hs =
+    Array.init 4 (fun i ->
+        let h = Helpers.ok (ep.pass_mkobj ~volume:(Some "vol0")) in
+        Helpers.ok (Dpapi.disclose ep h [ Record.name (Printf.sprintf "ck%d" i) ]);
+        h)
+  in
+  for round = 1 to 3 do
+    Array.iter
+      (fun h ->
+        Helpers.ok (Dpapi.disclose ep h [ Record.make "PARAMS" (Pvalue.Int round) ]);
+        ignore (Helpers.ok (ep.pass_freeze h) : int))
+      hs
+  done;
+  ignore (Waldo.finalize waldo lasagna : int);
+  Helpers.ok_fs (Waldo.checkpoint waldo);
+  (* post-checkpoint suffix traffic, committed to its own log *)
+  Helpers.ok (Dpapi.disclose ep hs.(0) [ Record.make "PARAMS" (Pvalue.Str "suffix") ]);
+  Lasagna.flush_log lasagna;
+  Waldo.fault_in_archive waldo;
+  let reference = Provdb.serialize (Waldo.db waldo) in
+  Simdisk.Disk.crash disk;
+  Simdisk.Disk.revive disk;
+  let ext3 = Ext3.mount disk in
+  let w2, info = Helpers.ok_fs (Waldo.recover ~lower:(Ext3.ops ext3) ()) in
+  check tbool "manifest found" true info.Waldo.ri_manifest;
+  check tint "recovered generation" 1 info.Waldo.ri_gen;
+  check tint "covered logs already truncated" 0 info.Waldo.ri_logs_skipped;
+  check tbool "suffix logs replayed" true (info.Waldo.ri_logs_replayed >= 1);
+  check tbool "replay is bounded to the suffix" true (info.Waldo.ri_frames_replayed <= 4);
+  check tbool "archive segment registered" true (info.Waldo.ri_archives >= 1);
+  check tbool "cold tier not loaded eagerly" false (Provdb.cold_loaded (Waldo.db w2));
+  Waldo.fault_in_archive w2;
+  check tbool "recovered graph equals pre-crash graph" true
+    (String.equal reference (Provdb.serialize (Waldo.db w2)))
+
 let suite =
   [
     Alcotest.test_case "ingestion fidelity" `Quick test_ingestion_fidelity;
@@ -260,4 +424,11 @@ let suite =
     Alcotest.test_case "size accounting" `Quick test_size_accounting;
     Alcotest.test_case "index accessors" `Quick test_index_accessors;
     Alcotest.test_case "OPM export" `Quick test_opm_export;
+    Alcotest.test_case "persist is crash-atomic" `Quick test_persist_atomic_under_crash;
+    Alcotest.test_case "Manual checkpoint truncates covered logs" `Quick
+      test_manual_checkpoint_truncates;
+    Alcotest.test_case "Every_frames auto-checkpoints" `Quick
+      test_every_frames_auto_checkpoint;
+    Alcotest.test_case "checkpoint/recover round trip" `Quick
+      test_checkpoint_recover_roundtrip;
   ]

@@ -136,7 +136,8 @@ let () =
     | _ -> die "expected exactly two files\nusage: %s" usage
   in
   let file_tol, file_slack, scales = parse_baseline baseline_path (read_json baseline_path) in
-  let scale, rows = parse_current current_path (read_json current_path) in
+  let current_json = read_json current_path in
+  let scale, rows = parse_current current_path current_json in
   let tolerance =
     match (!tolerance_arg, file_tol) with Some t, _ -> t | None, Some t -> t | None, None -> 20.
   in
@@ -171,6 +172,42 @@ let () =
               (current -. base) verdict note)
         (compare_row ~tolerance ~slack ~baseline r))
     rows;
+  (* Recovery-time gate: bounded restart means the checkpointed replay
+     suffix must not grow; compare its frame count against the baseline.
+     Skipped (reported as "new") when the baseline predates the bench's
+     recovery section, so old baselines keep working. *)
+  (match List.assoc_opt "recovery" baseline with
+  | None ->
+      Printf.printf "%-20s %-6s %10s %10s %8s  new (no baseline entry)\n" "recovery"
+        "replay" "-" "-" "-"
+  | Some rb -> (
+      let base =
+        match get_number "replay_frames_max" rb with
+        | Some b -> b
+        | None -> die "%s: recovery entry without replay_frames_max" baseline_path
+      in
+      match
+        Option.bind (Json.member "recovery" current_json)
+          (get_number "replay_frames_max")
+      with
+      | None -> die "%s: no recovery.replay_frames_max (old bench binary?)" current_path
+      | Some current ->
+          (* a frame of slack per tolerance point on top of the relative
+             gate: suffix lengths are small integers, so a purely relative
+             bound would trip on a single extra log tail *)
+          let regression =
+            current > base *. (1. +. (tolerance /. 100.)) && current > base +. 16.
+          in
+          let verdict, note =
+            if regression then begin
+              incr regressed;
+              ("REGRESSED", " <-- past tolerance")
+            end
+            else if current < base then ("improved", "")
+            else ("ok", "")
+          in
+          Printf.printf "%-20s %-6s %10.0f %10.0f %+8.0f  %s%s\n" "recovery" "replay"
+            base current (current -. base) verdict note));
   if !regressed > 0 then begin
     Printf.printf "\n%d overhead value(s) regressed beyond tolerance.\n" !regressed;
     exit 1

@@ -30,7 +30,12 @@
                       the layer handed to Dpapi.traced);
    - missing-mli      every module under lib/ has an interface, so the
                       lint (and readers) can tell public surface from
-                      internals.
+                      internals;
+   - inplace-metadata-write
+                      no direct Vfs.write_file from lib/lasagna or
+                      lib/waldo: PASS metadata (images, archives,
+                      manifests) must go through Checkpoint.write_atomic
+                      so a crash can never tear a published file.
 
    Findings print as file:line:col plus rule and message (or --json);
    exit status is 1 if any finding survives the allowlist, making this a
@@ -61,6 +66,10 @@ let allowlist =
     { a_path = "lib/fault/"; a_rule = "forbidden-call"; a_symbol = "Random.";
       a_why = "lib/fault is the sanctioned PRNG home (it implements the \
                seeded LCG; entry kept should it ever wrap Stdlib.Random)" };
+    { a_path = "lib/lasagna/checkpoint.ml"; a_rule = "inplace-metadata-write";
+      a_symbol = "";
+      a_why = "the atomic-persist helper itself: writes only *.tmp staging \
+               files and publishes them with a journaled rename" };
     { a_path = "test/test_vfs_wire.ml"; a_rule = "forbidden-call";
       a_symbol = "Random.State.make";
       a_why = "pins the QCheck seed of the wire properties to a constant \
@@ -109,12 +118,18 @@ let forbidden_prefixes =
 
 let hot_path_dirs = [ "lib/lasagna/"; "lib/panfs/"; "lib/waldo/" ]
 
-let on_hot_path file =
+let under_any dirs file =
   List.exists
     (fun d ->
       String.length file >= String.length d
       && String.equal (String.sub file 0 (String.length d)) d)
-    hot_path_dirs
+    dirs
+
+let on_hot_path file = under_any hot_path_dirs file
+
+(* The layers that own PASS metadata (WAP logs, images, archives,
+   manifests): published files there must be crash-atomic. *)
+let on_metadata_path file = under_any [ "lib/lasagna/"; "lib/waldo/" ] file
 
 let seg_ok seg =
   (not (String.equal seg ""))
@@ -163,6 +178,14 @@ let lint_structure ~file ~src structure =
             (name ^ " breaks the determinism sandbox (simulated time comes \
                      from the machine clock, randomness from seeded LCGs)"))
       forbidden_prefixes;
+    (match lid.txt with
+    | Longident.Ldot (Longident.Lident "Vfs", "write_file")
+      when on_metadata_path file ->
+        report ~file ~loc:lid.loc ~rule:"inplace-metadata-write" ~symbol:name
+          "direct Vfs.write_file to PASS metadata: publish through \
+           Checkpoint.write_atomic (temp file + journaled rename) so a \
+           crash can never tear an image"
+    | _ -> ());
     (match lid.txt with
     | Longident.Lident "compare" ->
         report ~file ~loc:lid.loc ~rule:"poly-compare" ~symbol:"compare"
