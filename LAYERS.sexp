@@ -1,0 +1,115 @@
+; PASSv2 layer map, enforced statically by tools/passarch (CI gate).
+;
+; Layers are declared bottom-up: (deps ...) may only name layers already
+; declared above this line.  An inter-module reference (or a dune
+; (libraries ...) edge) from layer A to layer B is legal only when B is A
+; itself or appears in A's deps — edges to higher layers are
+; [layer-upward] findings, downward edges not listed here are
+; [layer-undeclared] (layer-skipping) findings.  Every .ml/.mli in the
+; repo must be covered by some (dirs ...) prefix or it is
+; [layer-unmapped].
+;
+; (raises ...) is the layer's exception contract for imported exceptions:
+; constructors from lower layers it may let escape through its exported
+; bindings.  A layer's own .mli-declared exceptions are implicitly part
+; of its contract.
+
+(layers
+ ; Leaf vocabulary: telemetry counters/json, wire formats, the VFS
+ ; interface and the sxml reader share nothing and sit under everything.
+ (layer (name base)
+  (dirs lib/telemetry lib/wire lib/vfs lib/sxml)
+  (deps)
+  (raises Vfs.Fatal))
+
+ ; Cross-cutting instrumentation: fault injection and pvtrace spans.
+ (layer (name instrument)
+  (dirs lib/fault lib/trace)
+  (deps base))
+
+ ; The simulated disk under the filesystems.
+ (layer (name simdisk)
+  (dirs lib/simdisk)
+  (deps base instrument))
+
+ ; The DPAPI core: observer -> analyzer -> distributor chain.
+ (layer (name core)
+  (dirs lib/core)
+  (deps base instrument)
+  ; the record codec surface re-exports wire's corruption signal
+  (raises Wire.Corrupt))
+
+ ; ext3 simulation: consumes the disk, exposes a VFS.
+ (layer (name fs)
+  (dirs lib/ext3)
+  (deps base simdisk)
+  ; disk failures surface through format/mount: the chaos harness above
+  ; provokes them on purpose and must see them raw
+  (raises Disk.Crashed Disk.Io_error))
+
+ ; Lasagna provenance log + WAP protocol.
+ (layer (name lasagna)
+  (dirs lib/lasagna)
+  (deps base instrument core)
+  ; Wire.Corrupt from log parsing is what recovery/fsck above triage
+  (raises Vfs.Fatal Wire.Corrupt))
+
+ ; Waldo store/indexer above Lasagna.
+ (layer (name waldo)
+  (dirs lib/waldo)
+  (deps base instrument core lasagna)
+  (raises Vfs.Fatal Wire.Corrupt))
+
+ ; The simulated OS (syscall shim) and PA-NFS: the two integration
+ ; points that stitch the full stack together.
+ (layer (name os)
+  (dirs lib/simos lib/panfs)
+  (deps base instrument simdisk core fs lasagna waldo)
+  ; the OS shim is the paper's failure boundary: disk crashes, corrupt
+  ; logs and observer wiring failures all surface here for the harness
+  (raises Vfs.Fatal Wire.Corrupt Disk.Crashed Disk.Io_error
+          Observer.Lower_error))
+
+ ; PQL query engine over the Waldo store.
+ (layer (name query)
+  (dirs lib/pql)
+  (deps base core lasagna waldo))
+
+ ; pass-fsck style invariant checking.
+ (layer (name check)
+  (dirs lib/check)
+  (deps base core lasagna waldo)
+  ; fsck reports what it finds, including raw codec corruption
+  (raises Wire.Corrupt))
+
+ ; Provenance-aware applications from the paper (Kepler, PA-links, Pyth).
+ (layer (name apps)
+  (dirs lib/kepler lib/palinks lib/pyth)
+  (deps base simdisk core os)
+  ; libpass is the disclosure API the apps wrap; its typed error and the
+  ; observer wiring failure pass through to whoever drives the app
+  (raises Libpass.Pass_error Observer.Lower_error))
+
+ ; Canned end-to-end workloads used by bench/bin/test.
+ (layer (name workloads)
+  (dirs lib/workloads)
+  (deps base instrument simdisk core fs lasagna waldo os apps)
+  ; workloads assemble the full stack for bench/test drivers, which
+  ; catch the stack's declared failures wholesale
+  (raises Vfs.Fatal Wire.Corrupt Disk.Crashed Disk.Io_error
+          Observer.Lower_error Libpass.Pass_error Kepler_run.Io_error
+          Director.Stuck Workflow.Invalid))
+
+ ; Entry points and dev tooling: may see everything.
+ (layer (name top)
+  (dirs bin bench test tools examples)
+  (deps base instrument simdisk core fs lasagna waldo os query check apps
+        workloads)))
+
+; The observer->distributor record path must stay allocation- and
+; formatting-clean: seeds are the Dpapi.traced wrapper arguments,
+; discovered automatically; commit_barriers names the modules allowed to
+; reach Vfs.write_file while on it (the Lasagna commit barrier itself).
+(hot_path
+ (extra_roots)
+ (commit_barriers lib/lasagna/checkpoint.ml))

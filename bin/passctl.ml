@@ -509,6 +509,27 @@ let fsck_cmd =
        ~doc:"Verify a volume's stored provenance graph offline (exit 1 on findings)")
     Term.(const cmd_fsck $ volume $ json $ corrupt)
 
+(* Both static analyzers in-process (no subprocess spawning), sharing
+   the exact implementation CI runs: passlint's per-file convention
+   rules, then passarch's whole-tree layer-contract passes. *)
+let cmd_lint json stale =
+  let lint = Passlint_core.run ~json ~stale_check:stale () in
+  let arch = Passarch_core.run ~json ~stale_check:stale () in
+  exit (max lint arch)
+
+let lint_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.") in
+  let stale =
+    Arg.(value & flag
+         & info [ "stale-allowlist" ]
+             ~doc:"Also fail when an allowlist entry matches no finding.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run passlint and passarch over the tree (run from the repo \
+             root; exit 1 on findings)")
+    Term.(const cmd_lint $ json $ stale)
+
 let () =
   let info =
     Cmd.info "passctl" ~version:"1.0"
@@ -518,4 +539,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; trace_cmd;
-            diff_cmd; export_cmd; opm_cmd; recover_cmd; checkpoint_cmd; fsck_cmd ]))
+            diff_cmd; export_cmd; opm_cmd; recover_cmd; checkpoint_cmd; fsck_cmd;
+            lint_cmd ]))

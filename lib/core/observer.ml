@@ -12,6 +12,8 @@
    between the application's process and the file (paper §5.3, last
    paragraph).  [endpoint_for] builds that per-process DPAPI face. *)
 
+exception Lower_error of string
+
 type proc = { handle : Dpapi.handle; mutable alive : bool }
 
 type stats = {
@@ -118,7 +120,7 @@ let proc_state t pid =
       let handle =
         match t.lower.pass_mkobj ~volume:None with
         | Ok h -> h
-        | Error e -> failwith ("observer: mkobj: " ^ Dpapi.error_to_string e)
+        | Error e -> raise (Lower_error ("mkobj: " ^ Dpapi.error_to_string e))
       in
       let p = { handle; alive = true } in
       Hashtbl.add t.procs pid p;
@@ -142,7 +144,7 @@ let fork t ~parent ~child =
   let child_handle =
     match t.lower.pass_mkobj ~volume:None with
     | Ok h -> h
-    | Error e -> failwith ("observer: fork mkobj: " ^ Dpapi.error_to_string e)
+    | Error e -> raise (Lower_error ("fork mkobj: " ^ Dpapi.error_to_string e))
   in
   Hashtbl.replace t.procs child { handle = child_handle; alive = true };
   emit t child_handle

@@ -8,6 +8,14 @@
 
 type t
 
+exception Lower_error of string
+(** The DPAPI chain below the observer refused an object creation the
+    observer cannot proceed without (a [pass_mkobj] for a process seen
+    for the first time).  This is a wiring failure of the surrounding
+    kernel/harness, not an event-stream condition, so it is deliberately
+    an exception rather than a [Dpapi.error]: the paper's shim fails
+    loudly instead of dropping provenance. *)
+
 type stats = { mutable events : int; mutable records_emitted : int }
 
 val create :

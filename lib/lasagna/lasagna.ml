@@ -69,7 +69,9 @@ type t = {
 }
 
 let pass_dirname = ".pass"
-let log_name seq = Printf.sprintf "log.%d" seq
+(* string concat, not sprintf: log rotation happens inside commit, which
+   is on the record hot path (passarch hot-path-format). *)
+let log_name seq = "log." ^ string_of_int seq
 
 (* ~4 ns per byte: the extra page-cache copy a stackable FS performs. *)
 let double_buffer_ns_per_byte = 1

@@ -222,6 +222,14 @@ and exec t env stmt =
 let create ~host ~globals () =
   { host; globals; modules = Hashtbl.create 8; on_import = (fun _ _ -> ()); call_count = 0 }
 
-let run t program = exec_block t t.globals program
+(* The control-flow exceptions above are interpreter-internal and must
+   never cross the module boundary: a stray one means the program used
+   break/continue/return at top level, which is a program error, not a
+   caller-visible condition. *)
+let run t program =
+  try exec_block t t.globals program with
+  | Break_exc -> error "break outside loop"
+  | Continue_exc -> error "continue outside loop"
+  | Return_exc _ -> error "return outside function"
 
 let run_string t source = run t (Pyth_parser.parse source)

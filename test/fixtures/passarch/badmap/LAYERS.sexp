@@ -1,0 +1,4 @@
+; invalid: deps may only name layers declared below
+(layers
+ (layer (name a) (dirs lib/a) (deps b))
+ (layer (name b) (dirs lib/b) (deps)))

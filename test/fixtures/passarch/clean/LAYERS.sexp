@@ -1,0 +1,6 @@
+; Well-layered mini-stack: every edge declared, every escape contracted.
+(layers
+ (layer (name low) (dirs lib/low) (deps))
+ (layer (name mid) (dirs lib/mid) (deps low))
+ (layer (name high) (dirs lib/high) (deps mid low)))
+(hot_path (extra_roots High.run) (commit_barriers))

@@ -1,0 +1,1 @@
+let run x = Mid.total x + Low.get x

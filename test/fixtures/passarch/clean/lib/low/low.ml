@@ -1,0 +1,3 @@
+exception Miss
+let find x = if x < 0 then raise Miss else x
+let get x = x + 1

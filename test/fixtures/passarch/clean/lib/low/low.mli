@@ -1,0 +1,3 @@
+exception Miss
+val find : int -> int
+val get : int -> int

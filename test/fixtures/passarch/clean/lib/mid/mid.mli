@@ -1,0 +1,1 @@
+val total : int -> int

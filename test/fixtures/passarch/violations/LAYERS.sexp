@@ -1,0 +1,8 @@
+; Deliberately violated mini-stack: high may see mid but NOT low
+; (skip_bad), nothing may look up (up_bad), mid declares no exception
+; contract (esc_bad), and Hot_bad.run is a hot-path root (hot_bad).
+(layers
+ (layer (name low) (dirs lib/low) (deps))
+ (layer (name mid) (dirs lib/mid) (deps low))
+ (layer (name high) (dirs lib/high) (deps mid)))
+(hot_path (extra_roots Hot_bad.run) (commit_barriers))

@@ -1,0 +1,3 @@
+(* clean consumer: catches below, keeps the cross-layer reference that
+   makes mid's escapes reportable *)
+let run n = try Esc_bad.boom (Hot_bad.run n) with Failure _ -> 0

@@ -1,0 +1,9 @@
+(* hot-path root (extra_roots Hot_bad.run): formatting in a callee,
+   a closure retained in a sink, and a write outside commit barriers *)
+let log_msg n = Printf.sprintf "run %d" n
+let sink : (int, unit -> int) Hashtbl.t = Hashtbl.create 4
+let run n =
+  let _ : string = log_msg n in
+  Hashtbl.add sink n (fun () -> n + 1);
+  Vfs.write_file n;
+  n

@@ -1,0 +1,2 @@
+(* layer-undeclared: high's deps say mid only, this skips to low *)
+let sneak x = Low.get x

@@ -1,0 +1,2 @@
+(* layer-upward: the bottom layer reaches into the top one *)
+let poke () = High.run 1

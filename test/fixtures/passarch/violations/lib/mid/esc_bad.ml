@@ -1,0 +1,4 @@
+(* exception-escape twice: an untyped failwith, and Low.Miss passed
+   through without being in mid's (raises ...) contract *)
+let boom x = if x > 0 then failwith "boom" else x
+let relay x = Low.find x

@@ -1,0 +1,2 @@
+val boom : int -> int
+val relay : int -> int

@@ -1,0 +1,2 @@
+(* layer-unmapped: this directory appears in no layer's (dirs ...) *)
+let orphan = 0

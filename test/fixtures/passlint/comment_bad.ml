@@ -1,0 +1,2 @@
+(* Real violation: polymorphic equality on pnode-carrying operands. *)
+let same a b = a.pnode = b.pnode

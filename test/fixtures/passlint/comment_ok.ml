@@ -1,0 +1,7 @@
+(* Regression fixture: "pnode" appearing only inside comments must not
+   trip pnode-poly-eq now that operand text is comment-stripped. *)
+
+(* let old_check a b = a.pnode = b.pnode *)
+
+let check a b = a = (* compared pnode-style once upon a time *) b
+let also_fine a b = a <> b

@@ -22,4 +22,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
       ("pvcheck", Test_pvcheck.suite);
+      ("passarch", Test_passarch.suite);
     ]

@@ -1,0 +1,54 @@
+type entry = {
+  a_path : string;
+  a_rule : string;
+  a_symbol : string;
+  a_why : string;
+}
+
+type t = { entries : entry list; used : (int, unit) Hashtbl.t }
+
+let create entries = { entries; used = Hashtbl.create 16 }
+
+let prefixed ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let matches e ~file ~rule ~symbol =
+  String.equal e.a_rule rule
+  && prefixed ~prefix:e.a_path file
+  && (String.equal e.a_symbol "" || prefixed ~prefix:e.a_symbol symbol)
+
+let allowed t ~file ~rule ~symbol =
+  let rec scan i = function
+    | [] -> false
+    | e :: rest ->
+        if matches e ~file ~rule ~symbol then begin
+          Hashtbl.replace t.used i ();
+          true
+        end
+        else scan (i + 1) rest
+  in
+  scan 0 t.entries
+
+let stale t =
+  List.filteri (fun i _ -> not (Hashtbl.mem t.used i)) t.entries
+
+let print t =
+  List.iter
+    (fun e ->
+      Printf.printf "%-28s %-20s %-20s %s\n" e.a_path e.a_rule e.a_symbol
+        e.a_why)
+    t.entries
+
+let report_stale ~tool t =
+  match stale t with
+  | [] -> true
+  | dead ->
+      List.iter
+        (fun e ->
+          Printf.eprintf
+            "%s: stale allowlist entry (matches no finding): %s %s %s\n" tool
+            e.a_path e.a_rule
+            (if String.equal e.a_symbol "" then "<any>" else e.a_symbol))
+        dead;
+      false

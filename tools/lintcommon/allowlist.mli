@@ -1,0 +1,31 @@
+(** The shared allowlist machinery of passlint and passarch.
+
+    An exemption is scoped to a (path prefix, rule, symbol prefix) triple
+    and carries a written justification: the lists live in each tool's
+    source on purpose, so adding an entry is a reviewed change.  Matching
+    marks an entry used; {!stale} returns the entries that matched no
+    finding of the run, which [--stale-allowlist] turns into a failure so
+    dead exemptions cannot accumulate. *)
+
+type entry = {
+  a_path : string;  (** path prefix the exemption applies to *)
+  a_rule : string;
+  a_symbol : string;  (** symbol prefix, [""] = any *)
+  a_why : string;  (** justification; shown by [--allowlist] *)
+}
+
+type t
+
+val create : entry list -> t
+
+val allowed : t -> file:string -> rule:string -> symbol:string -> bool
+(** True when some entry covers the finding; the entry is marked used. *)
+
+val stale : t -> entry list
+(** Entries that matched nothing since {!create}, in list order. *)
+
+val print : t -> unit
+(** The table with justifications, for [--allowlist]. *)
+
+val report_stale : tool:string -> t -> bool
+(** Print any stale entries to stderr; true when the list is clean. *)

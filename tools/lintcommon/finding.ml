@@ -1,0 +1,69 @@
+module Json = Telemetry.Json
+
+type t = {
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_rule : string;
+  f_msg : string;
+}
+
+type sink = { allow : Allowlist.t; mutable findings : t list }
+
+let sink allow = { allow; findings = [] }
+
+let report s ~file ~(loc : Location.t) ~rule ~symbol msg =
+  if not (Allowlist.allowed s.allow ~file ~rule ~symbol) then
+    let p = loc.loc_start in
+    s.findings <-
+      { f_file = file; f_line = p.pos_lnum;
+        f_col = max 0 (p.pos_cnum - p.pos_bol); f_rule = rule; f_msg = msg }
+      :: s.findings
+
+let sorted s =
+  List.sort
+    (fun a b ->
+      match String.compare a.f_file b.f_file with
+      | 0 -> (
+          match Int.compare a.f_line b.f_line with
+          | 0 -> String.compare a.f_rule b.f_rule
+          | c -> c)
+      | c -> c)
+    s.findings
+
+let to_json ~schema ~files_scanned fs =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("files_scanned", Json.Int files_scanned);
+      ("findings",
+       Json.List
+         (List.map
+            (fun f ->
+              Json.Obj
+                [
+                  ("file", Json.Str f.f_file);
+                  ("line", Json.Int f.f_line);
+                  ("col", Json.Int f.f_col);
+                  ("rule", Json.Str f.f_rule);
+                  ("msg", Json.Str f.f_msg);
+                ])
+            fs));
+    ]
+
+let print_text ~tool ~files_scanned fs =
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" f.f_file f.f_line f.f_col f.f_rule
+        f.f_msg)
+    fs;
+  Printf.printf "%s: %d file(s), %d finding(s)\n" tool files_scanned
+    (List.length fs)
+
+let finish ~tool ~schema ~json ~stale_check ~files_scanned allow s =
+  let fs = sorted s in
+  if json then
+    print_endline (Json.to_string (to_json ~schema ~files_scanned fs))
+  else print_text ~tool ~files_scanned fs;
+  let stale_ok = (not stale_check) || Allowlist.report_stale ~tool allow in
+  match (fs, stale_ok) with [], true -> 0 | _ -> 1

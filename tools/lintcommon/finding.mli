@@ -1,0 +1,35 @@
+(** Finding collection and rendering shared by passlint and passarch.
+
+    Both tools print [file:line:col: [rule] message] lines (or a JSON
+    document with the same fields) and exit 1 when any finding survives
+    the allowlist, which is what makes them CI gates. *)
+
+type t = {
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_rule : string;
+  f_msg : string;
+}
+
+type sink
+
+val sink : Allowlist.t -> sink
+
+val report : sink -> file:string -> loc:Location.t -> rule:string ->
+  symbol:string -> string -> unit
+(** Record a finding unless the allowlist covers it. *)
+
+val sorted : sink -> t list
+(** All surviving findings, ordered by file then line then rule. *)
+
+val to_json : schema:string -> files_scanned:int -> t list -> Telemetry.Json.t
+
+val print_text : tool:string -> files_scanned:int -> t list -> unit
+
+val finish :
+  tool:string -> schema:string -> json:bool -> stale_check:bool ->
+  files_scanned:int -> Allowlist.t -> sink -> int
+(** Render (text or JSON) and compute the exit code: 1 when findings
+    survive, 1 when [stale_check] and a stale allowlist entry exists,
+    0 otherwise. *)

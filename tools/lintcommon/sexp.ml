@@ -1,0 +1,119 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string * int
+
+let fail msg pos = raise (Parse_error (msg, pos))
+
+let parse_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blank () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_blank ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_blank ()
+    | _ -> ()
+  in
+  let quoted_atom () =
+    let start = !pos in
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string" start
+      | Some '"' ->
+          advance ();
+          Buffer.contents buf
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some c -> Buffer.add_char buf c
+          | None -> fail "unterminated escape" start);
+          advance ();
+          go ()
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let bare_atom () =
+    let start = !pos in
+    let stop = function
+      | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' -> true
+      | _ -> false
+    in
+    while !pos < n && not (stop src.[!pos]) do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec sexp () =
+    skip_blank ();
+    match peek () with
+    | None -> fail "unexpected end of input" !pos
+    | Some '(' ->
+        let start = !pos in
+        advance ();
+        let items = ref [] in
+        let rec elems () =
+          skip_blank ();
+          match peek () with
+          | None -> fail "unterminated list" start
+          | Some ')' -> advance ()
+          | Some _ ->
+              items := sexp () :: !items;
+              elems ()
+        in
+        elems ();
+        List (List.rev !items)
+    | Some ')' -> fail "unexpected )" !pos
+    | Some '"' -> Atom (quoted_atom ())
+    | Some _ -> Atom (bare_atom ())
+  in
+  let out = ref [] in
+  let rec top () =
+    skip_blank ();
+    if !pos < n then begin
+      out := sexp () :: !out;
+      top ()
+    end
+  in
+  top ();
+  List.rev !out
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  try parse_string src
+  with Parse_error (msg, p) -> fail (path ^ ": " ^ msg) p
+
+let atom = function Atom s -> Some s | List _ -> None
+
+let strings = function
+  | Atom _ -> []
+  | List items -> List.filter_map atom items
+
+let field name items =
+  List.find_map
+    (function
+      | List (Atom head :: tail) when String.equal head name -> Some tail
+      | _ -> None)
+    items
+
+let field_strings name items =
+  match field name items with
+  | None -> []
+  | Some tail -> List.filter_map atom tail

@@ -1,0 +1,29 @@
+(** A minimal s-expression reader for the repo's checked-in analysis
+    configuration ([LAYERS.sexp]) and for resolving module names against
+    dune library boundaries (dune files are s-expressions too).
+
+    Understands atoms, double-quoted strings, [( ... )] lists and [;]
+    line comments — exactly the subset dune and LAYERS.sexp use.  No
+    external dependency: the toolchain ships no sexplib. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string * int
+(** [Parse_error (msg, pos)]: byte offset of the offending character. *)
+
+val parse_string : string -> t list
+(** All toplevel s-expressions in the input, in order. *)
+
+val parse_file : string -> t list
+(** [parse_string] over a file's contents; errors carry the path. *)
+
+val atom : t -> string option
+val strings : t -> string list
+(** The atoms of a list tail, e.g. [(dirs a b c)] -> [["a"; "b"; "c"]]. *)
+
+val field : string -> t list -> t list option
+(** [field "dirs" items] finds [(dirs ...)] among [items] and returns its
+    tail, [None] when absent. *)
+
+val field_strings : string -> t list -> string list
+(** [field] flattened to its atom list; [[]] when absent. *)

@@ -1,0 +1,101 @@
+let skip_dirs = [ "_build"; ".git"; "_opam"; ".claude"; "fixtures" ]
+
+let rec walk_one ~suffix acc path =
+  let base = Filename.basename path in
+  if List.mem base skip_dirs then acc
+  else if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name -> walk_one ~suffix acc (Filename.concat path name))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path suffix then path :: acc
+  else acc
+
+let walk ~suffix roots =
+  List.sort String.compare
+    (List.fold_left (walk_one ~suffix) [] roots)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* One pass over the bytes with a tiny lexer state machine.  Comment
+   bytes become spaces; everything else (including string contents in
+   code) is kept verbatim. *)
+let strip_comments src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  (* skip a string literal starting at the opening quote; returns the
+     index just past the closing quote (or [n]) *)
+  let skip_string start =
+    let j = ref (start + 1) in
+    let fin = ref false in
+    while (not !fin) && !j < n do
+      (match src.[!j] with
+      | '\\' -> incr j
+      | '"' -> fin := true
+      | _ -> ());
+      incr j
+    done;
+    !j
+  in
+  while !i < n do
+    if !depth > 0 then begin
+      (* inside a comment: blank bytes, honour nesting and strings *)
+      if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else if src.[!i] = '"' then begin
+        let stop = min n (skip_string !i) in
+        for k = !i to stop - 1 do
+          blank k
+        done;
+        i := stop
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      i := !i + 2
+    end
+    else if src.[!i] = '"' then i := skip_string !i
+    else if src.[!i] = '\'' then
+      (* char literal or type variable *)
+      if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do
+          incr j
+        done;
+        i := !j + 1
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3
+      else incr i
+    else incr i
+  done;
+  Bytes.to_string out
+
+let under_any prefixes file =
+  List.exists
+    (fun p ->
+      String.length file >= String.length p
+      && String.equal (String.sub file 0 (String.length p)) p)
+    prefixes

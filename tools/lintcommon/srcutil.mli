@@ -1,0 +1,21 @@
+(** Source-tree plumbing shared by the analyzers. *)
+
+val skip_dirs : string list
+(** Directories never walked: build artifacts, VCS state, and the lint
+    fixture trees under [test/fixtures] (they violate rules on purpose). *)
+
+val walk : suffix:string -> string list -> string list
+(** Every file under the roots (files listed directly are kept as-is)
+    whose name ends in [suffix], skipping {!skip_dirs}, sorted. *)
+
+val read_file : string -> string
+
+val strip_comments : string -> string
+(** The source with every OCaml comment overwritten by spaces (newlines
+    kept, so locations remain valid).  Tracks nesting, string literals
+    — including inside comments, as the OCaml lexer does — and char
+    literals, so heuristics that grep source text cannot be fooled by
+    commented-out code. *)
+
+val under_any : string list -> string -> bool
+(** [under_any prefixes file]: does [file] start with any prefix? *)

@@ -1,0 +1,137 @@
+module Sexp = Lintcommon.Sexp
+
+type layer = {
+  l_name : string;
+  l_rank : int;
+  l_dirs : string list;
+  l_deps : string list;
+  l_raises : string list;
+}
+
+type hot = { h_extra_roots : string list; h_commit_barriers : string list }
+type t = { layers : layer list; hot : hot }
+
+let ( let* ) = Result.bind
+
+(* A dir prefix matches whole path segments: "lib/core" covers
+   "lib/core/dpapi.ml" but not "lib/core2/x.ml". *)
+let dir_covers ~dir path =
+  let d = if Filename.check_suffix dir "/" then dir else dir ^ "/" in
+  String.length path >= String.length d
+  && String.equal (String.sub path 0 (String.length d)) d
+
+let parse_layer rank items =
+  match Sexp.field_strings "name" items with
+  | [ name ] ->
+      Ok
+        {
+          l_name = name;
+          l_rank = rank;
+          l_dirs = Sexp.field_strings "dirs" items;
+          l_deps = Sexp.field_strings "deps" items;
+          l_raises = Sexp.field_strings "raises" items;
+        }
+  | _ -> Error "layer without a single (name ...)"
+
+let validate layers =
+  let seen = Hashtbl.create 16 in
+  let dirs_seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc l ->
+      let* () = acc in
+      let* () =
+        if Hashtbl.mem seen l.l_name then
+          Error (Printf.sprintf "duplicate layer %S" l.l_name)
+        else Ok ()
+      in
+      let* () =
+        if l.l_dirs = [] then
+          Error (Printf.sprintf "layer %S declares no dirs" l.l_name)
+        else Ok ()
+      in
+      let* () =
+        List.fold_left
+          (fun acc d ->
+            let* () = acc in
+            match Hashtbl.find_opt dirs_seen d with
+            | Some other ->
+                Error
+                  (Printf.sprintf "dir %S claimed by both %S and %S" d other
+                     l.l_name)
+            | None ->
+                Hashtbl.add dirs_seen d l.l_name;
+                Ok ())
+          (Ok ()) l.l_dirs
+      in
+      let* () =
+        List.fold_left
+          (fun acc dep ->
+            let* () = acc in
+            if Hashtbl.mem seen dep then Ok ()
+            else if String.equal dep l.l_name then
+              Error (Printf.sprintf "layer %S depends on itself" l.l_name)
+            else
+              Error
+                (Printf.sprintf
+                   "layer %S depends on %S, which is not declared below it \
+                    (the map is bottom-up: deps may only name lower layers)"
+                   l.l_name dep))
+          (Ok ()) l.l_deps
+      in
+      Hashtbl.add seen l.l_name ();
+      Ok ())
+    (Ok ()) layers
+
+let load path =
+  match Sexp.parse_file path with
+  | exception Sexp.Parse_error (msg, _) -> Error msg
+  | exception Sys_error msg -> Error msg
+  | sexps ->
+      let layer_items =
+        match Sexp.field "layers" sexps with
+        | None -> []
+        | Some tail ->
+            List.filter_map
+              (function
+                | Sexp.List (Sexp.Atom "layer" :: items) -> Some items
+                | _ -> None)
+              tail
+      in
+      let* layers =
+        if layer_items = [] then Error "no (layers (layer ...) ...) section"
+        else
+          List.fold_left
+            (fun acc items ->
+              let* ls = acc in
+              let* l = parse_layer (List.length ls) items in
+              Ok (l :: ls))
+            (Ok []) layer_items
+          |> Result.map List.rev
+      in
+      let* () = validate layers in
+      let hot =
+        match Sexp.field "hot_path" sexps with
+        | None -> { h_extra_roots = []; h_commit_barriers = [] }
+        | Some items ->
+            {
+              h_extra_roots = Sexp.field_strings "extra_roots" items;
+              h_commit_barriers = Sexp.field_strings "commit_barriers" items;
+            }
+      in
+      Ok { layers; hot }
+
+let find t name = List.find_opt (fun l -> String.equal l.l_name name) t.layers
+
+let layer_of_path t path =
+  let best = ref None in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun d ->
+          if dir_covers ~dir:d path then
+            match !best with
+            | Some (len, _) when len >= String.length d -> ()
+            | _ -> best := Some (String.length d, l))
+        l.l_dirs)
+    t.layers;
+  Option.map snd !best

@@ -1,0 +1,36 @@
+(** The checked-in layer map ([LAYERS.sexp]).
+
+    The map declares the PASSv2 layer DAG bottom-up: each layer names
+    the source directories it owns, the lower layers it may reference
+    directly ([deps] — an edge absent here is a violation even when it
+    points downward), and the exception constructors from lower layers
+    it is allowed to let escape upward ([raises] — its own [.mli]-declared
+    exceptions are implicitly part of its contract).  A [hot_path]
+    section seeds the purity pass and names the commit-barrier modules
+    allowed to write through {!Vfs.write_file} on the record path. *)
+
+type layer = {
+  l_name : string;
+  l_rank : int;  (** declaration order; 0 = bottom of the stack *)
+  l_dirs : string list;  (** relative directory prefixes, e.g. ["lib/core"] *)
+  l_deps : string list;  (** names of lower layers it may reference *)
+  l_raises : string list;
+      (** imported exceptions allowed to escape, e.g. ["Vfs.Fatal"] *)
+}
+
+type hot = {
+  h_extra_roots : string list;  (** ["Module.binding"] purity-pass seeds *)
+  h_commit_barriers : string list;
+      (** files allowed [Vfs.write_file] on the hot path *)
+}
+
+type t = { layers : layer list; hot : hot }
+
+val load : string -> (t, string) result
+(** Parse and validate: layer names unique, every [deps] entry names an
+    already-declared (strictly lower) layer, no directory claimed twice. *)
+
+val find : t -> string -> layer option
+
+val layer_of_path : t -> string -> layer option
+(** The layer owning a file, by directory-prefix match (longest wins). *)

@@ -1,0 +1,32 @@
+(* CLI for the passarch layering-discipline analyzer. *)
+
+let () =
+  let json = ref false in
+  let stale = ref false in
+  let show_allow = ref false in
+  let root = ref "." in
+  let layers_file = ref "LAYERS.sexp" in
+  let args =
+    [
+      ("--json", Arg.Set json, " machine-readable findings on stdout");
+      ( "--stale-allowlist",
+        Arg.Set stale,
+        " fail when an allowlist entry matches no finding" );
+      ("--allowlist", Arg.Set show_allow, " print the exemption table and exit");
+      ("--root", Arg.Set_string root, "DIR tree to analyze (default .)");
+      ( "--layers",
+        Arg.Set_string layers_file,
+        "FILE layer map, relative to the root (default LAYERS.sexp)" );
+    ]
+  in
+  Arg.parse (Arg.align args)
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "passarch [--json] [--stale-allowlist] [--allowlist] [--root DIR] \
+     [--layers FILE]";
+  if !show_allow then begin
+    Lintcommon.Allowlist.print (Passarch_core.allowlist ());
+    exit 0
+  end;
+  exit
+    (Passarch_core.run ~root:!root ~layers_file:!layers_file ~json:!json
+       ~stale_check:!stale ())

@@ -1,408 +1,26 @@
-(* passlint: the repo's determinism and convention lint.
+(* Command-line front end of the lint; the rules live in Passlint_core
+   and the shared machinery in Lintcommon (see DESIGN §11 and §14). *)
 
-   The chaos replay harness (DESIGN §9) made whole-codebase determinism
-   load-bearing: a single call into wall clocks, host randomness or
-   unspecified runtime behaviour silently breaks seed-for-seed replay.
-   passlint walks the dune source tree, parses every .ml with
-   compiler-libs, and enforces the sandbox syntactically:
-
-   - forbidden-call   no Unix.*, Sys.time/getenv*, Random.*, Hashtbl.hash
-                      or Gc.* outside the allowlist below — simulated
-                      time comes from the machine clock, randomness from
-                      the seeded LCGs in lib/fault and Wk.rng;
-   - poly-compare     no bare polymorphic [compare]: it walks arbitrary
-                      representations, so its order is not part of any
-                      module's contract (use Int.compare, String.compare,
-                      a typed comparator, ...);
-   - pnode-poly-eq    no polymorphic [=]/[<>] on operands that mention
-                      pnodes (use Pnode.equal); heuristic on the operand
-                      source text;
-   - untyped-ignore   no [ignore e] without a type constraint: require
-                      [let _ : ty = e] or [ignore (e : ty)] so the
-                      discarded result's type is pinned;
-   - bare-failwith    no stringly [failwith] on the storage hot paths
-                      (lib/lasagna, lib/panfs, lib/waldo) that return
-                      typed errors — raise Vfs.Fatal instead;
-   - telemetry-name   literal instrument names must be dotted snake_case
-                      ("subsystem.metric_name"), matching the registry
-                      conventions; likewise literal pvtrace span names
-                      (the combined "layer.op" of Pvtrace.span/event and
-                      the layer handed to Dpapi.traced);
-   - missing-mli      every module under lib/ has an interface, so the
-                      lint (and readers) can tell public surface from
-                      internals;
-   - inplace-metadata-write
-                      no direct Vfs.write_file from lib/lasagna or
-                      lib/waldo: PASS metadata (images, archives,
-                      manifests) must go through Checkpoint.write_atomic
-                      so a crash can never tear a published file.
-
-   Findings print as file:line:col plus rule and message (or --json);
-   exit status is 1 if any finding survives the allowlist, making this a
-   CI gate.  The allowlist is part of this source file on purpose: adding
-   an entry is a reviewed change with a written justification. *)
-
-module Json = Telemetry.Json
-
-(* --- allowlist ------------------------------------------------------------ *)
-
-type allow = {
-  a_path : string; (* path prefix the exemption applies to *)
-  a_rule : string;
-  a_symbol : string; (* symbol prefix, "" = any *)
-  a_why : string; (* justification; shown with --allowlist *)
-}
-
-let allowlist =
-  [
-    { a_path = "bench/"; a_rule = "forbidden-call"; a_symbol = "Sys.time";
-      a_why = "bench measures host wall-clock time by design (checker \
-               microbench); results are reported, never replayed" };
-    { a_path = "bench/"; a_rule = "forbidden-call"; a_symbol = "Sys.getenv_opt";
-      a_why = "PASS_BENCH_SCALE is an operator knob read once at startup" };
-    { a_path = "test/test_chaos.ml"; a_rule = "forbidden-call";
-      a_symbol = "Sys.getenv_opt";
-      a_why = "PASS_CHAOS_SEEDS seed override, documented in DESIGN §9" };
-    { a_path = "lib/fault/"; a_rule = "forbidden-call"; a_symbol = "Random.";
-      a_why = "lib/fault is the sanctioned PRNG home (it implements the \
-               seeded LCG; entry kept should it ever wrap Stdlib.Random)" };
-    { a_path = "lib/lasagna/checkpoint.ml"; a_rule = "inplace-metadata-write";
-      a_symbol = "";
-      a_why = "the atomic-persist helper itself: writes only *.tmp staging \
-               files and publishes them with a journaled rename" };
-    { a_path = "test/test_vfs_wire.ml"; a_rule = "forbidden-call";
-      a_symbol = "Random.State.make";
-      a_why = "pins the QCheck seed of the wire properties to a constant \
-               so CI failures replay byte-for-byte; deterministic by \
-               construction" };
-  ]
-
-let allowed ~file ~rule ~symbol =
-  List.exists
-    (fun a ->
-      String.equal a.a_rule rule
-      && String.length file >= String.length a.a_path
-      && String.equal (String.sub file 0 (String.length a.a_path)) a.a_path
-      && (String.equal a.a_symbol ""
-         || String.length symbol >= String.length a.a_symbol
-            && String.equal
-                 (String.sub symbol 0 (String.length a.a_symbol))
-                 a.a_symbol))
-    allowlist
-
-(* --- findings ------------------------------------------------------------- *)
-
-type finding = {
-  f_file : string;
-  f_line : int;
-  f_col : int;
-  f_rule : string;
-  f_msg : string;
-}
-
-let findings : finding list ref = ref []
-
-let report ~file ~(loc : Location.t) ~rule ~symbol msg =
-  if not (allowed ~file ~rule ~symbol) then
-    let p = loc.loc_start in
-    findings :=
-      { f_file = file; f_line = p.pos_lnum;
-        f_col = p.pos_cnum - p.pos_bol; f_rule = rule; f_msg = msg }
-      :: !findings
-
-(* --- rule predicates ------------------------------------------------------ *)
-
-let forbidden_prefixes =
-  [ "Unix."; "Sys.time"; "Sys.getenv"; "Sys.command"; "Random.";
-    "Hashtbl.hash"; "Gc."; "Stdlib.compare"; "Stdlib.Random." ]
-
-let hot_path_dirs = [ "lib/lasagna/"; "lib/panfs/"; "lib/waldo/" ]
-
-let under_any dirs file =
-  List.exists
-    (fun d ->
-      String.length file >= String.length d
-      && String.equal (String.sub file 0 (String.length d)) d)
-    dirs
-
-let on_hot_path file = under_any hot_path_dirs file
-
-(* The layers that own PASS metadata (WAP logs, images, archives,
-   manifests): published files there must be crash-atomic. *)
-let on_metadata_path file = under_any [ "lib/lasagna/"; "lib/waldo/" ] file
-
-let seg_ok seg =
-  (not (String.equal seg ""))
-  && String.for_all
-       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
-       seg
-
-let valid_instrument_name s =
-  match String.split_on_char '.' s with
-  | [] | [ _ ] -> false
-  | segs -> List.for_all seg_ok segs
-
-(* A span layer or op on its own may be a single segment ("simos",
-   "emit"); the two-segment rule applies to the combined "layer.op". *)
-let valid_span_part s =
-  match String.split_on_char '.' s with
-  | [] -> false
-  | segs -> List.for_all seg_ok segs
-
-let mentions_pnode src (loc : Location.t) =
-  let a = loc.loc_start.pos_cnum and b = loc.loc_end.pos_cnum in
-  if a < 0 || b > String.length src || b <= a then false
-  else
-    let text = String.lowercase_ascii (String.sub src a (b - a)) in
-    let needle = "pnode" in
-    let nl = String.length needle and tl = String.length text in
-    let rec scan i = i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1)) in
-    scan 0
-
-(* --- the AST walk --------------------------------------------------------- *)
-
-let lint_structure ~file ~src structure =
-  let open Parsetree in
-  let ident_name (lid : Longident.t Asttypes.loc) =
-    String.concat "." (Longident.flatten lid.txt)
-  in
-  let check_ident (lid : Longident.t Asttypes.loc) =
-    let name = ident_name lid in
-    List.iter
-      (fun prefix ->
-        if
-          String.length name >= String.length prefix
-          && String.equal (String.sub name 0 (String.length prefix)) prefix
-        then
-          report ~file ~loc:lid.loc ~rule:"forbidden-call" ~symbol:name
-            (name ^ " breaks the determinism sandbox (simulated time comes \
-                     from the machine clock, randomness from seeded LCGs)"))
-      forbidden_prefixes;
-    (match lid.txt with
-    | Longident.Ldot (Longident.Lident "Vfs", "write_file")
-      when on_metadata_path file ->
-        report ~file ~loc:lid.loc ~rule:"inplace-metadata-write" ~symbol:name
-          "direct Vfs.write_file to PASS metadata: publish through \
-           Checkpoint.write_atomic (temp file + journaled rename) so a \
-           crash can never tear an image"
-    | _ -> ());
-    (match lid.txt with
-    | Longident.Lident "compare" ->
-        report ~file ~loc:lid.loc ~rule:"poly-compare" ~symbol:"compare"
-          "polymorphic compare: use a typed comparator (Int.compare, \
-           String.compare, Pnode.compare, ...)"
-    | _ -> ());
-    match lid.txt with
-    | Longident.Lident "failwith" when on_hot_path file ->
-        report ~file ~loc:lid.loc ~rule:"bare-failwith" ~symbol:"failwith"
-          "storage hot paths return typed errors; raise Vfs.Fatal (via \
-           Vfs.fatal) instead of failwith"
-    | _ -> ()
-  in
-  let iterator =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun sub e ->
-          (match e.pexp_desc with
-          | Pexp_ident lid -> check_ident lid
-          | Pexp_apply
-              ( { pexp_desc = Pexp_ident { txt = Longident.Lident "ignore"; _ }; _ },
-                [ (_, arg) ] ) -> (
-              match arg.pexp_desc with
-              | Pexp_constraint _ -> ()
-              | _ ->
-                  report ~file ~loc:e.pexp_loc ~rule:"untyped-ignore"
-                    ~symbol:"ignore"
-                    "untyped ignore discards a value of unchecked type; \
-                     write `let _ : ty = e` or `ignore (e : ty)`")
-          | Pexp_apply
-              ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>" | "==" | "!=") as op); _ }; _ },
-                args ) ->
-              if
-                List.exists
-                  (fun (_, (a : expression)) -> mentions_pnode src a.pexp_loc)
-                  args
-              then
-                report ~file ~loc:e.pexp_loc ~rule:"pnode-poly-eq" ~symbol:op
-                  ("polymorphic " ^ op
-                 ^ " on a pnode-carrying operand; use Pnode.equal / \
-                    Pnode.compare")
-          | Pexp_apply
-              ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Telemetry", fn); _ }; _ },
-                args )
-            when List.mem fn [ "counter"; "gauge"; "histogram" ] ->
-              List.iter
-                (fun (_, (a : expression)) ->
-                  match a.pexp_desc with
-                  | Pexp_constant (Pconst_string (s, _, _)) ->
-                      if not (valid_instrument_name s) then
-                        report ~file ~loc:a.pexp_loc ~rule:"telemetry-name"
-                          ~symbol:s
-                          (Printf.sprintf
-                             "instrument name %S is not dotted snake_case \
-                              (\"subsystem.metric_name\")"
-                             s)
-                  | _ -> ())
-                args
-          | Pexp_apply
-              ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Pvtrace", fn); _ }; _ },
-                args )
-            when List.mem fn [ "span"; "event" ] -> (
-              (* span names follow the instrument convention: the combined
-                 "layer.op" must be dotted snake_case *)
-              let literal lbl =
-                List.find_map
-                  (fun (l, (a : expression)) ->
-                    match (l, a.pexp_desc) with
-                    | Asttypes.Labelled s, Pexp_constant (Pconst_string (v, _, _))
-                      when String.equal s lbl ->
-                        Some (v, a.pexp_loc)
-                    | _ -> None)
-                  args
-              in
-              let bad loc name =
-                report ~file ~loc ~rule:"telemetry-name" ~symbol:name
-                  (Printf.sprintf
-                     "span name %S is not dotted snake_case \
-                      (\"layer.operation\")"
-                     name)
-              in
-              match (literal "layer", literal "op") with
-              | Some (layer, loc), Some (op, _) ->
-                  let name = layer ^ "." ^ op in
-                  if not (valid_instrument_name name) then bad loc name
-              | Some (part, loc), None | None, Some (part, loc) ->
-                  if not (valid_span_part part) then bad loc part
-              | None, None -> ())
-          | Pexp_apply
-              ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Dpapi", "traced"); _ }; _ },
-                args ) ->
-              List.iter
-                (fun (l, (a : expression)) ->
-                  match (l, a.pexp_desc) with
-                  | Asttypes.Labelled "layer", Pexp_constant (Pconst_string (s, _, _)) ->
-                      if not (valid_span_part s) then
-                        report ~file ~loc:a.pexp_loc ~rule:"telemetry-name"
-                          ~symbol:s
-                          (Printf.sprintf
-                             "traced layer %S is not dotted snake_case" s)
-                  | _ -> ())
-                args
-          | _ -> ());
-          Ast_iterator.default_iterator.expr sub e);
-    }
-  in
-  iterator.structure iterator structure
-
-(* --- tree walk ------------------------------------------------------------ *)
-
-let skip_dirs = [ "_build"; ".git"; "_opam"; ".claude" ]
-
-let rec walk acc path =
-  let base = Filename.basename path in
-  if List.mem base skip_dirs then acc
-  else if Sys.is_directory path then
-    Array.fold_left
-      (fun acc name -> walk acc (Filename.concat path name))
-      acc (Sys.readdir path)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let lint_file file =
-  let src = read_file file in
-  let lexbuf = Lexing.from_string src in
-  Location.init lexbuf file;
-  match Parse.implementation lexbuf with
-  | structure -> lint_structure ~file ~src structure
-  | exception _ ->
-      report ~file ~loc:Location.none ~rule:"parse-error" ~symbol:""
-        "file does not parse as an OCaml implementation"
-
-let check_missing_mli files =
-  List.iter
-    (fun file ->
-      let under_lib =
-        String.length file >= 4 && String.equal (String.sub file 0 4) "lib/"
-      in
-      if under_lib && not (Sys.file_exists (file ^ "i")) then
-        report ~file ~loc:Location.none ~rule:"missing-mli" ~symbol:""
-          "module under lib/ has no .mli: public surface is \
-           indistinguishable from internals")
-    files
-
-(* --- driver --------------------------------------------------------------- *)
-
-let usage = "passlint [--json] [--allowlist] [root ...]"
+let usage = "passlint [--json] [--allowlist] [--stale-allowlist] [root ...]"
 
 let () =
-  let json = ref false and show_allow = ref false and roots = ref [] in
+  let json = ref false
+  and show_allow = ref false
+  and stale = ref false
+  and roots = ref [] in
   Arg.parse
     [
       ("--json", Arg.Set json, " emit findings as JSON");
       ("--allowlist", Arg.Set show_allow, " print the allowlist and exit");
+      ("--stale-allowlist", Arg.Set stale,
+       " also fail if an allowlist entry matches no finding");
     ]
     (fun r -> roots := r :: !roots)
     usage;
   if !show_allow then begin
-    List.iter
-      (fun a ->
-        Printf.printf "%-22s %-16s %-16s %s\n" a.a_path a.a_rule a.a_symbol
-          a.a_why)
-      allowlist;
+    Lintcommon.Allowlist.print (Passlint_core.allowlist ());
     exit 0
   end;
-  let roots =
-    match !roots with
-    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "test"; "bench"; "tools" ]
-    | rs -> List.rev rs
-  in
-  let files = List.sort String.compare (List.fold_left walk [] roots) in
-  List.iter lint_file files;
-  check_missing_mli files;
-  let fs =
-    List.sort
-      (fun a b ->
-        match String.compare a.f_file b.f_file with
-        | 0 -> Int.compare a.f_line b.f_line
-        | c -> c)
-      !findings
-  in
-  if !json then
-    print_endline
-      (Json.to_string
-         (Json.Obj
-            [
-              ("schema", Json.Str "passlint/v1");
-              ("files_scanned", Json.Int (List.length files));
-              ("findings",
-               Json.List
-                 (List.map
-                    (fun f ->
-                      Json.Obj
-                        [
-                          ("file", Json.Str f.f_file);
-                          ("line", Json.Int f.f_line);
-                          ("col", Json.Int f.f_col);
-                          ("rule", Json.Str f.f_rule);
-                          ("msg", Json.Str f.f_msg);
-                        ])
-                    fs));
-            ]))
-  else begin
-    List.iter
-      (fun f ->
-        Printf.printf "%s:%d:%d: [%s] %s\n" f.f_file f.f_line f.f_col f.f_rule
-          f.f_msg)
-      fs;
-    Printf.printf "passlint: %d file(s), %d finding(s)\n" (List.length files)
-      (List.length fs)
-  end;
-  exit (match fs with [] -> 0 | _ -> 1)
+  exit
+    (Passlint_core.run ~roots:(List.rev !roots) ~json:!json
+       ~stale_check:!stale ())

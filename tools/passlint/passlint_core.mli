@@ -1,0 +1,22 @@
+(** The determinism/convention lint (DESIGN §11), as a library so both
+    the [passlint] executable and [passctl lint] can run it in-tree.
+
+    Rules, rationale and the justified allowlist live in the
+    implementation; findings and exit-code semantics are shared with
+    passarch via {!Lintcommon.Finding}. *)
+
+val allowlist : unit -> Lintcommon.Allowlist.t
+(** A fresh copy of the exemption table (for [--allowlist] printing). *)
+
+val findings : roots:string list -> unit -> Lintcommon.Finding.t list
+(** Raw sorted findings over [roots] (explicit files are linted as-is),
+    with no allowlist applied — what the fixture tests assert against.
+    The mli-presence rule is skipped: fixtures are single files. *)
+
+val run :
+  ?roots:string list -> ?json:bool -> ?stale_check:bool -> unit -> int
+(** Walk [roots] (default: lib bin test bench tools, resolved against
+    the current directory — run from the repo root), lint every [.ml],
+    print findings as text or JSON, and return the exit code: 1 when a
+    finding survives the allowlist, or when [stale_check] and some
+    allowlist entry matched nothing. *)
