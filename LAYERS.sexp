@@ -70,7 +70,11 @@
   (raises Vfs.Fatal Wire.Corrupt Disk.Crashed Disk.Io_error
           Observer.Lower_error))
 
- ; PQL query engine over the Waldo store.
+ ; PQL query engine over the Waldo store: the parser/AST, the naive
+ ; evaluator kept as the planner's oracle (pql_eval), the plan IR
+ ; (pql_plan), the cost-based planner over Provdb's secondary indexes
+ ; (pql_planner), the plan executor (pql_exec), and the prepared-query
+ ; Engine facade (pql).
  (layer (name query)
   (dirs lib/pql)
   (deps base core lasagna waldo))

@@ -129,11 +129,12 @@ let fig1 () =
       where Atlas.name = "atlas-x.gif"|}
   in
   Printf.printf "query (paper §5.7):\n%s\n\n" query;
-  let names = Pql.names merged query in
+  let pql_names db q = Pql.names_of_rows db Pql.Engine.(execute (prepare db q)) in
+  let names = pql_names merged query in
   Printf.printf "ancestors of atlas-x.gif across all three volumes (%d distinct names):\n"
     (List.length names);
   List.iter (fun n -> Printf.printf "  %s\n" n) names;
-  let b_only = Pql.names (Option.get (Server.db server_b)) query in
+  let b_only = pql_names (Option.get (Server.db server_b)) query in
   Printf.printf
     "\nwithout layering, server B alone sees %d names (no workflow operators, no inputs)\n"
     (List.length b_only)
@@ -571,6 +572,109 @@ let recovery_bench ~scale =
   in
   (bounded && memory_flat, json)
 
+(* --- QUERY: planner vs naive evaluator (ISSUE 9) ------------------------------ *)
+
+(* A synthetic provenance graph of [n] file nodes with heap-shaped
+   ancestry: node i's input is node (i-1)/2, so every node's transitive
+   ancestry cone is its root path (~log2 n nodes).  Each node gets a
+   distinct NAME, making the name index maximally selective.  This is the
+   shape where the cost-based planner should win by orders of magnitude:
+   a selective ancestry query touches O(result) nodes via the name index
+   while the naive evaluator enumerates every file binding (O(graph)). *)
+let query_graph n =
+  let db = Provdb.create () in
+  let alloc = Pass_core.Pnode.allocator ~machine:9 in
+  let nodes = Array.init n (fun _ -> Pass_core.Pnode.fresh alloc) in
+  for i = 0 to n - 1 do
+    Provdb.set_file db nodes.(i) ~name:(Printf.sprintf "f%d" i);
+    if i > 0 then
+      Provdb.add_record db nodes.(i) ~version:0 (Record.input_of nodes.((i - 1) / 2) 0)
+  done;
+  db
+
+(* wall-clock one run; queries here are large enough that a single
+   measurement is stable to well under the 10x margin the gate checks *)
+let time_run f =
+  let t0 = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. t0)
+
+let query_bench ~scale =
+  section "QUERY: cost-based planner vs naive evaluator";
+  let sizes =
+    List.filter_map
+      (fun base ->
+        let n = int_of_float (float_of_int base *. scale) in
+        if n >= 1_000 then Some (max 10_000 n) else None)
+      [ 10_000; 32_000; 100_000 ]
+  in
+  let sizes = List.sort_uniq Int.compare sizes in
+  let results =
+    List.map
+      (fun n ->
+        let db = query_graph n in
+        (* set equality of row sets, via the rendered (name.version) rows:
+           names are distinct here so rendering is injective *)
+        let canon rows = List.sort (List.compare String.compare) (Pql.render db rows) in
+        let rows_eq a b = List.equal (List.equal String.equal) (canon a) (canon b) in
+        (* selective: ancestry of one named file — O(result) via the
+           name index, O(graph) naively *)
+        let needle = Printf.sprintf "f%d" (n - 1) in
+        let selective =
+          Printf.sprintf
+            {|select A from Provenance.file as F F.input* as A where F.name = "%s"|} needle
+        in
+        let ast = Pql.parse selective in
+        let prepared = Pql.Engine.prepare_ast db ast in
+        let planner_rows, planner_s = time_run (fun () -> Pql.Engine.execute prepared) in
+        let naive_rows, naive_s = time_run (fun () -> Pql_eval.reference_rows db ast) in
+        let rows_equal = rows_eq planner_rows naive_rows in
+        let speedup = if planner_s > 0. then naive_s /. planner_s else 1e9 in
+        (* full scan: a glob the index cannot serve; both sides O(graph),
+           so the planner must not regress it *)
+        let full = {|select F from Provenance.file as F where F.name ~ "f1*"|} in
+        let full_ast = Pql.parse full in
+        let fp = Pql.Engine.prepare_ast db full_ast in
+        let full_planner_rows, full_planner_s = time_run (fun () -> Pql.Engine.execute fp) in
+        let full_naive_rows, full_naive_s =
+          time_run (fun () -> Pql_eval.reference_rows db full_ast)
+        in
+        let full_equal = rows_eq full_planner_rows full_naive_rows in
+        Printf.printf
+          "  n=%-7d selective: planner %8.2f ms, naive %8.2f ms  (%6.1fx, %d rows, equal=%b)\n"
+          n (planner_s *. 1e3) (naive_s *. 1e3) speedup (List.length planner_rows) rows_equal;
+        Printf.printf
+          "            full-scan: planner %8.2f ms, naive %8.2f ms  (%d rows, equal=%b)\n"
+          (full_planner_s *. 1e3) (full_naive_s *. 1e3)
+          (List.length full_planner_rows) full_equal;
+        (n, speedup, rows_equal && full_equal,
+         J.Obj
+           [
+             ("nodes", J.Int n);
+             ("selective_planner_ms", J.Float (planner_s *. 1e3));
+             ("selective_naive_ms", J.Float (naive_s *. 1e3));
+             ("selective_speedup", J.Float speedup);
+             ("selective_rows", J.Int (List.length planner_rows));
+             ("full_planner_ms", J.Float (full_planner_s *. 1e3));
+             ("full_naive_ms", J.Float (full_naive_s *. 1e3));
+             ("full_rows", J.Int (List.length full_planner_rows));
+             ("rows_equal", J.Bool (rows_equal && full_equal));
+           ]))
+      sizes
+  in
+  let all_equal = List.for_all (fun (_, _, eq, _) -> eq) results in
+  let _, largest_speedup, _, _ = List.nth results (List.length results - 1) in
+  let ok = all_equal && largest_speedup >= 10.0 in
+  Printf.printf "  gate: rows equal at every size = %b; largest-size speedup %.1fx >= 10x = %b\n"
+    all_equal largest_speedup (largest_speedup >= 10.0);
+  ( ok,
+    J.Obj
+      [
+        ("ok", J.Bool ok);
+        ("selective_speedup", J.Float largest_speedup);
+        ("sizes", J.List (List.map (fun (_, _, _, j) -> j) results));
+      ] )
+
 (* --- Bechamel microbenchmarks ------------------------------------------------- *)
 
 let microbench () =
@@ -616,8 +720,9 @@ let microbench () =
       {|select Ancestor from Provenance.file as Atlas Atlas.input* as Ancestor
         where Atlas.name = "atlas-x.gif"|}
     in
+    let prepared = Pql.Engine.prepare db query in
     Test.make ~name:"fig1:pql-ancestry-query"
-      (Staged.stage (fun () -> ignore (Pql.names db query : string list)))
+      (Staged.stage (fun () -> ignore (Pql.Engine.execute prepared : Pql.row list)))
   in
   (* TABLE1's serialization path: the WAP log frame encoder *)
   let bench_wap =
@@ -701,7 +806,8 @@ let self_check () =
 
 let results_file = "BENCH_results.json"
 
-let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~micro =
+let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~query
+    ~micro =
   let row_json (r : Runner.row) =
     J.Obj
       [
@@ -749,6 +855,7 @@ let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace
         ("faults", faults);
         ("trace", trace);
         ("recovery", recovery);
+        ("query", query);
         ("telemetry", Telemetry.snapshot registry);
         ("micro", micro_json);
       ]
@@ -774,8 +881,10 @@ let () =
   let faults_ok, faults = fault_bench () in
   let trace_ok, trace = trace_bench ~scale in
   let recovery_ok, recovery = recovery_bench ~scale in
+  let query_ok, query = query_bench ~scale in
   let micro = microbench () in
   let check_ok, self_check = self_check () in
-  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~micro;
+  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~query
+    ~micro;
   Printf.printf "\ndone.\n";
-  if not (check_ok && faults_ok && trace_ok && recovery_ok) then exit 1
+  if not (check_ok && faults_ok && trace_ok && recovery_ok && query_ok) then exit 1

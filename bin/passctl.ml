@@ -69,16 +69,53 @@ let cmd_demo () =
   in
   print_endline "Figure 1 scenario: Kepler on a workstation, inputs on server A, outputs on B";
   Printf.printf "query: %s\n\n" query;
-  let result = Pql.query merged query in
-  Format.printf "%a@." (Pql.pp merged) result
+  let prepared = Pql.Engine.prepare merged query in
+  let rows = Pql.Engine.execute prepared in
+  Format.printf "%a@." (Pql.pp_rows merged ~columns:(Pql.Engine.columns prepared)) rows
 
-let cmd_query q =
-  let db = canned_db () in
-  match Pql.query db q with
-  | result -> Format.printf "%a@." (Pql.pp db) result
-  | exception Pql.Error msg ->
-      Printf.eprintf "pql error: %s\n" msg;
+(* Shared by `query`: run one PQL string against [db], rendering the
+   result per the flags.  Pql errors go to stderr and exit 1, matching
+   the other subcommands' error discipline. *)
+let run_query db q ~explain ~json =
+  match
+    let prepared = Pql.Engine.prepare db q in
+    let rows = Pql.Engine.execute prepared in
+    (prepared, rows)
+  with
+  | exception Pql.Error kind ->
+      Printf.eprintf "passctl query: %s\n" (Pql.error_message kind);
       exit 1
+  | prepared, rows ->
+      let columns = Pql.Engine.columns prepared in
+      if json then begin
+        let open Telemetry.Json in
+        let fields =
+          [
+            ("query", Str (Pql.Engine.text prepared));
+            ("columns", List (Stdlib.List.map (fun c -> Str c) columns));
+            ( "rows",
+              List
+                (Stdlib.List.map
+                   (fun r -> List (Stdlib.List.map (fun cell -> Str cell) r))
+                   (Pql.render db rows)) );
+            ("row_count", Int (Stdlib.List.length rows));
+          ]
+        in
+        let fields =
+          if explain then
+            fields @ [ ("plan", Str (Pql_plan.to_string (Pql.Engine.explain prepared))) ]
+          else fields
+        in
+        print_endline (to_string (Obj fields))
+      end
+      else begin
+        (* execute has filled in actual cardinalities, so --explain shows
+           estimated vs. actual side by side *)
+        if explain then Format.printf "%a@.@." Pql_plan.pp (Pql.Engine.explain prepared);
+        Format.printf "%a@." (Pql.pp_rows db ~columns) rows
+      end
+
+let cmd_query q explain json = run_query (canned_db ()) q ~explain ~json
 
 let cmd_recordtypes () = Report.table1 Format.std_formatter
 
@@ -338,10 +375,19 @@ let query_cmd =
   let q =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PQL" ~doc:"The PQL query to run")
   in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the chosen plan (with estimated vs. actual cardinalities) \
+                   before the rows.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result (and plan) as JSON.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a PQL query against a canned Provenance-Challenge workflow run")
-    Term.(const cmd_query $ q)
+    Term.(const cmd_query $ q $ explain $ json)
 
 let recordtypes_cmd =
   Cmd.v (Cmd.info "recordtypes" ~doc:"Print the Table 1 record-type registry")

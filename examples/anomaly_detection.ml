@@ -14,6 +14,8 @@
      the output through the workflow's internals.
    - The *layered* provenance answers the question. *)
 
+let pql_names db q = Pql.names_of_rows db Pql.Engine.(execute (prepare db q))
+
 let () =
   print_endline "== §3.1: finding the source of an anomaly ==\n";
   (* the Figure 1 topology: workstation + two PA-NFS servers *)
@@ -76,7 +78,7 @@ let () =
     \               (%s) — the runs look identical.\n"
     (String.concat ", " (List.filteri (fun i _ -> i < 4) monday.Director.fired) ^ ", ...");
   let b_only =
-    Pql.names
+    pql_names
       (Option.get (Server.db server_b))
       {|select A from Provenance.file as F F.input* as A where F.name = "atlas-x.gif"|}
   in
@@ -91,7 +93,7 @@ let () =
   Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_a));
   Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_b));
   let ancestors =
-    Pql.names merged
+    pql_names merged
       {|select Ancestor
         from Provenance.file as Atlas
              Atlas.input* as Ancestor

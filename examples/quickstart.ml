@@ -11,6 +11,8 @@ module Pvalue = Pass_core.Pvalue
 module Dpapi = Pass_core.Dpapi
 module Libpass = Pass_core.Libpass
 
+let pql_names db q = Pql.names_of_rows db Pql.Engine.(execute (prepare db q))
+
 let ok = function Ok v -> v | Error e -> failwith (Vfs.errno_to_string e)
 
 let write_file sys ~pid ~path data =
@@ -65,7 +67,7 @@ let () =
   (* 5. ask questions in PQL *)
   let show query =
     Printf.printf "\n   pql> %s\n" (String.concat " " (String.split_on_char '\n' query));
-    List.iter (Printf.printf "        %s\n") (Pql.names db query)
+    List.iter (Printf.printf "        %s\n") (pql_names db query)
   in
   print_endline "5. querying:";
   show {|select A from Provenance.file as F F.input* as A where F.name = "clean-data.csv"|};

@@ -12,6 +12,8 @@
    a calculation routine; which outputs are affected?  Only the layered
    view — routine AND library version — answers it. *)
 
+let pql_names db q = Pql.names_of_rows db Pql.Engine.(execute (prepare db q))
+
 let () =
   print_endline "== §3.3: provenance-aware Python ==\n";
   let sys = System.create ~mode:System.Pass ~machine:1 ~volume_names:[ "vol0" ] () in
@@ -72,14 +74,14 @@ print("plotted " + str(len(docs)) + " low-stress experiments")
 
   print_endline "\n-- use case 1: which XML files actually fed the plot? --";
   let coarse =
-    Pql.names db
+    pql_names db
       {|select A from Provenance.file as P P.input* as A where P.name = "heating-low.dat"|}
     |> List.filter (fun n -> String.length n > 4 && Filename.check_suffix n ".xml")
   in
   Printf.printf "PASS alone (file granularity): %d XML ancestors — every file the script read\n"
     (List.length coarse);
   let fine =
-    Pql.names db
+    pql_names db
       {|select A from Provenance.file as P, P.input as I, I.input* as A
         where P.name = "heating-low.dat" and I.type = "INVOCATION"|}
     |> List.filter (fun n -> Filename.check_suffix n ".xml")
@@ -90,7 +92,7 @@ print("plotted " + str(len(docs)) + " low-stress experiments")
 
   print_endline "\n-- use case 2: which outputs used the buggy routine in the new library? --";
   let tainted =
-    Pql.names db
+    pql_names db
       {|select P from Provenance.file as P
         where exists (select A from P.input* as A where A.name = "thermo.heating")
           and exists (select L from P.input* as L where L.name = "thermo.py")|}
@@ -111,7 +113,7 @@ writefile("/vol0/out/laundered.txt", laundered)
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   let fine_ancestry name =
-    Pql.names db
+    pql_names db
       (Printf.sprintf
          {|select A from Provenance.file as F, F.input as I, I.input* as A
            where F.name = "%s" and I.type = "INVOCATION"|}

@@ -14,6 +14,8 @@
 module Record = Pass_core.Record
 module Pvalue = Pass_core.Pvalue
 
+let pql_names db q = Pql.names_of_rows db Pql.Engine.(execute (prepare db q))
+
 let ok = function Ok v -> v | Error e -> failwith (Vfs.errno_to_string e)
 
 let () =
@@ -94,7 +96,7 @@ let () =
 
   print_endline "\nforward query — what descends from the codec?";
   let descendants =
-    Pql.names db {|select D from Provenance.file as C C.^input* as D where C.name = "codec"|}
+    pql_names db {|select D from Provenance.file as C C.^input* as D where C.name = "codec"|}
   in
   List.iter (fun n -> Printf.printf "  %s\n" n) descendants;
   print_endline "\nwithout layering: the browser alone cannot track the spread through the";

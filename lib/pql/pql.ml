@@ -1,20 +1,37 @@
-(* PQL front end: parse, evaluate, render.
+(* PQL front end: the prepared-query engine (ISSUE 9).
+
+   The lifecycle is prepare -> explain/execute: [Engine.prepare] parses
+   and plans against a database's index statistics, [Engine.explain]
+   exposes the chosen plan, [Engine.execute] runs it (filling in the
+   plan's actual-cardinality counters).  The naive evaluator survives as
+   Pql_eval.reference_rows, the planner's correctness oracle.
 
    The typical query returns a set of values; nodes render as
-   name(pnode.version) so results are readable in examples and the CLI. *)
+   name.version so results are readable in examples and the CLI. *)
 
 module Pnode = Pass_core.Pnode
 module Pvalue = Pass_core.Pvalue
 
-type result = { columns : string list; rows : Pql_eval.item list list }
+type item = Pql_eval.item = Node of Pnode.t * int | Value of Pvalue.t
+type row = item list
 
-exception Error of string
+type error_kind =
+  | Parse_error of string (* lexing or parsing failure *)
+  | Plan_error of string (* query can't be planned (e.g. unbound variable) *)
+  | Eval_error of string (* runtime failure while executing *)
+
+exception Error of error_kind
+
+let error_message = function
+  | Parse_error m -> "parse error: " ^ m
+  | Plan_error m -> "plan error: " ^ m
+  | Eval_error m -> "eval error: " ^ m
 
 let parse input =
   try Pql_parser.parse input with
-  | Pql_parser.Error msg -> raise (Error ("parse error: " ^ msg))
+  | Pql_parser.Error msg -> raise (Error (Parse_error msg))
   | Pql_lexer.Error (msg, pos) ->
-      raise (Error (Printf.sprintf "lex error at %d: %s" pos msg))
+      raise (Error (Parse_error (Printf.sprintf "lex error at %d: %s" pos msg)))
 
 let rec column_name = function
   | Pql_ast.O_expr (Pql_ast.Var v) -> v
@@ -31,10 +48,29 @@ let rec column_name = function
       in
       Printf.sprintf "%s(%s)" f (column_name (Pql_ast.O_expr e))
 
-let query db input =
-  let q = parse input in
-  let rows = try Pql_eval.run db q with Pql_eval.Error msg -> raise (Error msg) in
-  { columns = List.map column_name q.select; rows }
+module Engine = struct
+  type prepared = {
+    db : Provdb.t;
+    ast : Pql_ast.query;
+    plan : Pql_plan.t;
+    columns : string list;
+  }
+
+  let prepare_ast db ast =
+    let plan =
+      try Pql_planner.plan db ast with Pql_eval.Error msg -> raise (Error (Plan_error msg))
+    in
+    { db; ast; plan; columns = List.map column_name ast.Pql_ast.select }
+
+  let prepare db input = prepare_ast db (parse input)
+  let explain p = p.plan
+  let columns p = p.columns
+  let text p = Pql_print.to_string p.ast
+
+  let execute p =
+    try Pql_exec.run p.db p.ast p.plan
+    with Pql_eval.Error msg -> raise (Error (Eval_error msg))
+end
 
 let render_item db = function
   | Pql_eval.Value (Pvalue.Str s) -> s
@@ -51,31 +87,27 @@ let render_item db = function
         (Option.value (Provdb.name_of db p) ~default:(Format.asprintf "%a" Pnode.pp p))
         v
 
-let render db result =
-  List.map (fun row -> List.map (render_item db) row) result.rows
+let render db rows = List.map (fun r -> List.map (render_item db) r) rows
 
-let pp db ppf result =
-  Format.fprintf ppf "@[<v>%s@," (String.concat " | " result.columns);
+let pp_rows db ~columns ppf rows =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " columns);
   List.iter
-    (fun row -> Format.fprintf ppf "%s@," (String.concat " | " (List.map (render_item db) row)))
-    result.rows;
-  Format.fprintf ppf "(%d rows)@]" (List.length result.rows)
+    (fun r -> Format.fprintf ppf "%s@," (String.concat " | " (List.map (render_item db) r)))
+    rows;
+  Format.fprintf ppf "(%d rows)@]" (List.length rows)
 
-(* Convenience used by examples and tests: the set of node names a
-   single-column query returns. *)
-let names db input =
-  let r = query db input in
+(* Row projections used by examples and tests: the set of node names /
+   pnodes a single-column row set holds. *)
+let names_of_rows db rows =
   List.filter_map
     (fun row ->
       match row with
       | [ Pql_eval.Node (p, _) ] -> Provdb.name_of db p
       | [ Pql_eval.Value (Pvalue.Str s) ] -> Some s
       | _ -> None)
-    r.rows
+    rows
   |> List.sort_uniq String.compare
 
-(* The set of distinct node pnodes a single-column query returns. *)
-let nodes db input =
-  let r = query db input in
-  List.filter_map (fun row -> match row with [ Pql_eval.Node (p, _) ] -> Some p | _ -> None) r.rows
+let nodes_of_rows rows =
+  List.filter_map (fun row -> match row with [ Pql_eval.Node (p, _) ] -> Some p | _ -> None) rows
   |> List.sort_uniq Pnode.compare

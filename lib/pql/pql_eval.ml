@@ -219,44 +219,14 @@ let compare_values op (a : item) (b : item) =
           | Some x, Some y -> cmp (String.compare x y)
           | _ -> false))
 
-(* --- conditions (mutually recursive with query evaluation for subqueries) -- *)
+(* --- projection ------------------------------------------------------------ *)
 
-let rec eval_cond db env = function
-  | And (a, b) -> eval_cond db env a && eval_cond db env b
-  | Or (a, b) -> eval_cond db env a || eval_cond db env b
-  | Not c -> not (eval_cond db env c)
-  | Cmp (l, op, r) ->
-      (* existential semantics over set-valued expressions *)
-      let ls = eval_expr db env l and rs = eval_expr db env r in
-      List.exists (fun a -> List.exists (fun b -> compare_values op a b) rs) ls
-  | Exists q -> eval_rows db env q <> []
-  | In_query (e, q) ->
-      let vals = eval_expr db env e in
-      let rows = eval_rows db env q in
-      List.exists
-        (fun row -> match row with [ it ] -> List.exists (item_equal it) vals | _ -> false)
-        rows
-
-and eval_envs db outer (q : query) =
-  let envs =
-    List.fold_left
-      (fun envs (src : source) ->
-        List.concat_map
-          (fun env ->
-            let start = root_items db env src.root in
-            let endpoints =
-              match src.path with None -> start | Some p -> eval_path db p start
-            in
-            List.map (fun it -> (src.binder, it) :: env) endpoints)
-          envs)
-      [ outer ] q.froms
-  in
-  match q.where with
-  | None -> envs
-  | Some cond -> List.filter (fun env -> eval_cond db env cond) envs
-
-and eval_rows db outer (q : query) =
-  let envs = eval_envs db outer q in
+(* Turn the surviving environments into result rows: aggregation or the
+   per-environment cartesian product of set-valued outputs, set-semantics
+   row dedup, then ordering.  Shared verbatim by the cost-based executor
+   (Pql_exec) so planner and oracle can only disagree about which
+   environments they build, never about how rows are produced. *)
+let project db (q : query) envs =
   let has_agg = List.exists (function O_agg _ -> true | O_expr _ -> false) q.select in
   if has_agg then
     [
@@ -377,10 +347,54 @@ and eval_rows db outer (q : query) =
     in
     List.map snd keyed_rows
 
+(* --- conditions (mutually recursive with query evaluation for subqueries) -- *)
+
+let rec eval_cond db env = function
+  | And (a, b) -> eval_cond db env a && eval_cond db env b
+  | Or (a, b) -> eval_cond db env a || eval_cond db env b
+  | Not c -> not (eval_cond db env c)
+  | Cmp (l, op, r) ->
+      (* existential semantics over set-valued expressions *)
+      let ls = eval_expr db env l and rs = eval_expr db env r in
+      List.exists (fun a -> List.exists (fun b -> compare_values op a b) rs) ls
+  | Exists q -> eval_rows db env q <> []
+  | In_query (e, q) ->
+      let vals = eval_expr db env e in
+      let rows = eval_rows db env q in
+      List.exists
+        (fun row -> match row with [ it ] -> List.exists (item_equal it) vals | _ -> false)
+        rows
+
+and eval_envs db outer (q : query) =
+  let envs =
+    List.fold_left
+      (fun envs (src : source) ->
+        List.concat_map
+          (fun env ->
+            let start = root_items db env src.root in
+            let endpoints =
+              match src.path with None -> start | Some p -> eval_path db p start
+            in
+            List.map (fun it -> (src.binder, it) :: env) endpoints)
+          envs)
+      [ outer ] q.froms
+  in
+  match q.where with
+  | None -> envs
+  | Some cond -> List.filter (fun env -> eval_cond db env cond) envs
+
+and eval_rows db outer (q : query) = project db q (eval_envs db outer q)
+
 let truncate n l =
   let rec go k = function [] -> [] | x :: rest -> if k = 0 then [] else x :: go (k - 1) rest in
   go n l
 
-let run db q =
-  let rows = eval_rows db [] q in
+let apply_limit (q : query) rows =
   match q.limit with Some n -> truncate (max 0 n) rows | None -> rows
+
+(* The whole naive pipeline: the reference oracle the cost-based planner
+   is checked against.  O(graph) per binding — every class root
+   enumerates the full node table and dependent paths are re-walked per
+   environment — which is exactly why execution goes through Pql_exec;
+   this stays as the semantics definition. *)
+let reference_rows db q = apply_limit q (eval_rows db [] q)

@@ -1,0 +1,164 @@
+(* Plan execution for PQL (ISSUE 9).
+
+   Runs a Pql_plan over the Provdb, reusing the naive evaluator's
+   machinery (eval_path / eval_cond / root_items / project) for every
+   semantic decision.  What differs from the naive pipeline is purely
+   structural:
+
+   - independent bindings (class roots) are computed ONCE, not once per
+     environment;
+   - index probes replace class scans when the planner chose them, with
+     pushed predicates re-applied exactly, so probes only narrow;
+   - dependent walks (Var_step with a path) are memoized per distinct
+     start item — a hash join of the environment set against the walk
+     relation;
+   - cross-binding equality predicates run as hash joins instead of
+     filtering the cartesian product.
+
+   Together these turn the selective-ancestry pattern
+   [select A from Provenance.file as F, F.input* as A where F.name = k]
+   from O(|graph| closures) into one index probe plus one closure:
+   O(result). *)
+
+open Pql_ast
+module E = Pql_eval
+module P = Pql_plan
+module Pnode = Pass_core.Pnode
+
+let item_key = function
+  | E.Node (p, v) -> `N (Pnode.to_int p, v)
+  | E.Value v -> `V v
+
+(* class membership for probe results, mirroring root_items *)
+let in_class db root p =
+  match root with
+  | Root_objects -> true
+  | Root_files -> (
+      match Provdb.find_node db p with
+      | Some n -> n.Provdb.kind = Provdb.File
+      | None -> false)
+  | Root_processes -> E.is_process db p
+  | Root_var _ -> true
+
+let at_max_version db p =
+  match Provdb.find_node db p with
+  | Some n -> Some (E.Node (p, n.Provdb.max_version))
+  | None -> None
+
+let distinct_pnodes pvs =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then None
+      else begin
+        Hashtbl.replace seen p ();
+        Some p
+      end)
+    pvs
+
+(* candidate items of an independent access, before path/pushed *)
+let access_items db = function
+  | P.Scan Root_processes ->
+      (* the TYPE posting list is a superset of every process node:
+         is_process needs a TYPE record, hence a posting *)
+      Provdb.fault_in db;
+      distinct_pnodes (Provdb.with_attr db "TYPE")
+      |> List.filter (E.is_process db)
+      |> List.filter_map (at_max_version db)
+  | P.Scan root -> E.root_items db [] root
+  | P.Name_probe (root, s) ->
+      (* alias sightings can live in archived history: settle it first
+         so the probe sees the complete index *)
+      Provdb.fault_in db;
+      Provdb.find_by_name db s
+      |> List.filter (in_class db root)
+      |> List.filter_map (at_max_version db)
+  | P.Attr_probe (root, a) ->
+      Provdb.with_attr db a (* faults the archive in itself *)
+      |> distinct_pnodes
+      |> List.filter (in_class db root)
+      |> List.filter_map (at_max_version db)
+  | P.Var_step _ -> invalid_arg "access_items: dependent step"
+
+(* pushed conjuncts only mention this binder, so a singleton environment
+   evaluates them exactly *)
+let passes_pushed db (step : P.step) it =
+  List.for_all (fun c -> E.eval_cond db [ (step.binder, it) ] c) step.pushed
+
+let run db (q : query) (plan : P.t) =
+  let step_envs envs (step : P.step) =
+    match step.access with
+    | P.Var_step v ->
+        let memo = Hashtbl.create 64 in
+        let expand start =
+          let key = item_key start in
+          match Hashtbl.find_opt memo key with
+          | Some endpoints -> endpoints
+          | None ->
+              let endpoints =
+                match step.path with
+                | None -> [ start ]
+                | Some p -> E.eval_path db p [ start ]
+              in
+              let endpoints = List.filter (passes_pushed db step) endpoints in
+              Hashtbl.replace memo key endpoints;
+              endpoints
+        in
+        let envs' =
+          List.concat_map
+            (fun env ->
+              match List.assoc_opt v env with
+              | None -> raise (Pql_eval.Error (Printf.sprintf "unbound variable %s" v))
+              | Some start ->
+                  List.map (fun it -> (step.binder, it) :: env) (expand start))
+            envs
+        in
+        step.actual <- Hashtbl.fold (fun _ eps acc -> acc + List.length eps) memo 0;
+        envs'
+    | _ -> (
+        let candidates =
+          match step.path with
+          | None -> access_items db step.access
+          | Some p -> E.eval_path db p (access_items db step.access)
+        in
+        let candidates = List.filter (passes_pushed db step) candidates in
+        step.actual <- List.length candidates;
+        match step.join with
+        | None ->
+            List.concat_map
+              (fun env -> List.map (fun it -> (step.binder, it) :: env) candidates)
+              envs
+        | Some (probe_key, build_key) ->
+            (* index candidates so matches extend environments in
+               candidate order, exactly like the nested loop would *)
+            let arr = Array.of_list candidates in
+            let table = Hashtbl.create (Array.length arr * 2) in
+            Array.iteri
+              (fun i it ->
+                List.iter
+                  (fun kv ->
+                    let k = item_key kv in
+                    Hashtbl.replace table k
+                      (i :: (match Hashtbl.find_opt table k with Some l -> l | None -> [])))
+                  (E.eval_expr db [ (step.binder, it) ] build_key))
+              arr;
+            List.concat_map
+              (fun env ->
+                E.eval_expr db env probe_key
+                |> List.concat_map (fun kv ->
+                       match Hashtbl.find_opt table (item_key kv) with
+                       | Some idxs -> idxs
+                       | None -> [])
+                |> List.sort_uniq Int.compare
+                |> List.map (fun i -> (step.binder, arr.(i)) :: env))
+              envs)
+  in
+  let envs = List.fold_left step_envs [ [] ] plan.P.steps in
+  let envs =
+    match plan.P.residual with
+    | None -> envs
+    | Some c -> List.filter (fun env -> E.eval_cond db env c) envs
+  in
+  let rows = E.apply_limit q (E.project db q envs) in
+  plan.P.actual_rows <- List.length rows;
+  rows

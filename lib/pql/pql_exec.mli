@@ -1,0 +1,14 @@
+(** Plan execution for PQL.
+
+    Runs a {!Pql_plan.t} produced by [Pql_planner.plan], reusing the
+    naive evaluator's path/predicate/projection machinery so the planned
+    pipeline can only differ from the oracle in cost, never in answers:
+    independent bindings are computed once, index probes narrow candidate
+    sets (with pushed predicates re-applied exactly), dependent walks are
+    memoized per start, and equality predicates across bindings run as
+    hash joins.  Fills in the plan's per-step and total actual-row
+    counters as a side effect. *)
+
+val run : Provdb.t -> Pql_ast.query -> Pql_plan.t -> Pql_eval.item list list
+(** @raise Pql_eval.Error on unbound variables or type mismatches
+    (identical conditions to the oracle). *)

@@ -1,0 +1,61 @@
+(** Logical plan IR for PQL.
+
+    The FROM clause lowered to a sequence of steps — one per binding —
+    each annotated with the chosen access path, pushed-down predicates,
+    an optional hash-join key and a cardinality estimate, plus a
+    residual filter for whatever no step could absorb.  Produced by
+    [Pql_planner.plan], executed by [Pql_exec.run], rendered by
+    [passctl query --explain].
+
+    The record types are exposed so drivers (tests, the CLI's [--json])
+    can inspect plan shape directly. *)
+
+(** How a step obtains its candidate items. *)
+type access =
+  | Scan of Pql_ast.root
+      (** Enumerate the class table.  Process roots scan the TYPE
+          posting list, not the whole node table. *)
+  | Name_probe of Pql_ast.root * string
+      (** Name-index lookup of a pushed [b.name = "lit"] key, then class
+          filter.  A superset access: the pushed predicate is still
+          applied with exact evaluator semantics. *)
+  | Attr_probe of Pql_ast.root * string
+      (** Inverted attr-index lookup of a pushed [b.attr = lit] key,
+          then class filter.  Also a superset access. *)
+  | Var_step of string  (** Walk from an earlier binding. *)
+
+type step = {
+  binder : string;
+  access : access;
+  path : Pql_ast.path_re option;  (** edge walk applied to the access output *)
+  memoized : bool;  (** dependent walk cached per distinct start item *)
+  join : (Pql_ast.expr * Pql_ast.expr) option;
+      (** (probe key over earlier binders, build key over this binder):
+          an equi-predicate executed as a hash join instead of an
+          after-the-fact filter *)
+  pushed : Pql_ast.cond list;
+      (** conjuncts whose free variables this binding covers, applied as
+          the step produces items *)
+  est : int;  (** estimated items this step binds *)
+  mutable actual : int;  (** measured by execute; [-1] until executed *)
+}
+
+type t = {
+  steps : step list;
+  residual : Pql_ast.cond option;  (** conjuncts no step could absorb *)
+  est_rows : int;
+  mutable actual_rows : int;  (** [-1] until executed *)
+}
+
+val access_str : access -> string
+(** One-line rendering of an access path, as it appears in {!pp}. *)
+
+val executed : t -> bool
+(** Whether {!field-actual_rows} (and the per-step actuals) have been
+    filled in by an execution. *)
+
+val pp : Format.formatter -> t -> unit
+(** Stable, golden-testable rendering; shows [(est n)] before execution
+    and [(est n, actual m)] after. *)
+
+val to_string : t -> string

@@ -1,0 +1,19 @@
+(** Cost-based lowering of a parsed PQL query to a {!Pql_plan.t}.
+
+    Decomposes WHERE into conjuncts and pushes each down to the earliest
+    FROM binding covering its free variables; picks index probes
+    (name/attr) over class scans when their posting-list cardinality is
+    smaller; turns cross-binding equality conjuncts into hash joins; and
+    estimates cardinalities from Provdb index statistics (posting
+    lengths, class counts, average ancestry degree, and bounded BFS over
+    the transitive-adjacency index when start pnodes are known at plan
+    time).
+
+    Probes are supersets by construction — pushed conjuncts are still
+    applied with exact evaluator semantics — so planning affects cost,
+    never answers.  Plan selection rules are documented in DESIGN §15. *)
+
+val plan : Provdb.t -> Pql_ast.query -> Pql_plan.t
+(** Side-effect free on the database (statistics reads only; never
+    faults the archive in).
+    @raise Pql_eval.Error when a FROM references an unbound variable. *)

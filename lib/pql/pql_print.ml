@@ -160,3 +160,12 @@ let to_string q =
   let buf = Buffer.create 128 in
   print_query buf q;
   Buffer.contents buf
+
+let via_buf print x =
+  let buf = Buffer.create 32 in
+  print buf x;
+  Buffer.contents buf
+
+let path_to_string p = via_buf print_path p
+let expr_to_string e = via_buf print_expr e
+let cond_to_string c = via_buf print_cond c

@@ -2,3 +2,9 @@
     used by the parser round-trip property tests. *)
 
 val to_string : Pql_ast.query -> string
+
+val path_to_string : Pql_ast.path_re -> string
+val expr_to_string : Pql_ast.expr -> string
+val cond_to_string : Pql_ast.cond -> string
+(** Fragment printers in the same concrete syntax, used by the planner's
+    EXPLAIN output. *)

@@ -2,9 +2,14 @@
 
     Holds the provenance graph at (object, version) granularity with the
     indexes the query engine needs: forward and reverse ancestry edges, a
-    name index and an attribute index.  Byte accounting mirrors the
-    paper's Table 3 ([db_bytes] for the tables, [index_bytes] for the
-    indexes). *)
+    complete name index (every alias a node was seen under), an inverted
+    attribute index with per-attribute cardinalities, a pnode-granular
+    ancestry adjacency for transitive-reachability estimates, and a
+    per-node resident-version index.  All secondary indexes are
+    maintained incrementally by {!add_record}/{!set_file}, so every load
+    path (deserialize, merge, compact, archive fault-in) rebuilds them.
+    Byte accounting mirrors the paper's Table 3 ([db_bytes] for the
+    tables, [index_bytes] for the indexes). *)
 
 module Pnode = Pass_core.Pnode
 module Pvalue = Pass_core.Pvalue
@@ -51,8 +56,26 @@ val compare_pv : Pnode.t * int -> Pnode.t * int -> int
 (** Typed order on (pnode, version) keys (no polymorphic compare). *)
 
 val find_by_name : t -> string -> Pnode.t list
+(** Pnodes ever sighted under [name] — via {!set_file} or a NAME record —
+    in pnode order.  A complete superset for name-equality predicates:
+    the query planner uses it as an access path and re-checks exact
+    semantics afterwards. *)
+
 val name_of : t -> Pnode.t -> string option
+
 val versions : t -> Pnode.t -> int list
+(** All version numbers [0..max_version] of [pnode], resident or not.
+    The enumeration is memoized per node (rebuilt only when the max
+    version grows), so calling this in a loop no longer allocates. *)
+
+val resident_versions : t -> Pnode.t -> int list
+(** Ascending versions of [pnode] that hold at least one resident quad —
+    the maintained index behind {!records_all}/{!out_edges_all}.  Does
+    not fault the archive in. *)
+
+val version_range : t -> Pnode.t -> (int * int) option
+(** [(floor, max_version)] of [pnode]: the hot tier holds versions in
+    [floor, max_version]; anything below the floor is archived. *)
 
 val records_at : t -> Pnode.t -> version:int -> quad list
 val records_all : t -> Pnode.t -> quad list
@@ -67,14 +90,56 @@ val in_edges : t -> Pnode.t -> (Pnode.t * int * string * int) list
     referenced version of [pnode]). *)
 
 val with_attr : t -> string -> (Pnode.t * int) list
+(** Distinct (pnode, version) pairs holding at least one record whose
+    attribute matches [attr] case-insensitively, in {!compare_pv} order.
+    Entries are deduplicated at insert and the sorted view is memoized,
+    so repeated probes no longer re-sort — and re-ingesting the same
+    record (merge, fault-in, replay) no longer duplicates entries. *)
+
 val attr_value : t -> Pnode.t -> version:int -> string -> Pvalue.t option
+
+(** {2 Planner statistics}
+
+    Cardinality inputs for the PQL cost-based planner.  These read the
+    hot tier as-is and never fault the archive in: estimates must stay
+    side-effect free at prepare time (execution uses the exact accessors
+    above, which do fault in). *)
+
+val file_count : t -> int
+(** How many nodes are files. *)
+
+val edge_count : t -> int
+(** Ancestry records ingested, with multiplicity. *)
+
+val attr_cardinality : t -> string -> int
+(** Distinct (pnode, version) entries under [attr] (case-insensitive)
+    — the length of {!with_attr}'s result, without building it. *)
+
+val parents_of : t -> Pnode.t -> Pnode.t list
+(** Direct ancestry parents at pnode granularity (version collapsed,
+    freeze self-edges excluded), in first-sighting order. *)
+
+val children_of : t -> Pnode.t -> Pnode.t list
+
+val reach_ancestors : t -> ?limit:int -> Pnode.t -> Pnode.t list
+(** Transitive ancestry reachability over {!parents_of}, excluding the
+    start, in BFS order; [limit] caps the number of nodes returned so
+    the planner can bound estimation work. *)
+
+val reach_descendants : t -> ?limit:int -> Pnode.t -> Pnode.t list
 
 val serialize : t -> string
 (** On-disk image of the node and quad tables (indexes are rebuilt by
-    {!deserialize}). *)
+    {!deserialize}).  The current format, PROVDB4, appends an
+    index-stats footer so a loader can prove its rebuilt indexes agree
+    with the writer's. *)
 
 val deserialize : string -> t
-(** @raise Wire.Corrupt on a malformed image. *)
+(** Loads PROVDB4 images as well as the older PROVDB3/PROVDB2 formats
+    (which lack the stats footer); secondary indexes are rebuilt either
+    way, so pre-planner images gain the new indexes on load.
+    @raise Wire.Corrupt on a malformed image, or when a PROVDB4 footer
+    disagrees with the rebuilt indexes. *)
 
 val merge_into : dst:t -> src:t -> unit
 (** Merge [src] into [dst], giving the query engine a unified view over
@@ -117,3 +182,12 @@ val is_acyclic : t -> bool
 val ancestors : t -> Pnode.t -> version:int -> (Pnode.t * int) list
 (** Transitive ancestor closure over ancestry edges (what [input*]
     walks). *)
+
+val verify_indexes : t -> (unit, string) result
+(** Rebuild-and-compare self-check: round-trips the db through its
+    on-disk form (which reconstructs every secondary index from the quad
+    store alone) and diffs each maintained index — names, attr postings
+    and cardinalities, ancestry adjacency, resident versions, version
+    ranges, counters — against the live one.  [Error msg] names the
+    first drift found.  Faults the archive in first so the comparison
+    covers the whole history. *)

@@ -61,3 +61,8 @@ let fresh_ext3 () =
   let clock = Simdisk.Clock.create () in
   let disk = Simdisk.Disk.create ~clock () in
   (disk, Ext3.format disk)
+
+(* PQL conveniences over the prepared-query engine: one-shot execution
+   and the names projection most assertions want. *)
+let pql_rows db q = Pql.Engine.execute (Pql.Engine.prepare db q)
+let pql_names db q = Pql.names_of_rows db (pql_rows db q)

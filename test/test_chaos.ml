@@ -673,6 +673,68 @@ let test_txn_across_checkpoint_boundary () =
   check tbool "checkpointed and control provdbs are byte-identical" true
     (String.equal straddled control)
 
+(* --- index consistency across crash/recover and archive fault-in ------------- *)
+
+(* ISSUE 9: the provdb's secondary indexes (name postings, inverted
+   attribute index, transitive-ancestry adjacency, resident versions) are
+   maintained incrementally under ingestion, merge, compaction and
+   archive fault-in, and rebuilt wholesale by deserialize.  Whatever the
+   route into the store — checkpoint image, crash recovery, cold-tier
+   fault-in — the maintained indexes must agree exactly with a
+   from-scratch rebuild, and the cost-based planner must keep returning
+   the naive oracle's rows. *)
+let test_indexes_consistent_after_crash_and_archive () =
+  let verify what db =
+    match Provdb.verify_indexes db with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "index consistency %s: %s" what msg
+  in
+  let row_key row =
+    String.concat "|"
+      (List.map
+         (function
+           | Pql_eval.Node (p, v) -> Printf.sprintf "n:%d:%d" (Pnode.to_int p) v
+           | Pql_eval.Value v -> Format.asprintf "v:%a" Pvalue.pp v)
+         row)
+  in
+  let planner_matches_oracle what db =
+    let ast =
+      Pql.parse {|select A from Provenance.object as F F.input* as A where F.name = "f3"|}
+    in
+    let planner = Pql.Engine.execute (Pql.Engine.prepare_ast db ast) in
+    let naive = Pql_eval.reference_rows db ast in
+    let keys rows = List.sort String.compare (List.map row_key rows) in
+    check Alcotest.(list string) (what ^ ": planner rows = oracle rows") (keys naive)
+      (keys planner);
+    check tbool (what ^ ": ancestry nonempty") true (planner <> [])
+  in
+  let registry = Telemetry.create () in
+  let disk, _ext3, lasagna, waldo =
+    ckpt_rig ~registry ~policy:Waldo.Manual ~compact_keep:1 ()
+  in
+  ignore (ckpt_workload lasagna waldo : Dpapi.handle array);
+  verify "after ingestion" (Waldo.db waldo);
+  (* a compacting checkpoint pushes old versions into the cold tier *)
+  ok_fs (Waldo.checkpoint waldo);
+  planner_matches_oracle "after checkpoint" (Waldo.db waldo);
+  verify "after checkpoint + archival" (Waldo.db waldo);
+  (* crash and recover: the image deserializer rebuilds every index *)
+  Disk.crash disk;
+  Disk.revive disk;
+  let ext3 = Ext3.mount disk in
+  let w2, info =
+    ok_fs (Waldo.recover ~registry ~policy:Waldo.Manual ~compact_keep:1 ~lower:(Ext3.ops ext3) ())
+  in
+  check tbool "recovery saw archive segments" true (info.Waldo.ri_archives > 0);
+  let db = Waldo.db w2 in
+  (* the selective ancestry query crosses the floor: the planner's index
+     probe must fault the cold tier in, exactly like the oracle's scan *)
+  planner_matches_oracle "after crash/recover" db;
+  verify "after crash/recover" db;
+  (* explicit full fault-in is idempotent over the query's *)
+  Waldo.fault_in_archive w2;
+  verify "after archive fault-in" db
+
 (* --- the hooks are free when no fault fires ---------------------------------- *)
 
 let mini_run fault =
@@ -727,6 +789,8 @@ let () =
             `Quick test_crash_during_checkpoint_sweep;
           Alcotest.test_case "transactions straddle the checkpoint boundary exactly once"
             `Quick test_txn_across_checkpoint_boundary;
+          Alcotest.test_case "indexes consistent across crash/recover and archive fault-in"
+            `Quick test_indexes_consistent_after_crash_and_archive;
           Alcotest.test_case "an empty fault plan costs nothing" `Quick test_quiet_plan_is_free;
         ] );
     ]

@@ -107,7 +107,7 @@ let test_dpapi_recorder_links_layers () =
   (* the paper's query: all ancestors of atlas-x.gif, crossing from the
      file through the workflow operators to the input files *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select Ancestor
         from Provenance.file as Atlas
              Atlas.input* as Ancestor
@@ -118,10 +118,10 @@ let test_dpapi_recorder_links_layers () =
   check tbool "input file in ancestry" true (List.mem "anatomy1.img" names);
   check tbool "reference in ancestry" true (List.mem "reference.img" names);
   (* operator objects carry PARAMS (Table 1) *)
-  let r =
-    Pql.query db {|select P.params from Provenance.object as P where P.name = "softmean"|}
+  let rows =
+    Helpers.pql_rows db {|select P.params from Provenance.object as P where P.name = "softmean"|}
   in
-  check tint "softmean params visible" 1 (List.length r.rows)
+  check tint "softmean params visible" 1 (List.length rows)
 
 let test_anomaly_scenario () =
   (* §3.1: run twice; between runs someone silently modifies anatomy2.img.
@@ -145,7 +145,7 @@ let test_anomaly_scenario () =
   let db = Option.get (System.waldo_db sys "vol0") in
   (* layered query: the modifying process is in the new atlas's ancestry *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as Atlas Atlas.input* as A
         where Atlas.name = "atlas-x.gif"|}
   in

@@ -114,7 +114,7 @@ let test_mmap_via_kernel () =
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   let names =
-    Pql.names db {|select A from Provenance.file as O O.input* as A where O.name = "out"|}
+    Helpers.pql_names db {|select A from Provenance.file as O O.input* as A where O.name = "out"|}
   in
   check tbool "mmapped library in ancestry" true (List.mem "lib.so" names)
 

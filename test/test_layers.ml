@@ -53,7 +53,7 @@ writefile("/vol0/out/sum.txt", stats.report(d))
   let db = Option.get (Server.db server) in
   check tbool "server db acyclic" true (Provdb.is_acyclic db);
   let fine =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as F, F.input as I, I.input* as A
         where F.name = "sum.txt" and I.type = "INVOCATION"|}
   in
@@ -63,7 +63,7 @@ writefile("/vol0/out/sum.txt", stats.report(d))
   (* the library FILE itself is an ancestor (the function object links to
      the module file, which lives at the server) *)
   let lib_ancestor =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as F F.input* as A where F.name = "sum.txt"|}
   in
   check tbool "library file in full ancestry" true (List.mem "stats.py" lib_ancestor)
@@ -112,7 +112,7 @@ let test_compile_ancestry_depth () =
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as V V.input* as A where V.name = "vmlinux"|}
   in
   check tbool "sources in vmlinux ancestry" true (List.mem "f0.c" names);

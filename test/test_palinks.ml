@@ -77,7 +77,7 @@ let test_download_records () =
   check tbool "CURRENT_URL recorded" true (has Record.Attr.current_url (Web.site_url 0 1));
   (* the session, with its VISITED_URL trail, is an ancestor *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as F F.input* as A where F.name = "doc2.pdf"|}
   in
   check tbool "session in ancestry" true (List.mem "session-1" names);
@@ -139,7 +139,7 @@ let test_malware_scenario () =
        quads);
   (* forward: what descends from the codec? *)
   let descendants =
-    Pql.names db
+    Helpers.pql_names db
       {|select D from Provenance.file as C C.^input* as D where C.name = "codec"|}
   in
   check tbool "spread tracked to infected1" true (List.mem "infected1" descendants);
@@ -182,7 +182,7 @@ let test_session_revival () =
           : string);
       let db = drain_db sys in
       let names =
-        Pql.names db
+        Helpers.pql_names db
           {|select A from Provenance.file as F F.input* as A where F.name = "later.pdf"|}
       in
       check tbool "revived session in ancestry" true (List.mem "session-1" names)

@@ -75,7 +75,7 @@ let test_panfs_ancestry_at_server () =
   let db = Option.get (Server.db server) in
   check tbool "server db acyclic" true (Provdb.is_acyclic db);
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as O O.input* as A where O.name = "output.dat"|}
   in
   check tbool "server sees full chain" true (List.mem "input.dat" names)
@@ -222,7 +222,7 @@ let test_figure1_two_servers () =
   Provdb.merge_into ~dst:merged ~src:(Option.get (Server.db server_b));
   check tbool "merged db acyclic" true (Provdb.is_acyclic merged);
   let names =
-    Pql.names merged
+    Helpers.pql_names merged
       {|select Ancestor
         from Provenance.file as Atlas
              Atlas.input* as Ancestor
@@ -232,7 +232,7 @@ let test_figure1_two_servers () =
     (List.mem "align.in" names && List.mem "stage.tmp" names);
   (* without layering: server B alone does not know the remote input *)
   let b_only =
-    Pql.names (Option.get (Server.db server_b))
+    Helpers.pql_names (Option.get (Server.db server_b))
       {|select Ancestor
         from Provenance.file as Atlas
              Atlas.input* as Ancestor

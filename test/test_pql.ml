@@ -79,7 +79,7 @@ let test_lexer_comments_and_strings () =
 let test_paper_query_semantics () =
   let db, _in1, _in2, _proc, _out, _unrelated = sample_db () in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select Ancestor
         from Provenance.file as Atlas
              Atlas.input* as Ancestor
@@ -93,7 +93,7 @@ let test_paper_query_semantics () =
 let test_plus_excludes_self () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as F F.input+ as A where F.name = "out.gif"|}
   in
   (* input+ starts with one step: v1 -> v0 of out.gif is still out.gif,
@@ -104,7 +104,7 @@ let test_plus_excludes_self () =
 let test_single_step () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db {|select A from Provenance.file as F F.input as A where F.name = "out.gif"|}
+    Helpers.pql_names db {|select A from Provenance.file as F F.input as A where F.name = "out.gif"|}
   in
   (* one step from out.gif v1 reaches only out.gif v0 (the version edge) *)
   check tstrs "one step = version edge" [ "out.gif" ] names
@@ -112,7 +112,7 @@ let test_single_step () =
 let test_inverse_edges () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select D from Provenance.file as F F.^input as D where F.name = "input1.dat"|}
   in
   check tstrs "descendant via inverse" [ "kepler" ] names
@@ -120,7 +120,7 @@ let test_inverse_edges () =
 let test_inverse_closure_descendants () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select D from Provenance.file as F F.^input+ as D where F.name = "input1.dat"|}
   in
   check tbool "out.gif descends from input1" true (List.mem "out.gif" names)
@@ -128,14 +128,14 @@ let test_inverse_closure_descendants () =
 let test_where_filters () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db {|select F from Provenance.file as F where F.name ~ "input*"|}
+    Helpers.pql_names db {|select F from Provenance.file as F where F.name ~ "input*"|}
   in
   check tstrs "glob filter" [ "input1.dat"; "input2.dat" ] names
 
 let test_where_and_or_not () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select F from Provenance.file as F
         where (F.name = "input1.dat" or F.name = "out.gif") and not F.name = "out.gif"|}
   in
@@ -143,24 +143,24 @@ let test_where_and_or_not () =
 
 let test_process_root () =
   let db, _, _, _, _, _ = sample_db () in
-  let names = Pql.names db "select P from Provenance.process as P" in
+  let names = Helpers.pql_names db "select P from Provenance.process as P" in
   check tstrs "process root" [ "kepler" ] names
 
 let test_attribute_access () =
   let db, _, _, _, _, _ = sample_db () in
-  let r =
-    Pql.query db
+  let rows =
+    Helpers.pql_rows db
       {|select P.argv from Provenance.process as P where P.name = "kepler"|}
   in
-  check tint "one row" 1 (List.length r.rows)
+  check tint "one row" 1 (List.length rows)
 
 let test_count_aggregate () =
   let db, _, _, _, _, _ = sample_db () in
-  let r =
-    Pql.query db
+  let rows =
+    Helpers.pql_rows db
       {|select count(A) from Provenance.file as F F.input* as A where F.name = "out.gif"|}
   in
-  match r.rows with
+  match rows with
   | [ [ Pql_eval.Value (Pvalue.Int n) ] ] ->
       (* out.gif v1, out.gif v0, kepler, input1, input2 = 5 node-versions *)
       check tint "count of distinct ancestors" 5 n
@@ -170,7 +170,7 @@ let test_exists_subquery () =
   let db, _, _, _, _, _ = sample_db () in
   (* files that have at least one descendant *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select F from Provenance.file as F
         where exists (select D from F.^input as D)|}
   in
@@ -180,7 +180,7 @@ let test_exists_subquery () =
 let test_in_subquery () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select F from Provenance.file as F
         where F in (select A from Provenance.file as Out Out.input* as A
                     where Out.name = "out.gif")|}
@@ -190,28 +190,29 @@ let test_in_subquery () =
 
 let test_version_pseudo_attr () =
   let db, _, _, _, _, _ = sample_db () in
-  let r =
-    Pql.query db {|select F.version from Provenance.file as F where F.name = "out.gif"|}
+  let rows =
+    Helpers.pql_rows db {|select F.version from Provenance.file as F where F.name = "out.gif"|}
   in
-  match r.rows with
+  match rows with
   | [ [ Pql_eval.Value (Pvalue.Int v) ] ] -> check tint "latest version" 1 v
   | _ -> Alcotest.fail "expected version row"
 
 let test_empty_result () =
   let db, _, _, _, _, _ = sample_db () in
-  let r = Pql.query db {|select F from Provenance.file as F where F.name = "absent"|} in
-  check tint "no rows" 0 (List.length r.rows)
+  let rows = Helpers.pql_rows db {|select F from Provenance.file as F where F.name = "absent"|} in
+  check tint "no rows" 0 (List.length rows)
 
 let test_multi_column_select () =
   let db, _, _, _, _, _ = sample_db () in
-  let r =
-    Pql.query db
+  let p =
+    Pql.Engine.prepare db
       {|select F, F.name, F.version from Provenance.file as F where F.name ~ "input*"|}
   in
-  check tint "two rows" 2 (List.length r.rows);
-  check tint "three columns" 3 (List.length (List.hd r.rows));
+  let rows = Pql.Engine.execute p in
+  check tint "two rows" 2 (List.length rows);
+  check tint "three columns" 3 (List.length (List.hd rows));
   check (Alcotest.list Alcotest.string) "column names"
-    [ "F"; "F.name"; "F.version" ] r.columns
+    [ "F"; "F.name"; "F.version" ] (Pql.Engine.columns p)
 
 let test_from_separators () =
   (* comma-separated and juxtaposed sources are both accepted, and mix *)
@@ -234,11 +235,10 @@ let test_print_module () =
 let test_order_by () =
   let db, _, _, _, _, _ = sample_db () in
   let names_in_order q =
-    let r = Pql.query db q in
     List.filter_map
       (fun row ->
         match row with [ Pql_eval.Node (p, _) ] -> Provdb.name_of db p | _ -> None)
-      r.rows
+      (Helpers.pql_rows db q)
   in
   let asc = names_in_order "select F from Provenance.file as F order by F.name asc" in
   let desc = names_in_order "select F from Provenance.file as F order by F.name desc" in
@@ -253,15 +253,13 @@ let test_order_by () =
 
 let test_limit_clause () =
   let db, _, _, _, _, _ = sample_db () in
-  let r =
-    Pql.query db
+  let rows =
+    Helpers.pql_rows db
       {|select A from Provenance.file as F F.input* as A where F.name = "out.gif" limit 2|}
   in
-  check tint "rows pruned to 2" 2 (List.length r.rows);
-  let r0 =
-    Pql.query db {|select F from Provenance.file as F limit 0|}
-  in
-  check tint "limit 0" 0 (List.length r0.rows);
+  check tint "rows pruned to 2" 2 (List.length rows);
+  let r0 = Helpers.pql_rows db {|select F from Provenance.file as F limit 0|} in
+  check tint "limit 0" 0 (List.length r0);
   (match Pql.parse "select F from Provenance.file as F limit x" with
   | exception Pql.Error _ -> ()
   | _ -> Alcotest.fail "non-integer limit rejected")
@@ -269,7 +267,7 @@ let test_limit_clause () =
 let test_any_edge () =
   let db, _, _, _, _, _ = sample_db () in
   let names =
-    Pql.names db {|select A from Provenance.file as F F._* as A where F.name = "out.gif"|}
+    Helpers.pql_names db {|select A from Provenance.file as F F._* as A where F.name = "out.gif"|}
   in
   check tbool "wildcard closure matches input*" true (List.mem "input2.dat" names)
 
@@ -384,7 +382,7 @@ let prop_glob_star =
    the evaluator itself never knows an archive exists. *)
 let test_ancestry_across_archive_boundary () =
   let ancestry db =
-    Pql.names db
+    Helpers.pql_names db
       {|select Ancestor
         from Provenance.file as Atlas
              Atlas.input* as Ancestor
@@ -408,9 +406,255 @@ let test_ancestry_across_archive_boundary () =
   check tstrs "ancestry across the archive boundary" expect (ancestry hot);
   check tbool "the query faulted the cold tier in" true (!faulted > 0)
 
+(* --- planner (ISSUE 9) ----------------------------------------------------- *)
+
+(* The flagship access-path decision: a selective name equality turns the
+   class scan into a name-index probe, and the dependent closure walk is
+   memoized.  Everything the probe absorbed is still re-applied (pushed),
+   so the probe can only narrow. *)
+let test_plan_uses_name_probe () =
+  let db, _, _, _, _, _ = sample_db () in
+  let p =
+    Pql.Engine.prepare db
+      {|select Ancestor
+        from Provenance.file as Atlas
+             Atlas.input* as Ancestor
+        where Atlas.name = "out.gif"|}
+  in
+  let plan = Pql.Engine.explain p in
+  (match plan.Pql_plan.steps with
+  | [ s1; s2 ] ->
+      (match s1.Pql_plan.access with
+      | Pql_plan.Name_probe (Pql_ast.Root_files, "out.gif") -> ()
+      | a -> Alcotest.failf "expected name probe, got %s" (Pql_plan.access_str a));
+      check tint "probe est = posting length" 1 s1.Pql_plan.est;
+      check tint "name cond still pushed" 1 (List.length s1.Pql_plan.pushed);
+      (match s2.Pql_plan.access with
+      | Pql_plan.Var_step "Atlas" -> ()
+      | a -> Alcotest.failf "expected var step, got %s" (Pql_plan.access_str a));
+      check tbool "dependent walk memoized" true s2.Pql_plan.memoized
+  | steps -> Alcotest.failf "expected 2 steps, got %d" (List.length steps));
+  check tbool "no residual" true (plan.Pql_plan.residual = None)
+
+let test_plan_attr_probe_and_scan () =
+  let db, _, _, _, _, _ = sample_db () in
+  let explain q = Pql.Engine.explain (Pql.Engine.prepare db q) in
+  (* non-pseudo attribute equality: the inverted attribute index wins *)
+  let p1 = explain {|select P from Provenance.object as P where P.argv = "kepler"|} in
+  (match (List.hd p1.Pql_plan.steps).Pql_plan.access with
+  | Pql_plan.Attr_probe (Pql_ast.Root_objects, "ARGV") -> ()
+  | a -> Alcotest.failf "expected attr probe, got %s" (Pql_plan.access_str a));
+  (* a glob is not sargable: falls back to the class scan *)
+  let p2 = explain {|select F from Provenance.file as F where F.name ~ "input*"|} in
+  (match (List.hd p2.Pql_plan.steps).Pql_plan.access with
+  | Pql_plan.Scan Pql_ast.Root_files -> ()
+  | a -> Alcotest.failf "expected scan, got %s" (Pql_plan.access_str a));
+  (* version is a pseudo-attribute no record backs: never probed *)
+  let p3 = explain {|select F from Provenance.file as F where F.version = 1|} in
+  (match (List.hd p3.Pql_plan.steps).Pql_plan.access with
+  | Pql_plan.Scan Pql_ast.Root_files -> ()
+  | a -> Alcotest.failf "expected scan for pseudo-attr, got %s" (Pql_plan.access_str a))
+
+let test_plan_hash_join () =
+  let db, _, _, _, _, _ = sample_db () in
+  let p =
+    Pql.Engine.prepare db
+      {|select F, G from Provenance.file as F, Provenance.file as G
+        where F.name = G.name|}
+  in
+  let plan = Pql.Engine.explain p in
+  (match plan.Pql_plan.steps with
+  | [ _; s2 ] -> check tbool "cross-binding equality joined" true (s2.Pql_plan.join <> None)
+  | _ -> Alcotest.fail "expected 2 steps");
+  check tbool "join leaves no residual" true (plan.Pql_plan.residual = None);
+  (* every file pairs with itself only (names are unique here) *)
+  check tint "self-join rows" 4 (List.length (Pql.Engine.execute p))
+
+let test_plan_unbound_variable () =
+  let db, _, _, _, _, _ = sample_db () in
+  match Pql.Engine.prepare db "select A from Nowhere.input* as A" with
+  | exception Pql.Error (Pql.Plan_error _) -> ()
+  | exception Pql.Error _ -> Alcotest.fail "wrong error phase"
+  | _ -> Alcotest.fail "unbound variable accepted"
+
+(* EXPLAIN stability: the rendered plan is part of the tool surface
+   (passctl --explain, the HOWTO walkthrough), so its exact shape is
+   pinned here — before execution (estimates only) and after (estimated
+   vs. actual side by side). *)
+let test_explain_golden () =
+  let db, _, _, _, _, _ = sample_db () in
+  let p =
+    Pql.Engine.prepare db
+      {|select Ancestor
+        from Provenance.file as Atlas
+             Atlas.input* as Ancestor
+        where Atlas.name = "out.gif"|}
+  in
+  check Alcotest.string "explain before execute"
+    "plan:\n\
+    \  Atlas <- name-index \"out.gif\" -> files  (est 1)\n\
+    \      push Atlas.name = \"out.gif\"\n\
+    \  Ancestor <- from Atlas, walk input* [memo]  (est 5)\n\
+    \  rows: (est 5)"
+    (Pql_plan.to_string (Pql.Engine.explain p));
+  let rows = Pql.Engine.execute p in
+  check tint "five ancestor rows" 5 (List.length rows);
+  check Alcotest.string "explain after execute"
+    "plan:\n\
+    \  Atlas <- name-index \"out.gif\" -> files  (est 1, actual 1)\n\
+    \      push Atlas.name = \"out.gif\"\n\
+    \  Ancestor <- from Atlas, walk input* [memo]  (est 5, actual 5)\n\
+    \  rows: (est 5, actual 5)"
+    (Pql_plan.to_string (Pql.Engine.explain p))
+
+(* --- planner == naive oracle on random graphs x random queries ------------- *)
+
+(* A generated graph description: node i is a process or a file, owns a
+   (possibly duplicated) name, reads a set of earlier nodes, and may
+   carry a PARAMS attribute. *)
+let build_random_db (specs : (bool * string * int list * string option) list) =
+  let db = Provdb.create () in
+  let alloc = Pnode.allocator ~machine:7 in
+  let nodes = Array.of_list (List.map (fun _ -> Pnode.fresh alloc) specs) in
+  List.iteri
+    (fun i (is_proc, name, parents, params) ->
+      let pn = nodes.(i) in
+      if is_proc then begin
+        Provdb.declare_virtual db pn;
+        Provdb.add_record db pn ~version:0 (Record.typ "PROCESS");
+        Provdb.add_record db pn ~version:0 (Record.name name)
+      end
+      else Provdb.set_file db pn ~name;
+      List.iter
+        (fun j -> Provdb.add_record db pn ~version:0 (Record.input_of nodes.(j mod i) 0))
+        (if i = 0 then [] else parents);
+      match params with
+      | Some v -> Provdb.add_record db pn ~version:0 (Record.make "PARAMS" (Pvalue.Str v))
+      | None -> ())
+    specs;
+  db
+
+let gen_graph =
+  let open QCheck2.Gen in
+  let node_spec =
+    quad bool
+      (oneofl [ "a"; "b"; "c"; "out.gif" ])
+      (list_size (int_bound 2) (int_bound 20))
+      (option (oneofl [ "x"; "y" ]))
+  in
+  list_size (int_range 2 10) node_spec
+
+(* Random well-typed queries over sequential binders B0..Bk: class roots
+   or walks from earlier binders, sargable and non-sargable conditions,
+   cross-binding equalities, plain or count() selects.  No order-by /
+   limit / mixed agg+expr selects: those pick representatives the two
+   pipelines may legitimately pick differently. *)
+let gen_query_for_planner =
+  let open QCheck2.Gen in
+  let path_pool =
+    let e = Pql_ast.Edge (Pql_ast.Forward "input") in
+    let inv = Pql_ast.Edge (Pql_ast.Inverse "input") in
+    Pql_ast.
+      [ e; inv; Star e; Plus e; Star inv; Edge Any_edge; Star (Edge Any_edge); Alt (e, inv) ]
+  in
+  let binder i = "B" ^ string_of_int i in
+  let root = oneofl Pql_ast.[ Root_files; Root_objects; Root_processes ] in
+  let source i =
+    if i = 0 then map2 (fun r p -> { Pql_ast.root = r; path = p; binder = binder 0 }) root
+        (option (oneofl path_pool))
+    else
+      oneof
+        [
+          map2 (fun r p -> { Pql_ast.root = r; path = p; binder = binder i }) root
+            (option (oneofl path_pool));
+          map2
+            (fun v p -> { Pql_ast.root = Pql_ast.Root_var (binder v); path = Some p; binder = binder i })
+            (int_bound (i - 1)) (oneofl path_pool);
+        ]
+  in
+  let cond k =
+    let attr = oneofl [ "name"; "params"; "type"; "version" ] in
+    let lit =
+      oneof
+        [
+          map (fun s -> Pql_ast.L_str s) (oneofl [ "a"; "b"; "out.gif"; "x"; "PROCESS" ]);
+          map (fun i -> Pql_ast.L_int i) (int_bound 3);
+        ]
+    in
+    let bvar = map binder (int_bound (k - 1)) in
+    oneof
+      [
+        map3 (fun b a l -> Pql_ast.Cmp (Pql_ast.Attr (b, a), Pql_ast.Eq, Pql_ast.Lit l)) bvar attr lit;
+        map3 (fun b a l -> Pql_ast.Cmp (Pql_ast.Attr (b, a), Pql_ast.Like, Pql_ast.Lit l)) bvar attr lit;
+        map3
+          (fun b a (op, l) -> Pql_ast.Cmp (Pql_ast.Attr (b, a), op, Pql_ast.Lit l))
+          bvar attr
+          (pair (oneofl Pql_ast.[ Neq; Lt; Ge ]) lit);
+        map2 (fun b1 b2 -> Pql_ast.Cmp (Pql_ast.Var b1, Pql_ast.Eq, Pql_ast.Var b2)) bvar bvar;
+        map2
+          (fun b1 b2 ->
+            Pql_ast.Cmp
+              (Pql_ast.Attr (b1, "name"), Pql_ast.Eq, Pql_ast.Attr (b2, "name")))
+          bvar bvar;
+      ]
+  in
+  let* k = int_range 1 3 in
+  let* froms = flatten_l (List.init k source) in
+  let* where =
+    let* n = int_bound 2 in
+    if n = 0 then pure None
+    else
+      let* cs = list_size (pure n) (cond k) in
+      pure (match cs with [] -> None | c :: rest ->
+        Some (List.fold_left (fun acc c -> Pql_ast.And (acc, c)) c rest))
+  in
+  let* select =
+    oneof
+      [
+        (let* b = int_bound (k - 1) in
+         pure [ Pql_ast.O_expr (Pql_ast.Var (binder b)) ]);
+        (let* b = int_bound (k - 1) in
+         pure [ Pql_ast.O_agg (Pql_ast.Count, Pql_ast.Var (binder b)) ]);
+        pure (List.init k (fun i -> Pql_ast.O_expr (Pql_ast.Var (binder i))));
+      ]
+  in
+  pure { Pql_ast.select; froms; where; order = None; limit = None }
+
+(* a total order on rows so both pipelines' outputs compare as sets *)
+let row_key row =
+  String.concat "|"
+    (List.map
+       (function
+         | Pql_eval.Node (p, v) -> Printf.sprintf "n:%d:%d" (Pnode.to_int p) v
+         | Pql_eval.Value v -> (
+             match v with
+             | Pvalue.Str s -> "s:" ^ s
+             | Pvalue.Int i -> "i:" ^ string_of_int i
+             | Pvalue.Bool b -> "b:" ^ string_of_bool b
+             | Pvalue.Bytes b -> "y:" ^ b
+             | Pvalue.Strs l -> "l:" ^ String.concat "," l
+             | Pvalue.Xref x -> Printf.sprintf "x:%d:%d" (Pnode.to_int x.pnode) x.version))
+       row)
+
+let sorted_keys rows = List.sort String.compare (List.map row_key rows)
+
+let prop_planner_matches_naive =
+  QCheck2.Test.make ~name:"pql: planner rows = naive oracle" ~count:500
+    QCheck2.Gen.(pair gen_graph gen_query_for_planner)
+    (fun (specs, q) ->
+      let db = build_random_db specs in
+      let planner = Pql.Engine.execute (Pql.Engine.prepare_ast db q) in
+      let naive = Pql_eval.reference_rows db q in
+      List.equal String.equal (sorted_keys planner) (sorted_keys naive))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_print_parse_roundtrip; prop_glob; prop_glob_star ]
+  @ [
+      QCheck_alcotest.to_alcotest
+        ~rand:(Random.State.make [| 0x5eed |])
+        prop_planner_matches_naive;
+    ]
 
 let suite =
   [
@@ -441,5 +685,15 @@ let suite =
     Alcotest.test_case "eval: any-edge wildcard" `Quick test_any_edge;
     Alcotest.test_case "eval: ancestry crosses the archive boundary" `Quick
       test_ancestry_across_archive_boundary;
+    Alcotest.test_case "plan: selective name equality uses the name index" `Quick
+      test_plan_uses_name_probe;
+    Alcotest.test_case "plan: attr probe, scan fallback, pseudo-attrs" `Quick
+      test_plan_attr_probe_and_scan;
+    Alcotest.test_case "plan: cross-binding equality becomes a hash join" `Quick
+      test_plan_hash_join;
+    Alcotest.test_case "plan: unbound variable is a plan error" `Quick
+      test_plan_unbound_variable;
+    Alcotest.test_case "explain: golden plan rendering (est and actual)" `Quick
+      test_explain_golden;
   ]
   @ qcheck_cases

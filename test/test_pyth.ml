@@ -255,7 +255,7 @@ let test_thermography_data_origin () =
   (* PASS's coarse view: the analysis program read ALL the XML files, so
      at file granularity the plot derives from every one of them *)
   let coarse =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as P P.input* as A where P.name = "plot.dat"|}
   in
   check tbool "coarse view includes unused exp2" true (List.mem "exp2.xml" coarse);
@@ -264,7 +264,7 @@ let test_thermography_data_origin () =
      the plot's invocation-level ancestry names exactly the documents
      actually used *)
   let fine =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as P, P.input as I, I.input* as A
         where P.name = "plot.dat" and I.type = "INVOCATION"|}
   in
@@ -281,7 +281,7 @@ let test_process_validation () =
   Pyth.run s analysis_script;
   let db = drain_db sys in
   let tainted =
-    Pql.names db
+    Helpers.pql_names db
       {|select P from Provenance.file as P
         where exists (select A from P.input* as A where A.name = "thermo.heating")
           and exists (select L from P.input* as L where L.name = "thermo.py")|}
@@ -305,7 +305,7 @@ writefile("/vol0/laundered.out", laundered)
      in.xml for both files (the process read it), but only the tagged
      value's invocation chain reaches the source file *)
   let fine_ancestry_of name =
-    Pql.names db
+    Helpers.pql_names db
       (Printf.sprintf
          {|select A from Provenance.file as F, F.input as I, I.input* as A
            where F.name = "%s" and I.type = "INVOCATION"|}

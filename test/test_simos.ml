@@ -62,7 +62,7 @@ let test_process_file_ancestry () =
   check tbool "db is acyclic" true (Provdb.is_acyclic db);
   (* output.dat's ancestry must include input.dat through the worker *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as Out Out.input* as A where Out.name = "output.dat"|}
   in
   check tbool "ancestry includes input.dat" true (List.mem "input.dat" names)
@@ -94,16 +94,16 @@ let test_execve_records_argv () =
   let db = Option.get (System.waldo_db sys "vol0") in
   (* main.o descends from the cc binary (via the process) *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as O O.input* as A where O.name = "main.o"|}
   in
   check tbool "binary in ancestry" true (List.mem "cc" names);
   (* and the process carries its argv *)
-  let r =
-    Pql.query db
+  let rows =
+    Helpers.pql_rows db
       {|select P.argv from Provenance.process as P where P.name = "/vol0/bin/cc"|}
   in
-  check tint "argv recorded" 1 (List.length r.rows)
+  check tint "argv recorded" 1 (List.length rows)
 
 let test_pipeline_provenance () =
   let sys = pass_system () in
@@ -122,7 +122,7 @@ let test_pipeline_provenance () =
   let db = Option.get (System.waldo_db sys "vol0") in
   (* dst <- p2 <- pipe <- p1 <- src *)
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as D D.input* as A where D.name = "dst"|}
   in
   check tbool "pipeline traced back to src" true (List.mem "src" names)
@@ -136,11 +136,11 @@ let test_fork_lineage () =
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   (* out <- child <- parent: at least two process nodes in ancestry *)
-  let r =
-    Pql.query db
+  let rows =
+    Helpers.pql_rows db
       {|select count(A) from Provenance.file as O O.input+ as A where O.name = "out"|}
   in
-  (match r.rows with
+  (match rows with
   | [ [ Pql_eval.Value (Pvalue.Int n) ] ] -> check tbool "at least 3 ancestors" true (n >= 3)
   | _ -> Alcotest.fail "count row expected")
 
@@ -198,7 +198,7 @@ let test_provenance_outlives_deletion () =
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as D D.input* as A where D.name = "derived"|}
   in
   check tbool "deleted ancestor still in provenance" true (List.mem "secret-input" names)
@@ -239,7 +239,7 @@ let test_app_disclosure_via_libpass () =
   ignore (System.drain sys : int);
   let db = Option.get (System.waldo_db sys "vol0") in
   let names =
-    Pql.names db
+    Helpers.pql_names db
       {|select A from Provenance.file as F F.input* as A where F.name = "report.txt"|}
   in
   check tbool "semantic object in ancestry" true (List.mem "experiment-42" names)

@@ -200,10 +200,16 @@ let test_size_accounting () =
   Provdb.set_file db p ~name:"sized.bin";
   let before_db = Provdb.db_bytes db and before_idx = Provdb.index_bytes db in
   for i = 0 to 99 do
-    Provdb.add_record db p ~version:0 (Record.make "PARAMS" (Pvalue.Str (string_of_int i)))
+    Provdb.add_record db p ~version:i (Record.make "PARAMS" (Pvalue.Str (string_of_int i)))
   done;
   check tbool "db bytes grow" true (Provdb.db_bytes db > before_db + 1000);
   check tbool "index bytes grow" true (Provdb.index_bytes db > before_idx + 1000);
+  (* re-ingesting records at an already-indexed (pnode, version, attr)
+     must not grow the attr index: postings are deduplicated at insert *)
+  let idx = Provdb.index_bytes db in
+  Provdb.add_record db p ~version:0 (Record.make "PARAMS" (Pvalue.Str "dup"));
+  check tint "duplicate posting not re-indexed" idx (Provdb.index_bytes db);
+  check tint "attr cardinality is distinct entries" 100 (Provdb.attr_cardinality db "params");
   check tint "total = db + idx" (Provdb.total_bytes db)
     (Provdb.db_bytes db + Provdb.index_bytes db)
 

@@ -208,6 +208,36 @@ let () =
           in
           Printf.printf "%-20s %-6s %10.0f %10.0f %+8.0f  %s%s\n" "recovery" "replay"
             base current (current -. base) verdict note));
+  (* Query-planner gate: the selective-ancestry speedup over the naive
+     evaluator must stay above the pinned floor (higher is better, so
+     only a drop fails; the relative tolerance gives simulation noise
+     room).  "new" when the baseline predates the bench's query
+     section, so old baselines keep working. *)
+  (match List.assoc_opt "query" baseline with
+  | None ->
+      Printf.printf "%-20s %-6s %10s %10s %8s  new (no baseline entry)\n" "query" "speedup"
+        "-" "-" "-"
+  | Some qb -> (
+      let floor =
+        match get_number "selective_speedup_min" qb with
+        | Some b -> b
+        | None -> die "%s: query entry without selective_speedup_min" baseline_path
+      in
+      match
+        Option.bind (Json.member "query" current_json) (get_number "selective_speedup")
+      with
+      | None -> die "%s: no query.selective_speedup (old bench binary?)" current_path
+      | Some current ->
+          let regression = current < floor *. (1. -. (tolerance /. 100.)) in
+          let verdict, note =
+            if regression then begin
+              incr regressed;
+              ("REGRESSED", " <-- below pinned floor")
+            end
+            else ("ok", "")
+          in
+          Printf.printf "%-20s %-6s %9.1fx %9.1fx %+7.1fx  %s%s\n" "query" "speedup" floor
+            current (current -. floor) verdict note));
   if !regressed > 0 then begin
     Printf.printf "\n%d overhead value(s) regressed beyond tolerance.\n" !regressed;
     exit 1

@@ -73,6 +73,11 @@ let allowlist_entries : Allowlist.entry list =
       a_why = "pins the QCheck seed of the wire properties to a constant \
                so CI failures replay byte-for-byte; deterministic by \
                construction" };
+    { a_path = "test/test_pql.ml"; a_rule = "forbidden-call";
+      a_symbol = "Random.State.make";
+      a_why = "pins the QCheck seed of the planner-vs-oracle property to \
+               a constant so CI failures replay byte-for-byte; \
+               deterministic by construction" };
   ]
 
 (* --- rule predicates ------------------------------------------------------ *)
