@@ -27,6 +27,13 @@
   (dirs lib/fault lib/trace)
   (deps base))
 
+ ; pvmon: the monitoring consumer of telemetry registries and pvtrace
+ ; span streams.  Strictly above the instruments it scrapes and below
+ ; everything that wires it in (simos hands it the clock hook).
+ (layer (name monitor)
+  (dirs lib/monitor)
+  (deps base instrument))
+
  ; The simulated disk under the filesystems.
  (layer (name simdisk)
   (dirs lib/simdisk)
@@ -64,7 +71,7 @@
  ; points that stitch the full stack together.
  (layer (name os)
   (dirs lib/simos lib/panfs)
-  (deps base instrument simdisk core fs lasagna waldo)
+  (deps base instrument monitor simdisk core fs lasagna waldo)
   ; the OS shim is the paper's failure boundary: disk crashes, corrupt
   ; logs and observer wiring failures all surface here for the harness
   (raises Vfs.Fatal Wire.Corrupt Disk.Crashed Disk.Io_error
@@ -97,7 +104,7 @@
  ; Canned end-to-end workloads used by bench/bin/test.
  (layer (name workloads)
   (dirs lib/workloads)
-  (deps base instrument simdisk core fs lasagna waldo os apps)
+  (deps base instrument monitor simdisk core fs lasagna waldo os apps)
   ; workloads assemble the full stack for bench/test drivers, which
   ; catch the stack's declared failures wholesale
   (raises Vfs.Fatal Wire.Corrupt Disk.Crashed Disk.Io_error
@@ -107,8 +114,8 @@
  ; Entry points and dev tooling: may see everything.
  (layer (name top)
   (dirs bin bench test tools examples)
-  (deps base instrument simdisk core fs lasagna waldo os query check apps
-        workloads)))
+  (deps base instrument monitor simdisk core fs lasagna waldo os query check
+        apps workloads)))
 
 ; The observer->distributor record path must stay allocation- and
 ; formatting-clean: seeds are the Dpapi.traced wrapper arguments,

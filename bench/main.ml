@@ -433,6 +433,136 @@ let trace_bench ~scale =
   in
   (ok, json)
 
+(* --- MONITOR: pvmon metrics + attribution gates ------------------------------ *)
+
+let pvmon_file = "PVMON_report.json"
+
+(* Run Postmark over PA-NFS and Mercurial locally with pvmon disabled vs
+   enabled; the tracer is on in both runs, so the monitor is the only
+   variable.  Gates: [zero_overhead] (both workloads finish at the same
+   simulated instant either way, and the disabled singleton never
+   scrapes); [conservation] (per-layer self-times sum exactly to the
+   traced total — the attribution fold loses nothing); [deterministic]
+   (a second identical run exports byte-identical pvmon/v1 JSON and
+   OpenMetrics text).  The enabled Postmark run's report is written as
+   the artifact CI uploads. *)
+let monitor_bench ~scale =
+  section "MONITOR: pvmon metrics + SLO health gates";
+  let wl name = List.find (fun w -> w.Runner.wl_name = name) (Runner.standard ~scale ()) in
+  let postmark = wl "Postmark" and mercurial = wl "Mercurial Activity" in
+  let finish monitor sys =
+    ignore (System.drain sys : int);
+    let now = Simdisk.Clock.now (System.clock sys) in
+    if Pvmon.enabled monitor then Pvmon.scrape monitor now;
+    now
+  in
+  (* fresh registry per run: the process-wide default accumulates
+     instrument instances from every earlier section, which would make
+     the byte-determinism comparison below depend on bench ordering *)
+  let run_nfs monitor =
+    let sys, server =
+      Runner.nfs_system ~registry:(Telemetry.create ()) ~tracer:(Pvtrace.create ())
+        ~monitor System.Pass
+    in
+    postmark.Runner.run sys;
+    ignore (System.drain sys : int);
+    ignore (Server.drain server : int);
+    finish monitor sys
+  in
+  let run_local monitor =
+    let sys =
+      Runner.local_system ~registry:(Telemetry.create ()) ~tracer:(Pvtrace.create ())
+        ~monitor System.Pass
+    in
+    mercurial.Runner.run sys;
+    finish monitor sys
+  in
+  let off_nfs = run_nfs Pvmon.disabled in
+  let off_local = run_local Pvmon.disabled in
+  let mon = Pvmon.create () in
+  let on_nfs = run_nfs mon in
+  let report = J.to_string (Pvmon.to_json mon) in
+  let exposition = Pvmon.to_openmetrics mon in
+  let mon2 = Pvmon.create () in
+  let _ : int = run_nfs mon2 in
+  let mon_l = Pvmon.create () in
+  let on_local = run_local mon_l in
+  let deterministic =
+    String.equal report (J.to_string (Pvmon.to_json mon2))
+    && String.equal exposition (Pvmon.to_openmetrics mon2)
+  in
+  let zero_overhead =
+    off_nfs = on_nfs && off_local = on_local && Pvmon.scrapes Pvmon.disabled = 0
+  in
+  let self_sum m =
+    List.fold_left (fun acc r -> acc + r.Pvmon.lr_self_ns) 0 (Pvmon.attribution m)
+  in
+  let conservation =
+    self_sum mon = Pvmon.traced_total_ns mon
+    && self_sum mon_l = Pvmon.traced_total_ns mon_l
+    && Pvmon.traced_total_ns mon > 0
+  in
+  let overhead_pct =
+    (float_of_int on_nfs -. float_of_int off_nfs) /. float_of_int (max 1 off_nfs) *. 100.
+  in
+  let ok =
+    zero_overhead && conservation && deterministic && Pvmon.scrapes mon > 0
+    && Pvmon.scrapes mon_l > 0
+  in
+  let oc = open_out pvmon_file in
+  output_string oc report;
+  output_char oc '\n';
+  close_out oc;
+  let flag b = if b then "ok" else "FAILED" in
+  Printf.printf "  postmark via PA-NFS, pvmon off vs on: %d ns vs %d ns  %s\n" off_nfs on_nfs
+    (if off_nfs = on_nfs then "(identical — scrapes charge no simulated time)" else "MISMATCH");
+  Printf.printf "  mercurial local,   pvmon off vs on: %d ns vs %d ns  %s\n" off_local on_local
+    (if off_local = on_local then "(identical)" else "MISMATCH");
+  Printf.printf "  scrapes: %d (postmark), %d (mercurial); alerts: %d; slow ops: %d\n"
+    (Pvmon.scrapes mon) (Pvmon.scrapes mon_l)
+    (List.length (Pvmon.alerts mon))
+    (List.length (Pvmon.slow_ops mon));
+  Printf.printf "  attribution conservation (Σ self = traced total): %s\n" (flag conservation);
+  List.iter
+    (fun (r : Pvmon.layer_row) ->
+      Printf.printf "    %-10s self %12d ns  total %12d ns  %7d spans\n" r.Pvmon.lr_layer
+        r.Pvmon.lr_self_ns r.Pvmon.lr_total_ns r.Pvmon.lr_spans)
+    (Pvmon.attribution mon);
+  Printf.printf "  byte-identical JSON + OpenMetrics across identical runs: %s\n"
+    (flag deterministic);
+  Printf.printf "  wrote %s\n" pvmon_file;
+  let json =
+    J.Obj
+      [
+        ("workloads", J.List [ J.Str "Postmark"; J.Str "Mercurial Activity" ]);
+        ("off_ns", J.Int off_nfs);
+        ("on_ns", J.Int on_nfs);
+        ("local_off_ns", J.Int off_local);
+        ("local_on_ns", J.Int on_local);
+        ("zero_overhead", J.Bool zero_overhead);
+        ("overhead_pct", J.Float overhead_pct);
+        ("scrapes", J.Int (Pvmon.scrapes mon));
+        ("alerts", J.Int (List.length (Pvmon.alerts mon)));
+        ("slow_ops", J.Int (List.length (Pvmon.slow_ops mon)));
+        ("conservation", J.Bool conservation);
+        ("deterministic", J.Bool deterministic);
+        ( "attribution",
+          J.List
+            (List.map
+               (fun (r : Pvmon.layer_row) ->
+                 J.Obj
+                   [
+                     ("layer", J.Str r.Pvmon.lr_layer);
+                     ("self_ns", J.Int r.Pvmon.lr_self_ns);
+                     ("total_ns", J.Int r.Pvmon.lr_total_ns);
+                     ("spans", J.Int r.Pvmon.lr_spans);
+                   ])
+               (Pvmon.attribution mon)) );
+        ("artifact", J.Str pvmon_file);
+      ]
+  in
+  (ok, json)
+
 (* --- RECOVERY: bounded restart via checkpointing ----------------------------- *)
 
 (* Grow the ingest history 1x/2x/4x and crash at the end of each run.
@@ -806,8 +936,8 @@ let self_check () =
 
 let results_file = "BENCH_results.json"
 
-let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~query
-    ~micro =
+let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~monitor
+    ~recovery ~query ~micro =
   let row_json (r : Runner.row) =
     J.Obj
       [
@@ -854,6 +984,7 @@ let write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace
         ("self_check", self_check);
         ("faults", faults);
         ("trace", trace);
+        ("monitor", monitor);
         ("recovery", recovery);
         ("query", query);
         ("telemetry", Telemetry.snapshot registry);
@@ -880,11 +1011,12 @@ let () =
   ablation_nfs_txn ();
   let faults_ok, faults = fault_bench () in
   let trace_ok, trace = trace_bench ~scale in
+  let monitor_ok, monitor = monitor_bench ~scale in
   let recovery_ok, recovery = recovery_bench ~scale in
   let query_ok, query = query_bench ~scale in
   let micro = microbench () in
   let check_ok, self_check = self_check () in
-  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~recovery ~query
-    ~micro;
+  write_results ~scale ~registry ~local ~nfs ~space ~self_check ~faults ~trace ~monitor
+    ~recovery ~query ~micro;
   Printf.printf "\ndone.\n";
-  if not (check_ok && faults_ok && trace_ok && recovery_ok && query_ok) then exit 1
+  if not (check_ok && faults_ok && trace_ok && monitor_ok && recovery_ok && query_ok) then exit 1

@@ -514,6 +514,104 @@ let trace_cmd =
              (Chrome trace-event JSON by default; load it in Perfetto)")
     Term.(const cmd_trace $ wl_name $ nfs $ json $ filter_arg ~what:"spans")
 
+(* Run one workload with the monitor (and the tracer it folds) enabled,
+   ending with a forced scrape so end-of-run gauge values are captured,
+   and hand back the populated monitor. *)
+let run_monitored name nfs =
+  let wls = Runner.standard () in
+  match List.find_opt (fun w -> String.lowercase_ascii w.Runner.wl_name = name) wls with
+  | None ->
+      Printf.eprintf "unknown workload %S; try: %s\n" name
+        (String.concat ", " (List.map (fun w -> String.lowercase_ascii w.Runner.wl_name) wls));
+      exit 1
+  | Some w ->
+      let registry = Telemetry.create () in
+      let tracer = Pvtrace.create () in
+      let monitor = Pvmon.create () in
+      let sys =
+        if nfs then begin
+          let sys, server = Runner.nfs_system ~registry ~tracer ~monitor System.Pass in
+          w.Runner.run sys;
+          ignore (System.drain sys : int);
+          ignore (Server.drain server : int);
+          sys
+        end
+        else begin
+          let sys = Runner.local_system ~registry ~tracer ~monitor System.Pass in
+          w.Runner.run sys;
+          ignore (System.drain sys : int);
+          sys
+        end
+      in
+      Pvmon.scrape monitor (System.Clock.now (System.clock sys));
+      monitor
+
+let cmd_monitor name nfs json flamegraph =
+  let monitor = run_monitored name nfs in
+  if json then print_endline (Telemetry.Json.to_string (Pvmon.to_json monitor))
+  else if flamegraph then print_string (Pvmon.to_flamegraph monitor)
+  else print_string (Pvmon.to_openmetrics monitor)
+
+let monitor_cmd =
+  let wl_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Workload name (linux compile, postmark, mercurial activity, blast, pa-kepler)")
+  in
+  let nfs =
+    Arg.(value & flag & info [ "nfs" ] ~doc:"Monitor the PA-NFS configuration instead")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the pvmon/v1 JSON artifact instead of OpenMetrics text")
+  in
+  let flamegraph =
+    Arg.(value & flag
+         & info [ "flamegraph" ]
+             ~doc:"Emit collapsed call stacks (exact per-layer self times) for \
+                   flamegraph.pl or speedscope instead of OpenMetrics text")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Run one workload under pvmon and print its metrics exposition \
+             (OpenMetrics text by default — Prometheus-scrapable; --json for \
+             the full pvmon/v1 artifact with time series, attribution, \
+             alerts and slow ops; --flamegraph for collapsed stacks)")
+    Term.(const cmd_monitor $ wl_name $ nfs $ json $ flamegraph)
+
+let cmd_top name nfs =
+  let monitor = run_monitored name nfs in
+  let total = Pvmon.traced_total_ns monitor in
+  let ms ns = float_of_int ns /. 1e6 in
+  Printf.printf "%-12s %12s %12s %7s %8s\n" "layer" "self(ms)" "total(ms)" "self%" "spans";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %12.3f %12.3f %6.1f%% %8d\n" r.Pvmon.lr_layer
+        (ms r.Pvmon.lr_self_ns) (ms r.Pvmon.lr_total_ns)
+        (if total = 0 then 0.
+         else 100. *. float_of_int r.Pvmon.lr_self_ns /. float_of_int total)
+        r.Pvmon.lr_spans)
+    (Pvmon.attribution monitor);
+  Printf.printf "%-12s %12.3f %12s %6.1f%% %8d\n" "traced" (ms total) "" 100.
+    (Pvmon.traced_spans monitor);
+  match Pvmon.firing monitor with
+  | [] -> ()
+  | rules -> Printf.printf "firing: %s\n" (String.concat ", " rules)
+
+let top_cmd =
+  let wl_name =
+    Arg.(value & pos 0 string "postmark" & info [] ~docv:"NAME"
+           ~doc:"Workload name (default postmark)")
+  in
+  let nfs =
+    Arg.(value & flag & info [ "nfs" ] ~doc:"Profile the PA-NFS configuration instead")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Run one workload under pvmon and print the per-layer self/total \
+             time table (exact attribution folded from the span stream)")
+    Term.(const cmd_top $ wl_name $ nfs)
+
 let recover_cmd =
   let volume =
     Arg.(value & pos 0 string "vol0" & info [] ~docv:"VOLUME" ~doc:"Volume name to recover.")
@@ -585,5 +683,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ demo_cmd; query_cmd; recordtypes_cmd; workload_cmd; stats_cmd; trace_cmd;
-            diff_cmd; export_cmd; opm_cmd; recover_cmd; checkpoint_cmd; fsck_cmd;
-            lint_cmd ]))
+            monitor_cmd; top_cmd; diff_cmd; export_cmd; opm_cmd; recover_cmd;
+            checkpoint_cmd; fsck_cmd; lint_cmd ]))

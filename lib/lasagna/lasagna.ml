@@ -38,6 +38,7 @@ type instruments = {
   data_bytes : Telemetry.counter; (* lasagna.data_bytes *)
   append_ns : Telemetry.histogram; (* wap.append_ns, simulated span *)
   io_retries : Telemetry.counter; (* lasagna.io_retries *)
+  queue_depth : Telemetry.gauge; (* wap.queue_depth: frames pending commit *)
 }
 
 type t = {
@@ -173,6 +174,7 @@ let create ?registry ?(log_max = 1 lsl 20) ?(idle_ns = 5_000_000_000) ?(now = fu
           data_bytes = Telemetry.counter ?registry "lasagna.data_bytes";
           append_ns = Telemetry.histogram ?registry "wap.append_ns";
           io_retries = Telemetry.counter ?registry "lasagna.io_retries";
+          queue_depth = Telemetry.gauge ?registry "wap.queue_depth";
         };
     }
   in
@@ -203,6 +205,7 @@ let commit t =
     let frames = t.pending_frames in
     Buffer.clear t.pending;
     t.pending_frames <- 0;
+    Telemetry.set t.i.queue_depth 0.;
     t.charge wap_interference_ns;
     match with_io_retry t (fun () -> t.lower.write t.log_ino ~off:t.log_off encoded) with
     | Error _ as e ->
@@ -245,6 +248,7 @@ let append_frame t frame =
   let before = Buffer.length t.pending in
   Wap_log.encode_frame_into t.pending frame;
   t.pending_frames <- t.pending_frames + 1;
+  Telemetry.set t.i.queue_depth (float_of_int t.pending_frames);
   Telemetry.incr t.i.frames_written;
   Telemetry.add t.i.bytes_written (Buffer.length t.pending - before);
   if (not t.group_commit) || t.log_off + Buffer.length t.pending >= t.log_max then commit t

@@ -43,6 +43,7 @@ type instruments = {
   txns_abandoned : Telemetry.counter; (* nfs.txns_abandoned *)
   batch_rpcs : Telemetry.counter; (* nfs.batch_rpcs *)
   batched_writes : Telemetry.counter; (* nfs.batched_writes *)
+  wb_backlog : Telemetry.gauge; (* nfs.wb_backlog: queued writes right now *)
 }
 
 let instruments registry =
@@ -59,6 +60,7 @@ let instruments registry =
     txns_abandoned = n "txns_abandoned";
     batch_rpcs = n "batch_rpcs";
     batched_writes = n "batched_writes";
+    wb_backlog = Telemetry.gauge ?registry "nfs.wb_backlog";
   }
 
 (* Write-behind buffers: the client coalesces contiguous streaming writes
@@ -468,7 +470,8 @@ let drain_backlog_internal t =
     take (Queue.to_seq t.wb) [] 0 0
   in
   let pop_n n =
-    for _ = 1 to n do ignore (Queue.pop t.wb : wb_item) done
+    for _ = 1 to n do ignore (Queue.pop t.wb : wb_item) done;
+    Telemetry.set t.i.wb_backlog (float_of_int (Queue.length t.wb))
   in
   let rec go () =
     match Queue.peek_opt t.wb with
@@ -512,6 +515,7 @@ let enqueue_wb t (h : Dpapi.handle) ~off ~data bundle =
   else begin
     Telemetry.incr t.i.wb_queued;
     Queue.add { wi_handle = h; wi_off = off; wi_data = data; wi_bundle = bundle } t.wb;
+    Telemetry.set t.i.wb_backlog (float_of_int (Queue.length t.wb));
     Ok (Ctx.current_version t.ctx h.pnode)
   end
 

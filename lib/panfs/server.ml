@@ -30,6 +30,7 @@ type instruments = {
   txns_opened : Telemetry.counter;
   drc_hits : Telemetry.counter;
   drc_misses : Telemetry.counter;
+  drc_size : Telemetry.gauge; (* nfs.drc.size: cached replies right now *)
 }
 
 let instruments registry =
@@ -38,6 +39,7 @@ let instruments registry =
     txns_opened = Telemetry.counter ?registry "panfs.server.txns_opened";
     drc_hits = Telemetry.counter ?registry "nfs.drc.hits";
     drc_misses = Telemetry.counter ?registry "nfs.drc.misses";
+    drc_size = Telemetry.gauge ?registry "nfs.drc.size";
   }
 
 type t = {
@@ -322,6 +324,7 @@ let handle t (c : Proto.call) : Proto.resp =
       Queue.add key t.drc_order;
       if Queue.length t.drc_order > t.drc_capacity then
         Hashtbl.remove t.drc (Queue.pop t.drc_order);
+      Telemetry.set t.i.drc_size (float_of_int (Hashtbl.length t.drc));
       resp
 
 (* pnode of a file by inode, for the client's handle cache *)

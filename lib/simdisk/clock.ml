@@ -1,13 +1,24 @@
 (* Simulated wall clock, in nanoseconds.  One per simulated machine; the
    disk charges I/O time and the kernel charges CPU time against it.  The
-   elapsed-time overheads of Table 2 are read off this clock. *)
+   elapsed-time overheads of Table 2 are read off this clock.
 
-type t = { mutable now_ns : int }
+   The advance hook lets an observer (pvmon's scrape loop) run after the
+   clock moves without this layer knowing who is watching: the closure is
+   opaque, so no dependency points upward.  Hook bodies must not advance
+   the clock (observation charges no simulated time). *)
 
-let create () = { now_ns = 0 }
+type t = { mutable now_ns : int; mutable hook : (int -> unit) option }
+
+let create () = { now_ns = 0; hook = None }
 let now t = t.now_ns
-let advance t ns = if ns > 0 then t.now_ns <- t.now_ns + ns
 
+let advance t ns =
+  if ns > 0 then begin
+    t.now_ns <- t.now_ns + ns;
+    match t.hook with None -> () | Some f -> f t.now_ns
+  end
+
+let on_advance t f = t.hook <- Some f
 let ns_of_ms ms = ms * 1_000_000
 let ns_of_us us = us * 1_000
 let seconds t = float_of_int t.now_ns /. 1e9

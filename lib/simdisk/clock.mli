@@ -7,6 +7,13 @@ val now : t -> int
 val advance : t -> int -> unit
 (** Advance the clock by some nanoseconds (no-op if non-positive). *)
 
+val on_advance : t -> (int -> unit) -> unit
+(** Install the advance hook: [f now_ns] runs after every positive
+    {!advance}, with the new time.  One hook per clock (a later call
+    replaces the earlier); the hook must not advance the clock.  This is
+    how pvmon's scrape loop observes simulated time without the clock
+    depending on the monitor. *)
+
 val ns_of_ms : int -> int
 val ns_of_us : int -> int
 

@@ -96,9 +96,20 @@ let router t : Dpapi.endpoint =
   }
 
 let create ?(registry = Telemetry.default) ?fault ?(tracer = Pvtrace.disabled)
-    ?(batching = true) ~mode ~machine ~volume_names () =
+    ?(monitor = Pvmon.disabled) ?(batching = true) ~mode ~machine ~volume_names
+    () =
   let clock = Clock.create () in
   Pvtrace.set_now tracer (fun () -> Clock.now clock);
+  (* pvmon wiring: the scrape loop rides the clock's advance hook (so the
+     scrape timeline is a function of simulated time only), the machine
+     registry joins the scrape set, and the monitor becomes the tracer's
+     completion sink for the attribution fold.  Nothing is installed for
+     the disabled singleton — zero cost, like the tracer. *)
+  if Pvmon.enabled monitor then begin
+    Pvmon.watch monitor registry;
+    Pvmon.attach_tracer monitor tracer;
+    Clock.on_advance clock (fun now -> Pvmon.tick monitor now)
+  end;
   let kernel = Kernel.create ~tracer ~clock ~machine () in
   let t = { mode; clock; kernel; registry; tracer; volumes = []; router_table = [] } in
   let charge = Clock.advance clock in

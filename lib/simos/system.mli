@@ -25,6 +25,7 @@ val create :
   ?registry:Telemetry.registry ->
   ?fault:Fault.plan ->
   ?tracer:Pvtrace.t ->
+  ?monitor:Pvmon.t ->
   ?batching:bool ->
   mode:mode ->
   machine:int ->
@@ -41,7 +42,10 @@ val create :
     through every layer: system calls become root spans, each DPAPI hop
     ([analyzer.*], [distributor.*], [lasagna.*]) a child span, with layer
     decision events (deduped, cycle-broken, cached, flushed, ...) hanging
-    off them. *)
+    off them.  [monitor] (default {!Pvmon.disabled}) is wired to the
+    machine clock's advance hook, watches [registry], and installs
+    itself as [tracer]'s completion sink — scrapes charge no simulated
+    time, so an enabled monitor cannot perturb a run. *)
 
 val mode : t -> mode
 

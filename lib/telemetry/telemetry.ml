@@ -526,3 +526,63 @@ let snapshot ?filter t =
     ]
 
 let to_json ?filter t = Json.to_string (snapshot ?filter t)
+
+(* --- series snapshots ------------------------------------------------------- *)
+
+(* The structured twin of [snapshot], for scrapers (pvmon) that want the
+   aggregation rules plus the information the JSON view drops: the kind of
+   each name and how many instrument instances were folded into it.  The
+   instance count is what lets a scraper tag last-registered-wins gauges
+   instead of silently presenting one instance's value as the truth. *)
+
+type series = {
+  se_name : string;
+  se_kind : [ `Counter | `Gauge | `Histogram ];
+  se_value : float;
+  se_instances : int;
+  se_summary : summary option;
+}
+
+let series_snapshot ?filter t =
+  let groups =
+    match filter with
+    | None -> grouped t
+    | Some prefix ->
+        List.filter (fun (name, _) -> name_under ~prefix name) (grouped t)
+  in
+  let rows =
+    List.filter_map
+      (fun (name, instruments) ->
+        let instances = List.length instruments in
+        match instruments with
+        | [] -> None
+        | Counter _ :: _ ->
+            let v =
+              List.fold_left
+                (fun a i -> match i with Counter c -> a + c.c | _ -> a)
+                0 instruments
+            in
+            Some { se_name = name; se_kind = `Counter;
+                   se_value = float_of_int v; se_instances = instances;
+                   se_summary = None }
+        | Gauge _ :: _ ->
+            (* same rule as [snapshot]: the newest registration wins *)
+            let v =
+              List.fold_left
+                (fun a i -> match i with Gauge g -> g.g | _ -> a)
+                0. instruments
+            in
+            Some { se_name = name; se_kind = `Gauge; se_value = v;
+                   se_instances = instances; se_summary = None }
+        | Histogram _ :: _ ->
+            let hs =
+              List.filter_map (function Histogram h -> Some h | _ -> None)
+                instruments
+            in
+            let s = merged_summary hs in
+            Some { se_name = name; se_kind = `Histogram;
+                   se_value = float_of_int s.count; se_instances = instances;
+                   se_summary = Some s })
+      groups
+  in
+  List.sort (fun a b -> String.compare a.se_name b.se_name) rows

@@ -57,8 +57,21 @@ type summary = {
 }
 
 val summary : histogram -> summary
-(** Count and sum are exact; percentiles come from a bounded deterministic
-    sample reservoir (no randomness — runs are reproducible). *)
+(** Count, sum, min and max are exact; percentiles come from a bounded
+    deterministic sample reservoir (no randomness — runs are
+    reproducible).
+
+    Accuracy bound: the reservoir holds up to 2048 samples.  While the
+    observation count is ≤ 2048 every observation is retained and the
+    percentiles are exact sample quantiles.  Beyond that the reservoir is
+    a 1-in-[stride] systematic sample of the observation stream (the
+    stride doubles on each compaction), and a reported percentile [p] is
+    the exact quantile of that subsample.  The pinned-seed property test
+    in [test/test_telemetry.ml] asserts a normalized rank error of at
+    most 0.05 against the exact percentile: the reported value for
+    quantile [p] sits between the exact quantiles at [p - 0.05] and
+    [p + 0.05].  That bound is part of this interface — tighten the test
+    if the sketch changes. *)
 
 val with_span : histogram -> now:(unit -> int) -> (unit -> 'a) -> 'a
 (** [with_span h ~now f] runs [f] and observes [now () - now ()] elapsed
@@ -121,6 +134,29 @@ val to_json : ?filter:string -> registry -> string
 
 val counter_value : registry -> string -> int option
 (** Aggregated value of every counter registered under this name. *)
+
+(** {1 Series snapshots}
+
+    The structured form of {!snapshot}, for scrapers (pvmon) that need
+    the kind of each name and the number of instrument instances folded
+    into it.  Aggregation follows {!snapshot} exactly: counters sum,
+    gauges are {b last-registered-wins} (the value is the newest
+    registration's, not a sum — a scraper must surface [se_instances]
+    when it is > 1 so multi-instance gauges are not mistaken for a
+    total), histograms merge. *)
+
+type series = {
+  se_name : string;
+  se_kind : [ `Counter | `Gauge | `Histogram ];
+  se_value : float;
+      (** counter total / newest gauge value / histogram count *)
+  se_instances : int;  (** instrument registrations under this name *)
+  se_summary : summary option;  (** histograms only *)
+}
+
+val series_snapshot : ?filter:string -> registry -> series list
+(** One row per instrument name, sorted by name; [filter] as in
+    {!snapshot}. *)
 
 val histogram_summary : registry -> string -> summary option
 (** Merged summary of every histogram registered under this name. *)

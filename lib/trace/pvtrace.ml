@@ -56,20 +56,22 @@ type t = {
   mutable next_span : int;
   mutable stack : frame list; (* innermost open span first *)
   mutable now : unit -> int;
+  mutable sink : (span -> unit) option; (* completion hook (pvmon's fold) *)
 }
 
 let zero () = 0
 
 let disabled =
   { on = false; cap = 0; ring = [||]; head = 0; filled = 0; lifetime = 0;
-    next_trace = 1; next_span = 1; stack = []; now = zero }
+    next_trace = 1; next_span = 1; stack = []; now = zero; sink = None }
 
 let default_capacity = 1 lsl 18
 
 let create ?(capacity = default_capacity) ?(now = zero) () =
   let cap = max 1 capacity in
   { on = true; cap; ring = Array.make cap None; head = 0; filled = 0;
-    lifetime = 0; next_trace = 1; next_span = 1; stack = []; now }
+    lifetime = 0; next_trace = 1; next_span = 1; stack = []; now;
+    sink = None }
 
 let set_now t now = if t.on then t.now <- now
 let enabled t = t.on
@@ -87,11 +89,30 @@ let reset t =
     t.stack <- []
   end
 
+(* [record] is the single point every completed span passes through
+   (span finish and instantaneous events alike), so the sink sees the
+   full completion stream in order — children before parents, which is
+   what makes pvmon's streaming attribution fold exact. *)
 let record t sp =
   t.lifetime <- t.lifetime + 1;
   t.ring.(t.head) <- Some sp;
   t.head <- (t.head + 1) mod t.cap;
-  if t.filled < t.cap then t.filled <- t.filled + 1
+  if t.filled < t.cap then t.filled <- t.filled + 1;
+  match t.sink with None -> () | Some f -> f sp
+
+let on_record t f = if t.on then t.sink <- Some f
+
+(* The (layer, op) path of currently-open real spans, outermost first.
+   A span's own frame is popped before it is recorded, so from inside a
+   sink this is exactly the recorded span's ancestor path.  Virtual
+   (wire-context) frames carry no layer and are skipped. *)
+let open_frames t =
+  if not t.on then []
+  else
+    List.rev
+      (List.filter_map
+         (fun fr -> if fr.f_virtual then None else Some (fr.f_layer, fr.f_op))
+         t.stack)
 
 let spans t =
   if not t.on then []

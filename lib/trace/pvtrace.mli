@@ -63,6 +63,20 @@ val reset : t -> unit
 val spans : t -> span list
 (** Ring contents, oldest first (completion order). *)
 
+val on_record : t -> (span -> unit) -> unit
+(** Install the completion sink: [f sp] runs for every span the tracer
+    records, in completion order — children strictly before their
+    parents, which makes a streaming self-vs-children fold (pvmon's
+    attribution) exact.  One sink per tracer (a later call replaces the
+    earlier); no-op on {!disabled}.  The sink must not open spans. *)
+
+val open_frames : t -> (string * string) list
+(** The [(layer, op)] path of currently-open real spans, outermost
+    first.  Called from inside an {!on_record} sink this is the recorded
+    span's ancestor path, because a span's own frame is popped before it
+    is recorded.  Virtual wire-context frames are skipped.  [[]] when
+    disabled. *)
+
 val span : t -> layer:string -> op:string -> ?pnode:int -> (unit -> 'a) -> 'a
 (** [span t ~layer ~op f] runs [f] inside a new span.  The span parents
     onto the innermost open span (a fresh trace is minted at top level),

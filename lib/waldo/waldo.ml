@@ -31,6 +31,8 @@ type instruments = {
   txns_orphaned : Telemetry.counter;
   checkpoints : Telemetry.counter;
   logs_truncated : Telemetry.counter;
+  ckpt_staleness : Telemetry.gauge; (* waldo.frames_since_ckpt *)
+  txns_pending : Telemetry.gauge; (* waldo.pending_txns *)
 }
 
 (* When to take a checkpoint.  [Disabled] preserves the original
@@ -60,6 +62,7 @@ type t = {
 let create ?registry ?(tracer = Pvtrace.disabled) ?(policy = Disabled)
     ?compact_keep ?(checkpoint_dir = "/.waldo") ~lower () =
   let c name = Telemetry.counter ?registry ("waldo." ^ name) in
+  let g name = Telemetry.gauge ?registry ("waldo." ^ name) in
   {
     db = Provdb.create ();
     lower;
@@ -83,6 +86,8 @@ let create ?registry ?(tracer = Pvtrace.disabled) ?(policy = Disabled)
         txns_orphaned = c "txns_orphaned";
         checkpoints = c "checkpoints";
         logs_truncated = c "logs_truncated";
+        ckpt_staleness = g "frames_since_ckpt";
+        txns_pending = g "pending_txns";
       };
   }
 
@@ -137,12 +142,16 @@ let ingest_frame t = function
         | None ->
             let l = ref [] in
             Hashtbl.add t.pending_txns id l;
+            Telemetry.set t.i.txns_pending
+              (float_of_int (Hashtbl.length t.pending_txns));
             l
       in
       pending := bundle :: !pending;
       if is_endtxn then begin
         List.iter (ingest_bundle t) (List.rev !pending);
         Hashtbl.remove t.pending_txns id;
+        Telemetry.set t.i.txns_pending
+          (float_of_int (Hashtbl.length t.pending_txns));
         Telemetry.incr t.i.txns_committed;
         Pvtrace.event t.tracer ~layer:"waldo" ~op:"txn_end"
           ~outcome:"committed" ()
@@ -271,6 +280,7 @@ let checkpoint t =
   t.gen <- gen;
   t.archives <- archives;
   t.frames_since_ckpt <- 0;
+  Telemetry.set t.i.ckpt_staleness 0.;
   Archive.install_handler ?registry:t.registry t.lower ~dir ~segments:archives t.db;
   Telemetry.incr t.i.checkpoints;
   Pvtrace.set_outcome t.tracer "committed";
@@ -303,6 +313,7 @@ let process_log t ~dir ~name =
         ingest_frame t f)
       frames;
     t.frames_since_ckpt <- t.frames_since_ckpt + List.length frames;
+    Telemetry.set t.i.ckpt_staleness (float_of_int t.frames_since_ckpt);
     (match Checkpoint.log_seq name with
     | Some seq when seq + 1 > t.next_watermark -> t.next_watermark <- seq + 1
     | _ -> ());
@@ -523,4 +534,5 @@ let finalize t lasagna =
         ~outcome:"orphaned" ())
     (pending_txns t);
   Hashtbl.reset t.pending_txns;
+  Telemetry.set t.i.txns_pending 0.;
   orphans

@@ -59,17 +59,18 @@ let standard ?(scale = 1.0) () =
 
 (* --- configurations -------------------------------------------------------- *)
 
-let local_system ?registry ?tracer ?batching mode =
-  System.create ?registry ?tracer ?batching ~mode ~machine:1 ~volume_names:[ "vol0" ] ()
+let local_system ?registry ?tracer ?monitor ?batching mode =
+  System.create ?registry ?tracer ?monitor ?batching ~mode ~machine:1
+    ~volume_names:[ "vol0" ] ()
 
 (* A client machine with an NFS mount at vol0.  In PASS mode the client
    keeps a small local scratch volume so the machine has a default PASS
    volume, mirroring the paper's workstation.  A [tracer] is shared by the
    client machine and the server, which is what lets server-side spans
    parent onto client RPC spans in the exported trace. *)
-let nfs_system ?registry ?tracer ?batching mode =
+let nfs_system ?registry ?tracer ?monitor ?batching mode =
   let sys =
-    System.create ?registry ?tracer ?batching ~mode ~machine:1
+    System.create ?registry ?tracer ?monitor ?batching ~mode ~machine:1
       ~volume_names:(match mode with System.Pass -> [ "scratch" ] | System.Vanilla -> [])
       ()
   in

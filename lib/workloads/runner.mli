@@ -13,6 +13,7 @@ val standard : ?scale:float -> unit -> workload list
 val local_system :
   ?registry:Telemetry.registry ->
   ?tracer:Pvtrace.t ->
+  ?monitor:Pvmon.t ->
   ?batching:bool ->
   System.mode ->
   System.t
@@ -20,13 +21,17 @@ val local_system :
 val nfs_system :
   ?registry:Telemetry.registry ->
   ?tracer:Pvtrace.t ->
+  ?monitor:Pvmon.t ->
   ?batching:bool ->
   System.mode ->
   System.t * Server.t
 (** [batching] (default on) threads through to {!System.create} (observer
     bursts, Lasagna group commit) and, for {!nfs_system}, to the PA-NFS
     client's [piggyback]; [~batching:false] restores one record / one frame
-    / one RPC at a time for A/B comparison. *)
+    / one RPC at a time for A/B comparison.  [tracer] and [monitor] thread
+    through to {!System.create} (for {!nfs_system} the tracer is shared
+    with the server, so server spans parent onto client RPC spans, and
+    the monitor scrapes the shared registry). *)
 
 type row = {
   r_name : string;

@@ -1,0 +1,16 @@
+(* metric-name fixture: three violations, one per site the rule covers —
+   a camelCase rule name, a single-segment Counter_rate source and an
+   uppercase Gauge_value source. *)
+
+let rules =
+  [
+    Pvmon.rule ~name:"dpapiWriteP99"
+      ~source:(Pvmon.Hist_p99 "dpapi.pass_write_ns")
+      ~threshold:5e6 ();
+    Pvmon.rule ~name:"nfs.retry_rate"
+      ~source:(Pvmon.Counter_rate "retries")
+      ~threshold:10. ();
+    Pvmon.rule ~name:"wap.backlog_depth"
+      ~source:(Pvmon.Gauge_value "wap.Queue_Depth")
+      ~threshold:64. ();
+  ]

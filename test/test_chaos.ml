@@ -324,6 +324,90 @@ let test_wire_spans_under_chaos () =
   check tstr "byte-identical chrome artifact across same-seed runs"
     (Pvtrace.to_chrome tracer) (Pvtrace.to_chrome tracer2)
 
+(* --- pvmon rides the chaos rig ------------------------------------------------ *)
+
+(* The monitor watches the rig's registry, sinks the shared tracer and
+   ticks off the shared clock — the same wiring System.create does, built
+   by hand because the chaos rig has no simos.  The storm spec draws
+   partitions longer than the client's retry budget, so writes park in
+   the write-behind queue; with thresholds far below what that produces,
+   the storm must trip the retry-rate and backlog rules.  And because
+   every input is seeded, the whole monitor state — alert stream
+   included — must be byte-identical across same-seed runs. *)
+let monitor_storm_spec =
+  {
+    Fault.default_chaos with
+    Fault.partition = 25;
+    partition_ns = (900_000_000, 1_600_000_000);
+  }
+
+let monitored_run ~seed () =
+  let tracer = Pvtrace.create () in
+  let rules =
+    [
+      Pvmon.rule ~name:"nfs.retry_rate" ~source:(Pvmon.Counter_rate "nfs.retries")
+        ~threshold:0.5 ();
+      Pvmon.rule ~name:"nfs.wb_backlog_depth"
+        ~source:(Pvmon.Gauge_value "nfs.wb_backlog") ~threshold:0.5 ();
+    ]
+  in
+  let monitor = Pvmon.create ~interval_ns:1_000_000 ~rules () in
+  let r = rig ~spec:monitor_storm_spec ~tracer ~seed () in
+  Pvtrace.set_now tracer (fun () -> Clock.now r.clock);
+  Pvmon.watch monitor r.registry;
+  Pvmon.attach_tracer monitor tracer;
+  Clock.on_advance r.clock (fun now -> Pvmon.tick monitor now);
+  let ops = Client.ops r.client in
+  for i = 0 to 39 do
+    let path = Printf.sprintf "/m%03d" i in
+    match Vfs.create_path ops path Vfs.Regular with
+    | Error _ -> ()
+    | Ok ino -> (
+        match Client.file_handle r.client ino with
+        | Error _ -> ()
+        | Ok h ->
+            ignore
+              (Client.pass_write r.client h ~off:0 ~data:(Some path)
+                 [ Dpapi.entry h [ Record.name path ] ]
+                : (int, Dpapi.error) result))
+  done;
+  Fault.deactivate r.plan;
+  (match Client.drain_backlog r.client with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "backlog did not drain: %s" (Dpapi.error_to_string e));
+  ignore (Server.drain r.server : int);
+  Pvmon.scrape monitor (Clock.now r.clock);
+  monitor
+
+let test_pvmon_under_chaos () =
+  let seed = List.hd pinned_seeds in
+  let m = monitored_run ~seed () in
+  let fired name =
+    List.exists
+      (fun a -> a.Pvmon.al_firing && String.equal a.Pvmon.al_rule name)
+      (Pvmon.alerts m)
+  in
+  check tbool "fault storm fires the retry-rate rule" true (fired "nfs.retry_rate");
+  check tbool "fault storm fires the backlog rule" true
+    (fired "nfs.wb_backlog_depth");
+  check tbool "monitor scraped during the storm" true (Pvmon.scrapes m > 1);
+  check tbool "spans folded into attribution" true (Pvmon.traced_spans m > 0);
+  (* exact conservation holds under faults too: retries, replays and
+     abandoned transactions are ordinary spans to the fold *)
+  let self_sum =
+    List.fold_left (fun a r -> a + r.Pvmon.lr_self_ns) 0 (Pvmon.attribution m)
+  in
+  check tint "attribution conserves traced time under chaos"
+    (Pvmon.traced_total_ns m) self_sum;
+  (* same seed ⇒ the full monitor state, alert stream included, is
+     byte-identical *)
+  let m2 = monitored_run ~seed () in
+  check tstr "byte-identical pvmon export across same-seed runs"
+    (Telemetry.Json.to_string (Pvmon.to_json m))
+    (Telemetry.Json.to_string (Pvmon.to_json m2));
+  check tstr "byte-identical openmetrics across same-seed runs"
+    (Pvmon.to_openmetrics m) (Pvmon.to_openmetrics m2)
+
 (* --- blast: >64 KB transactional writes under long partitions ---------------- *)
 
 (* Partitions longer than the client's whole retry budget (~0.8 s of
@@ -776,6 +860,8 @@ let () =
             test_same_seed_identical;
           Alcotest.test_case "server spans parent onto client rpcs under chaos" `Quick
             test_wire_spans_under_chaos;
+          Alcotest.test_case "fault storms trip pvmon's retry and backlog rules" `Quick
+            test_pvmon_under_chaos;
           Alcotest.test_case "batching on/off leaves the provdb unchanged" `Quick
             test_batching_on_off_same_provdb;
           Alcotest.test_case "blast txns never double-apply" `Quick test_blast_no_double_apply;

@@ -23,4 +23,5 @@ let () =
       ("trace", Test_trace.suite);
       ("pvcheck", Test_pvcheck.suite);
       ("passarch", Test_passarch.suite);
+      ("monitor", Test_monitor.suite);
     ]

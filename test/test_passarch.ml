@@ -188,6 +188,25 @@ let test_passlint_comment_regression () =
     [ "pnode-poly-eq" ]
     (List.map (fun f -> f.F.f_rule) bad)
 
+(* --- passlint metric-name rule --------------------------------------- *)
+
+let test_passlint_metric_name () =
+  let dir = fixture_dir "passlint" in
+  let ok = Passlint_core.findings ~roots:[ Filename.concat dir "metric_ok.ml" ] () in
+  check Alcotest.(list (pair string string))
+    "conventional pvmon names produce no findings" []
+    (List.map shape ok);
+  let bad =
+    Passlint_core.findings ~roots:[ Filename.concat dir "metric_bad.ml" ] ()
+  in
+  check Alcotest.(list string)
+    "bad rule name, bare source and uppercase source all caught"
+    [ "metric-name"; "metric-name"; "metric-name" ]
+    (List.map (fun f -> f.F.f_rule) bad);
+  check Alcotest.(list int) "findings point at the offending literals"
+    [ 7; 11; 14 ]
+    (List.map (fun f -> f.F.f_line) bad)
+
 let suite =
   [
     Alcotest.test_case "clean fixture tree" `Quick test_clean_tree;
@@ -198,4 +217,6 @@ let suite =
     Alcotest.test_case "tree passes both lint gates" `Quick test_tree_gate;
     Alcotest.test_case "passlint comment regression" `Quick
       test_passlint_comment_regression;
+    Alcotest.test_case "passlint metric-name rule" `Quick
+      test_passlint_metric_name;
   ]

@@ -196,6 +196,92 @@ let test_snapshot_shape () =
       | _ -> Alcotest.fail "histogram summary count")
   | _ -> Alcotest.fail "histograms section"
 
+(* --- series snapshot: pvmon's scrape surface --------------------------------- *)
+
+let test_gauge_last_registered_wins () =
+  (* regression pin: with two same-named gauge instruments in one
+     registry the aggregate takes the LAST-registered instrument's value
+     — not the max, not the sum — while the instance count still covers
+     both.  Pvmon tags multi-instance gauges with exactly this rule, so
+     a semantics change here must be a deliberate, reviewed one. *)
+  let reg = Telemetry.create () in
+  let g1 = Telemetry.gauge ~registry:reg "t.mg" in
+  let g2 = Telemetry.gauge ~registry:reg "t.mg" in
+  Telemetry.set g1 10.;
+  Telemetry.set g2 3.;
+  (match Telemetry.series_snapshot reg with
+  | [ s ] ->
+      check tfloat "last registered wins" 3.0 s.Telemetry.se_value;
+      check tint "both instances counted" 2 s.Telemetry.se_instances
+  | l -> Alcotest.failf "expected one series, got %d" (List.length l));
+  (* updating the earlier instrument cannot shadow the later one *)
+  Telemetry.set g1 99.;
+  match Telemetry.series_snapshot reg with
+  | [ s ] -> check tfloat "earlier instrument stays shadowed" 3.0 s.Telemetry.se_value
+  | _ -> Alcotest.fail "series vanished"
+
+let test_series_snapshot () =
+  let reg = Telemetry.create () in
+  Telemetry.add (Telemetry.counter ~registry:reg "z.c") 3;
+  Telemetry.add (Telemetry.counter ~registry:reg "z.c") 4;
+  Telemetry.set (Telemetry.gauge ~registry:reg "a.g") 1.5;
+  Telemetry.observe (Telemetry.histogram ~registry:reg "m.h") 7.0;
+  (match Telemetry.series_snapshot reg with
+  | [ a; m; z ] ->
+      check tbool "sorted by name" true
+        (String.equal a.Telemetry.se_name "a.g"
+        && String.equal m.Telemetry.se_name "m.h"
+        && String.equal z.Telemetry.se_name "z.c");
+      check tbool "kinds" true
+        (a.Telemetry.se_kind = `Gauge && m.Telemetry.se_kind = `Histogram
+       && z.Telemetry.se_kind = `Counter);
+      check tfloat "counter instances sum" 7.0 z.Telemetry.se_value;
+      check tint "counter instance count" 2 z.Telemetry.se_instances;
+      check tfloat "gauge value" 1.5 a.Telemetry.se_value;
+      (match m.Telemetry.se_summary with
+      | Some s -> check tint "histogram summary attached" 1 s.Telemetry.count
+      | None -> Alcotest.fail "histogram series without summary")
+  | l -> Alcotest.failf "expected three series, got %d" (List.length l));
+  match Telemetry.series_snapshot ~filter:"z" reg with
+  | [ z ] -> check tbool "filter keeps the z subtree" true (String.equal z.Telemetry.se_name "z.c")
+  | _ -> Alcotest.fail "filtered series"
+
+(* The documented accuracy bound of telemetry.mli: with the reservoir
+   over capacity, every reported quantile p must land between the exact
+   quantiles at p-0.05 and p+0.05 of the full observation stream
+   (normalized rank error <= 0.05).  The systematic 1-in-stride reservoir
+   keeps this easily for non-adversarial streams; the pinned seed makes
+   any failure replay byte-for-byte. *)
+let prop_histogram_rank_error =
+  let open QCheck2.Gen in
+  let gen_stream =
+    (* 3000..12000 observations: always past the 2048-sample reservoir *)
+    list_size (int_range 3_000 12_000) (float_bound_exclusive 1e9)
+  in
+  QCheck2.Test.make ~name:"telemetry: histogram rank error within 0.05" ~count:20 gen_stream
+    (fun xs ->
+      let reg = Telemetry.create () in
+      let h = Telemetry.histogram ~registry:reg "t.acc" in
+      List.iter (Telemetry.observe h) xs;
+      let s = Telemetry.summary h in
+      let sorted = Array.of_list (List.sort Float.compare xs) in
+      let n = Array.length sorted in
+      (* the same nearest-rank convention summary uses on its reservoir *)
+      let exact p =
+        let idx = int_of_float ((p *. float_of_int (n - 1)) +. 0.5) in
+        sorted.(Stdlib.min (n - 1) (Stdlib.max 0 idx))
+      in
+      let within p reported =
+        reported >= exact (Float.max 0. (p -. 0.05))
+        && reported <= exact (Float.min 1. (p +. 0.05))
+      in
+      s.Telemetry.count = n
+      && s.Telemetry.min = sorted.(0)
+      && s.Telemetry.max = sorted.(n - 1)
+      && within 0.50 s.Telemetry.p50
+      && within 0.95 s.Telemetry.p95
+      && within 0.99 s.Telemetry.p99)
+
 (* --- end to end through the pipeline ----------------------------------------- *)
 
 let test_pipeline_instruments () =
@@ -242,5 +328,11 @@ let suite =
     Alcotest.test_case "name_under filter" `Quick test_name_under;
     Alcotest.test_case "validate_prefix rejects empty filters" `Quick test_validate_prefix;
     Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+    Alcotest.test_case "gauge last-registered-wins pin" `Quick
+      test_gauge_last_registered_wins;
+    Alcotest.test_case "series snapshot" `Quick test_series_snapshot;
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| 0x5eed |])
+      prop_histogram_rank_error;
     Alcotest.test_case "pipeline instruments" `Quick test_pipeline_instruments;
   ]

@@ -208,6 +208,39 @@ let () =
           in
           Printf.printf "%-20s %-6s %10.0f %10.0f %+8.0f  %s%s\n" "recovery" "replay"
             base current (current -. base) verdict note));
+  (* Monitor-overhead gate: an enabled pvmon must keep charging zero
+     simulated time to the monitored workloads.  The bench computes
+     overhead_pct from the off/on simulated clocks; the baseline pins
+     its ceiling (0.0 — scrapes happen outside simulated time by
+     construction), with half a point of absolute slack so the gate
+     states intent rather than float noise.  "new" when the baseline
+     predates the bench's monitor section, so old baselines keep
+     working. *)
+  (match List.assoc_opt "monitor" baseline with
+  | None ->
+      Printf.printf "%-20s %-6s %10s %10s %8s  new (no baseline entry)\n" "monitor"
+        "ovrhd" "-" "-" "-"
+  | Some mb -> (
+      let ceiling =
+        match get_number "overhead_pct_max" mb with
+        | Some b -> b
+        | None -> die "%s: monitor entry without overhead_pct_max" baseline_path
+      in
+      match
+        Option.bind (Json.member "monitor" current_json) (get_number "overhead_pct")
+      with
+      | None -> die "%s: no monitor.overhead_pct (old bench binary?)" current_path
+      | Some current ->
+          let regression = current > ceiling +. 0.5 in
+          let verdict, note =
+            if regression then begin
+              incr regressed;
+              ("REGRESSED", " <-- above pinned ceiling")
+            end
+            else ("ok", "")
+          in
+          Printf.printf "%-20s %-6s %9.2f%% %9.2f%% %+7.2f%%  %s%s\n" "monitor" "ovrhd"
+            ceiling current (current -. ceiling) verdict note));
   (* Query-planner gate: the selective-ancestry speedup over the naive
      evaluator must stay above the pinned floor (higher is better, so
      only a drop fails; the relative tolerance gives simulation noise

@@ -29,6 +29,10 @@
                       conventions; likewise literal pvtrace span names
                       (the combined "layer.op" of Pvtrace.span/event and
                       the layer handed to Dpapi.traced);
+   - metric-name      literal pvmon SLO rule names (Pvmon.rule ~name) and
+                      metric sources (Pvmon.Counter_rate / Gauge_value /
+                      Hist_p99) must be dotted snake_case, matching the
+                      instrument names they watch;
    - missing-mli      every module under lib/ has an interface, so the
                       lint (and readers) can tell public surface from
                       internals;
@@ -77,6 +81,11 @@ let allowlist_entries : Allowlist.entry list =
       a_symbol = "Random.State.make";
       a_why = "pins the QCheck seed of the planner-vs-oracle property to \
                a constant so CI failures replay byte-for-byte; \
+               deterministic by construction" };
+    { a_path = "test/test_telemetry.ml"; a_rule = "forbidden-call";
+      a_symbol = "Random.State.make";
+      a_why = "pins the QCheck seed of the histogram rank-error property \
+               to a constant so CI failures replay byte-for-byte; \
                deterministic by construction" };
   ]
 
@@ -256,6 +265,31 @@ let lint_structure ~sink ~file ~src structure =
                              "traced layer %S is not dotted snake_case" s)
                   | _ -> ())
                 args
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (Longident.Lident "Pvmon", "rule"); _ }; _ },
+                args ) ->
+              List.iter
+                (fun (l, (a : expression)) ->
+                  match (l, a.pexp_desc) with
+                  | Asttypes.Labelled "name", Pexp_constant (Pconst_string (s, _, _)) ->
+                      if not (valid_instrument_name s) then
+                        report ~loc:a.pexp_loc ~rule:"metric-name" ~symbol:s
+                          (Printf.sprintf
+                             "pvmon rule name %S is not dotted snake_case \
+                              (\"layer.metric_name\")"
+                             s)
+                  | _ -> ())
+                args
+          | Pexp_construct
+              ( { txt = Longident.Ldot (Longident.Lident "Pvmon",
+                    (("Counter_rate" | "Gauge_value" | "Hist_p99") as ctor)); _ },
+                Some { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); pexp_loc = sloc; _ } ) ->
+              if not (valid_instrument_name s) then
+                report ~loc:sloc ~rule:"metric-name" ~symbol:s
+                  (Printf.sprintf
+                     "Pvmon.%s watches %S, which is not a dotted snake_case \
+                      instrument name"
+                     ctor s)
           | _ -> ());
           Ast_iterator.default_iterator.expr sub e);
     }
